@@ -1,0 +1,107 @@
+//===- bench/bench_compcertx.cpp - Compiler pipeline throughput -------------------===//
+//
+// Measures the CompCertX analogue: parse+typecheck+compile+link
+// throughput, interpreter vs compiled-VM execution speed, and per-case
+// translation-validation cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compcertx/Linker.h"
+#include "compcertx/Validate.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ccal;
+
+namespace {
+
+const char *const CollatzSrc = R"(
+  int collatz(int n) {
+    int steps = 0;
+    while (n != 1 && steps < 500) {
+      if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+      steps = steps + 1;
+    }
+    return steps;
+  }
+  int sweep(int lo, int hi) {
+    int total = 0;
+    int i = lo;
+    while (i <= hi) {
+      total = total + collatz(i);
+      i = i + 1;
+    }
+    return total;
+  }
+)";
+
+PrimHandler noPrims() {
+  return [](const std::string &,
+            const std::vector<std::int64_t> &) -> std::optional<std::int64_t> {
+    return std::nullopt;
+  };
+}
+
+void compilePipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    ClightModule M = parseModuleOrDie("m", CollatzSrc);
+    typeCheckOrDie(M);
+    AsmProgramPtr P = compileAndLink("m.lasm", {&M});
+    benchmark::DoNotOptimize(P->Funcs.size());
+  }
+  State.counters["modules/s"] =
+      benchmark::Counter(static_cast<double>(State.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(compilePipeline)->Name("CompCertX/parse+check+compile+link");
+
+void interpreterRun(benchmark::State &State) {
+  ClightModule M = parseModuleOrDie("m", CollatzSrc);
+  typeCheckOrDie(M);
+  for (auto _ : State) {
+    Interp I(M, noPrims());
+    benchmark::DoNotOptimize(I.call("sweep", {1, State.range(0)}));
+  }
+}
+BENCHMARK(interpreterRun)
+    ->Name("CompCertX/reference_interpreter")
+    ->Arg(30)
+    ->Arg(100);
+
+void vmRun(benchmark::State &State) {
+  ClightModule M = parseModuleOrDie("m", CollatzSrc);
+  typeCheckOrDie(M);
+  AsmProgramPtr P = compileAndLink("m.lasm", {&M});
+  for (auto _ : State) {
+    VmRun Run =
+        runVmSequential(P, "sweep", {1, State.range(0)}, noPrims());
+    benchmark::DoNotOptimize(Run.Ret);
+  }
+}
+BENCHMARK(vmRun)->Name("CompCertX/compiled_vm")->Arg(30)->Arg(100);
+
+void translationValidation(benchmark::State &State) {
+  ClightModule M = parseModuleOrDie("m", CollatzSrc);
+  typeCheckOrDie(M);
+  std::vector<ValidationCase> Cases;
+  for (std::int64_t N = 1; N <= 20; ++N)
+    Cases.push_back({"collatz", {N}});
+  std::uint64_t Checked = 0;
+  for (auto _ : State) {
+    ValidationReport R = validateTranslation(M, Cases, [] {
+      return [](const std::string &, const std::vector<std::int64_t> &)
+                 -> std::optional<std::int64_t> { return 0; };
+    });
+    benchmark::DoNotOptimize(R.Ok);
+    Checked += R.CasesChecked;
+  }
+  State.counters["cases/s"] = benchmark::Counter(
+      static_cast<double>(Checked), benchmark::Counter::kIsRate);
+}
+BENCHMARK(translationValidation)->Name("CompCertX/translation_validation");
+
+} // namespace
+
+BENCHMARK_MAIN();

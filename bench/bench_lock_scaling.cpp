@@ -1,0 +1,56 @@
+//===- bench/bench_lock_scaling.cpp - Ticket vs MCS under contention -------------===//
+//
+// The reason the paper verifies an MCS lock at all (§6, Kim et al.): under
+// contention, every ticket-lock waiter spins on the shared "now serving"
+// line while MCS waiters spin on their own nodes.  This bench sweeps the
+// thread count for both locks; the shape to check (EXPERIMENTS.md) is that
+// the ticket lock's per-operation cost grows faster with contention than
+// the MCS lock's.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtMcsLock.h"
+#include "runtime/RtTicketLock.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ccal::rt;
+
+namespace {
+
+TicketLock<false> SharedTicket;
+McsLock<false> SharedMcs;
+long ProtectedCounter = 0;
+
+void ticketContended(benchmark::State &State) {
+  for (auto _ : State) {
+    SharedTicket.acquire();
+    benchmark::DoNotOptimize(ProtectedCounter += 1);
+    SharedTicket.release();
+  }
+}
+BENCHMARK(ticketContended)
+    ->Name("TicketLock/contended")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+void mcsContended(benchmark::State &State) {
+  for (auto _ : State) {
+    McsNode Node;
+    SharedMcs.acquire(Node);
+    benchmark::DoNotOptimize(ProtectedCounter += 1);
+    SharedMcs.release(Node);
+  }
+}
+BENCHMARK(mcsContended)
+    ->Name("McsLock/contended")
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+//===- bench/bench_qlock_crossover.cpp - Spin vs sleep crossover (§5.4) ----------===//
+//
+// The queuing lock's reason to exist (§5.4): "waiting threads are put to
+// sleep to avoid busy spinning."  Sleeping costs more per handoff, but
+// under long critical sections or more threads than cores, spinning
+// wastes whole time slices.  This bench sweeps the critical-section
+// length (Arg(0), in busy-loop iterations) at 2x-oversubscribed thread
+// counts; the shape to check is a crossover: the ticket spinlock wins for
+// tiny critical sections, the queuing lock wins as they grow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtQueuingLock.h"
+#include "runtime/RtTicketLock.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace ccal::rt;
+
+namespace {
+
+TicketLock<false> SpinLock;
+QueuingLock SleepLock;
+volatile long Sink = 0;
+
+void busyWork(long Iters) {
+  for (long I = 0; I != Iters; ++I)
+    Sink = Sink + 1;
+}
+
+unsigned oversubscribedThreads() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW * 2 : 8;
+}
+
+void spinLockCs(benchmark::State &State) {
+  long CsLen = State.range(0);
+  for (auto _ : State) {
+    SpinLock.acquire();
+    busyWork(CsLen);
+    SpinLock.release();
+  }
+}
+
+void sleepLockCs(benchmark::State &State) {
+  long CsLen = State.range(0);
+  for (auto _ : State) {
+    SleepLock.acquire();
+    busyWork(CsLen);
+    SleepLock.release();
+  }
+}
+
+} // namespace
+
+BENCHMARK(spinLockCs)
+    ->Name("Spin(ticket)/oversubscribed")
+    ->Arg(1)
+    ->Arg(256)
+    ->Arg(8192)
+    ->Threads(static_cast<int>(oversubscribedThreads()))
+    ->UseRealTime();
+
+BENCHMARK(sleepLockCs)
+    ->Name("Sleep(queuing)/oversubscribed")
+    ->Arg(1)
+    ->Arg(256)
+    ->Arg(8192)
+    ->Threads(static_cast<int>(oversubscribedThreads()))
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

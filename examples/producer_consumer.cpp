@@ -1,0 +1,62 @@
+//===- examples/producer_consumer.cpp - The top of the Fig. 1 tower -------------===//
+//
+// Drives the multithreaded layers: the queuing lock (§5.4), condition
+// variables, and the IPC channel, each checked over *every* schedule of
+// the multithreaded machine.  Also demonstrates the checker catching the
+// classic lost-wakeup deadlock in an under-synchronized variant — the
+// point of exhaustive schedule exploration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "threads/CondVar.h"
+#include "threads/Ipc.h"
+#include "threads/Linking.h"
+#include "threads/QueuingLock.h"
+
+#include <cstdio>
+
+using namespace ccal;
+
+int main() {
+  std::printf("== multithreaded layers: qlock -> cv -> ipc ==\n\n");
+
+  std::printf("[1] multithreaded linking (Thm 5.1): scheduler code vs "
+              "atomic yield\n");
+  LinkingSetup LSetup;
+  LSetup.NumThreads = 2;
+  LSetup.Rounds = 3;
+  LinkingReport Link = checkMultithreadedLinking(LSetup);
+  std::printf("    %s -> %s\n",
+              Link.Refinement.Holds ? "HOLDS" : "FAILED",
+              Link.Cert->statement().c_str());
+
+  std::printf("\n[2] queuing lock refines the blocking atomic lock\n");
+  QueuingLockOutcome QL = certifyQueuingLock(2, 1, 2);
+  std::printf("    %s; schedules=%llu obligations=%llu\n",
+              QL.Report.Holds ? "HOLDS" : QL.Report.Counterexample.c_str(),
+              static_cast<unsigned long long>(QL.Report.SchedulesExplored),
+              static_cast<unsigned long long>(QL.Report.ObligationsChecked));
+
+  std::printf("\n[3] bounded buffer over qlock + condition variables\n");
+  MonitorCheck Buf = checkBoundedBuffer(4);
+  std::printf("    %s; schedules=%llu states=%llu\n",
+              Buf.Ok ? "all deliveries in order" : Buf.Violation.c_str(),
+              static_cast<unsigned long long>(Buf.SchedulesExplored),
+              static_cast<unsigned long long>(Buf.StatesExplored));
+
+  std::printf("\n[4] the checker FINDS the classic lost-wakeup deadlock\n");
+  MonitorCheck Bug = checkBoundedBufferLostWakeup(2);
+  std::printf("    expected failure: %s\n",
+              Bug.Ok ? "NOT FOUND (unexpected)" : "found");
+
+  std::printf("\n[5] IPC channel: exactly-once, in-order, all schedules\n");
+  MonitorCheck Ipc = checkIpcChannel(IpcRingCap + 2);
+  std::printf("    %s; schedules=%llu\n",
+              Ipc.Ok ? "delivery verified" : Ipc.Violation.c_str(),
+              static_cast<unsigned long long>(Ipc.SchedulesExplored));
+
+  bool AllGood = Link.Refinement.Holds && QL.Report.Holds && Buf.Ok &&
+                 !Bug.Ok && Ipc.Ok;
+  std::printf("\n== %s ==\n", AllGood ? "all checks passed" : "FAILURES");
+  return AllGood ? 0 : 1;
+}

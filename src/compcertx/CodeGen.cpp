@@ -1,0 +1,250 @@
+//===- compcertx/CodeGen.cpp - ClightX -> LAsm compiler ---------------------===//
+
+#include "compcertx/CodeGen.h"
+
+#include "support/Check.h"
+
+using namespace ccal;
+
+namespace {
+
+/// Compiles one function body to stack code.
+class FuncCompiler {
+public:
+  FuncCompiler(const ClightModule &M, const FuncDecl &F) : M(M), F(F) {}
+
+  AsmFunc run() {
+    AsmFunc Out;
+    Out.Name = F.Name;
+    Out.NumParams = static_cast<unsigned>(F.Params.size());
+    Out.NumSlots = static_cast<unsigned>(F.NumSlots);
+    genStmt(*F.Body);
+    // Falling off the end returns 0 (covers void functions).
+    emit(Instr::push(0));
+    emit(Instr(Opcode::Ret));
+    Out.Code = std::move(Code);
+    return Out;
+  }
+
+private:
+  std::int32_t here() const { return static_cast<std::int32_t>(Code.size()); }
+  void emit(Instr I) { Code.push_back(std::move(I)); }
+
+  /// Emits a jump with a to-be-patched target; returns its index.
+  size_t emitJump(Opcode Op) {
+    emit(Instr(Op, -1));
+    return Code.size() - 1;
+  }
+  void patch(size_t JumpIdx, std::int32_t Target) {
+    Code[JumpIdx].Target = Target;
+  }
+
+  void genStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : S.Body)
+        genStmt(*Child);
+      return;
+    case Stmt::Kind::If: {
+      genExpr(*S.Cond);
+      size_t ToElse = emitJump(Opcode::Jz);
+      genStmt(*S.Then);
+      if (S.Else) {
+        size_t ToEnd = emitJump(Opcode::Jmp);
+        patch(ToElse, here());
+        genStmt(*S.Else);
+        patch(ToEnd, here());
+      } else {
+        patch(ToElse, here());
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      std::int32_t Start = here();
+      genExpr(*S.Cond);
+      size_t ToEnd = emitJump(Opcode::Jz);
+      BreakPatches.emplace_back();
+      ContinueTargets.push_back(Start);
+      genStmt(*S.Then);
+      emit(Instr(Opcode::Jmp, Start));
+      patch(ToEnd, here());
+      for (size_t J : BreakPatches.back())
+        patch(J, here());
+      BreakPatches.pop_back();
+      ContinueTargets.pop_back();
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (S.A)
+        genExpr(*S.A);
+      else
+        emit(Instr::push(0));
+      emit(Instr(Opcode::Ret));
+      return;
+    case Stmt::Kind::LocalDecl:
+      if (S.A)
+        genExpr(*S.A);
+      else
+        emit(Instr::push(0));
+      emit(Instr(Opcode::StoreL, S.LocalSlot));
+      return;
+    case Stmt::Kind::Assign:
+      genExpr(*S.A);
+      if (S.LocalSlot >= 0) {
+        emit(Instr(Opcode::StoreL, S.LocalSlot));
+      } else {
+        emit(Instr::withSym(Opcode::StoreG, S.Name));
+      }
+      return;
+    case Stmt::Kind::IndexAssign: {
+      const GlobalDecl *G = M.findGlobal(S.Name);
+      CCAL_CHECK(G != nullptr, "codegen: unresolved global");
+      genExpr(*S.B); // index
+      genExpr(*S.A); // value
+      emit(Instr::withSym(Opcode::StoreGI, S.Name, G->Size));
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      genExpr(*S.A);
+      emit(Instr(Opcode::Pop));
+      return;
+    case Stmt::Kind::Break: {
+      CCAL_CHECK(!BreakPatches.empty(), "codegen: break outside loop");
+      size_t J = emitJump(Opcode::Jmp);
+      BreakPatches.back().push_back(J);
+      return;
+    }
+    case Stmt::Kind::Continue:
+      CCAL_CHECK(!ContinueTargets.empty(), "codegen: continue outside loop");
+      emit(Instr(Opcode::Jmp, ContinueTargets.back()));
+      return;
+    }
+    CCAL_UNREACHABLE("unknown statement kind");
+  }
+
+  void genExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      emit(Instr::push(E.IntVal));
+      return;
+    case Expr::Kind::Var:
+      if (E.LocalSlot >= 0)
+        emit(Instr(Opcode::LoadL, E.LocalSlot));
+      else
+        emit(Instr::withSym(Opcode::LoadG, E.Name));
+      return;
+    case Expr::Kind::Index: {
+      const GlobalDecl *G = M.findGlobal(E.Name);
+      CCAL_CHECK(G != nullptr, "codegen: unresolved global");
+      genExpr(*E.Args[0]);
+      emit(Instr::withSym(Opcode::LoadGI, E.Name, G->Size));
+      return;
+    }
+    case Expr::Kind::Call: {
+      for (const ExprPtr &A : E.Args)
+        genExpr(*A);
+      Opcode Op = E.CalleeExtern ? Opcode::Prim : Opcode::Call;
+      emit(Instr::withSym(Op, E.Name,
+                          static_cast<std::int64_t>(E.Args.size())));
+      return;
+    }
+    case Expr::Kind::Unary:
+      genExpr(*E.Args[0]);
+      emit(Instr(E.Op == "!" ? Opcode::Not : Opcode::Neg));
+      return;
+    case Expr::Kind::Binary:
+      genBinary(E);
+      return;
+    }
+    CCAL_UNREACHABLE("unknown expression kind");
+  }
+
+  void genBinary(const Expr &E) {
+    // Short-circuit forms must match the reference interpreter: the right
+    // operand (and any primitive calls in it) is skipped when the left
+    // operand decides.
+    if (E.Op == "&&") {
+      genExpr(*E.Args[0]);
+      size_t ToFalse1 = emitJump(Opcode::Jz);
+      genExpr(*E.Args[1]);
+      size_t ToFalse2 = emitJump(Opcode::Jz);
+      emit(Instr::push(1));
+      size_t ToEnd = emitJump(Opcode::Jmp);
+      patch(ToFalse1, here());
+      patch(ToFalse2, here());
+      emit(Instr::push(0));
+      patch(ToEnd, here());
+      return;
+    }
+    if (E.Op == "||") {
+      genExpr(*E.Args[0]);
+      size_t ToTrue1 = emitJump(Opcode::Jnz);
+      genExpr(*E.Args[1]);
+      size_t ToTrue2 = emitJump(Opcode::Jnz);
+      emit(Instr::push(0));
+      size_t ToEnd = emitJump(Opcode::Jmp);
+      patch(ToTrue1, here());
+      patch(ToTrue2, here());
+      emit(Instr::push(1));
+      patch(ToEnd, here());
+      return;
+    }
+    genExpr(*E.Args[0]);
+    genExpr(*E.Args[1]);
+    Opcode Op;
+    if (E.Op == "+")
+      Op = Opcode::Add;
+    else if (E.Op == "-")
+      Op = Opcode::Sub;
+    else if (E.Op == "*")
+      Op = Opcode::Mul;
+    else if (E.Op == "/")
+      Op = Opcode::Div;
+    else if (E.Op == "%")
+      Op = Opcode::Mod;
+    else if (E.Op == "==")
+      Op = Opcode::Eq;
+    else if (E.Op == "!=")
+      Op = Opcode::Ne;
+    else if (E.Op == "<")
+      Op = Opcode::Lt;
+    else if (E.Op == "<=")
+      Op = Opcode::Le;
+    else if (E.Op == ">")
+      Op = Opcode::Gt;
+    else if (E.Op == ">=")
+      Op = Opcode::Ge;
+    else
+      CCAL_UNREACHABLE("unknown binary operator");
+    emit(Instr(Op));
+  }
+
+  const ClightModule &M;
+  const FuncDecl &F;
+  std::vector<Instr> Code;
+  std::vector<std::vector<size_t>> BreakPatches;
+  std::vector<std::int32_t> ContinueTargets;
+};
+
+} // namespace
+
+AsmProgram ccal::compileModule(const ClightModule &M) {
+  AsmProgram Out;
+  Out.Name = M.Name;
+  Out.Linked = false;
+  for (const GlobalDecl &G : M.Globals) {
+    AsmGlobal AG;
+    AG.Name = G.Name;
+    AG.Size = G.Size;
+    AG.Init = G.Init;
+    AG.Addr = -1;
+    Out.Globals.push_back(std::move(AG));
+  }
+  for (const FuncDecl &F : M.Funcs) {
+    if (F.IsExtern)
+      continue;
+    FuncCompiler FC(M, F);
+    Out.Funcs.push_back(FC.run());
+  }
+  return Out;
+}

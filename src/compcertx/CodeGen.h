@@ -1,0 +1,31 @@
+//===- compcertx/CodeGen.h - ClightX -> LAsm compiler ----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CompCertX-analogue code generator: compiles one ClightX module into
+/// an unlinked LAsm module.  Like CompCertX, compilation is *per module*
+/// (separate compilation): calls to functions the module does not define —
+/// the primitives of its underlay interface — become symbolic Prim
+/// instructions, resolved or preserved by the linker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_COMPCERTX_CODEGEN_H
+#define CCAL_COMPCERTX_CODEGEN_H
+
+#include "lang/Ast.h"
+#include "lasm/Program.h"
+
+namespace ccal {
+
+/// Compiles a typechecked module; aborts on internal inconsistencies (the
+/// type checker must have accepted the module first).
+AsmProgram compileModule(const ClightModule &M);
+
+} // namespace ccal
+
+#endif // CCAL_COMPCERTX_CODEGEN_H

@@ -1,0 +1,97 @@
+//===- compcertx/Linker.cpp - Certified LAsm linking ------------------------===//
+
+#include "compcertx/Linker.h"
+
+#include "compcertx/CodeGen.h"
+#include "support/Check.h"
+
+#include <map>
+
+using namespace ccal;
+
+AsmProgramPtr
+ccal::linkPrograms(std::string Name,
+                   const std::vector<const AsmProgram *> &Mods) {
+  auto Out = std::make_shared<AsmProgram>();
+  Out->Name = std::move(Name);
+
+  // Pass 1: lay out globals and collect function definitions.
+  std::map<std::string, const AsmGlobal *> GlobalBySym;
+  std::int32_t NextAddr = 0;
+  for (const AsmProgram *M : Mods) {
+    for (const AsmGlobal &G : M->Globals) {
+      CCAL_CHECK(!GlobalBySym.count(G.Name), "link: duplicate global");
+      AsmGlobal Laid = G;
+      Laid.Addr = NextAddr;
+      NextAddr += G.Size;
+      Out->Globals.push_back(std::move(Laid));
+      GlobalBySym.emplace(G.Name, &Out->Globals.back());
+    }
+  }
+  // (Re)build the map: the vector may have reallocated.
+  GlobalBySym.clear();
+  for (const AsmGlobal &G : Out->Globals)
+    GlobalBySym.emplace(G.Name, &G);
+
+  std::map<std::string, int> FuncIdx;
+  for (const AsmProgram *M : Mods)
+    for (const AsmFunc &F : M->Funcs) {
+      CCAL_CHECK(!FuncIdx.count(F.Name), "link: duplicate function");
+      FuncIdx.emplace(F.Name, static_cast<int>(Out->Funcs.size()));
+      Out->Funcs.push_back(F);
+    }
+
+  // Pass 2: resolve symbolic references.
+  for (AsmFunc &F : Out->Funcs) {
+    for (Instr &I : F.Code) {
+      switch (I.Op) {
+      case Opcode::LoadG:
+      case Opcode::StoreG:
+      case Opcode::LoadGI:
+      case Opcode::StoreGI: {
+        auto It = GlobalBySym.find(I.Sym);
+        CCAL_CHECK(It != GlobalBySym.end(), "link: undefined global symbol");
+        I.Target = It->second->Addr;
+        break;
+      }
+      case Opcode::Call:
+      case Opcode::Prim: {
+        auto It = FuncIdx.find(I.Sym);
+        if (It != FuncIdx.end()) {
+          // Defined here: a Prim to an intermediate layer becomes a Call.
+          I.Op = Opcode::Call;
+          I.Target = It->second;
+          const AsmFunc &Callee = Out->Funcs[static_cast<size_t>(It->second)];
+          CCAL_CHECK(Callee.NumParams == static_cast<unsigned>(I.Imm),
+                     "link: call arity mismatch");
+        } else {
+          // Stays an underlay primitive, bound at run time.
+          CCAL_CHECK(I.Op == Opcode::Prim || !I.Sym.empty(),
+                     "link: unresolved call");
+          I.Op = Opcode::Prim;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  Out->Linked = true;
+  return Out;
+}
+
+AsmProgramPtr
+ccal::compileAndLink(std::string Name,
+                     const std::vector<const ClightModule *> &Mods) {
+  std::vector<AsmProgram> Compiled;
+  Compiled.reserve(Mods.size());
+  for (const ClightModule *M : Mods)
+    Compiled.push_back(compileModule(*M));
+  std::vector<const AsmProgram *> Ptrs;
+  Ptrs.reserve(Compiled.size());
+  for (const AsmProgram &P : Compiled)
+    Ptrs.push_back(&P);
+  return linkPrograms(std::move(Name), Ptrs);
+}

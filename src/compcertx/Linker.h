@@ -1,0 +1,41 @@
+//===- compcertx/Linker.h - Certified LAsm linking -------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LAsm linker: the `(+)` operator at the assembly level.  It lays out
+/// the global memory of all modules, resolves symbolic references, turns
+/// cross-module Prim calls into direct Calls when a sibling module defines
+/// the symbol (the layer-linking story of §5.5: primitives of an
+/// intermediate interface become plain code once their implementation is
+/// linked in), and leaves genuinely external symbols as Prim instructions
+/// bound to the underlay interface at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_COMPCERTX_LINKER_H
+#define CCAL_COMPCERTX_LINKER_H
+
+#include "lang/Ast.h"
+#include "lasm/Program.h"
+
+#include <vector>
+
+namespace ccal {
+
+/// Links the given compiled modules into one runnable program.  Duplicate
+/// function or global definitions abort (certified linking rejects them).
+AsmProgramPtr linkPrograms(std::string Name,
+                           const std::vector<const AsmProgram *> &Mods);
+
+/// Compiles and links one or more ClightX modules (they must already be
+/// typechecked).
+AsmProgramPtr compileAndLink(std::string Name,
+                             const std::vector<const ClightModule *> &Mods);
+
+} // namespace ccal
+
+#endif // CCAL_COMPCERTX_LINKER_H

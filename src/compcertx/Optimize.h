@@ -1,0 +1,58 @@
+//===- compcertx/Optimize.h - LAsm peephole optimizer ----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A peephole optimizer over LAsm, in the spirit of CompCert's verified
+/// optimization passes — here each run is *validated* instead of verified:
+/// the fuzz and validation suites execute optimized and unoptimized code
+/// side by side and require identical results, traces, and memories.
+///
+/// Rewrites (iterated to a fixpoint):
+///   * constant folding:        push a; push b; add   ->  push (a+b)
+///                              (division left alone when it could trap)
+///   * dead push:               push v; pop           ->  (nothing)
+///   * comparison fusion:       eq; not               ->  ne   (and duals)
+///   * constant branches:       push 0; jz L          ->  jmp L
+///                              push k; jz L (k != 0) ->  (nothing)
+///   * jump-to-next:            jmp (pc+1)            ->  (nothing)
+///
+/// Deletions remap every branch target; the optimizer refuses functions
+/// whose targets it cannot account for (there are none produced by the
+/// code generator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_COMPCERTX_OPTIMIZE_H
+#define CCAL_COMPCERTX_OPTIMIZE_H
+
+#include "lasm/Program.h"
+
+namespace ccal {
+
+/// Statistics of one optimization run.
+struct OptimizeStats {
+  std::uint64_t Folded = 0;
+  std::uint64_t DeadPushes = 0;
+  std::uint64_t FusedCompares = 0;
+  std::uint64_t ConstBranches = 0;
+  std::uint64_t JumpThreads = 0;
+  std::uint64_t Passes = 0;
+
+  std::uint64_t total() const {
+    return Folded + DeadPushes + FusedCompares + ConstBranches + JumpThreads;
+  }
+};
+
+/// Optimizes one function in place.
+OptimizeStats optimizeFunction(AsmFunc &F);
+
+/// Optimizes every function of a (linked or unlinked) program in place.
+OptimizeStats optimizeProgram(AsmProgram &P);
+
+} // namespace ccal
+
+#endif // CCAL_COMPCERTX_OPTIMIZE_H

@@ -1,0 +1,77 @@
+//===- compcertx/StackMerge.cpp - Thread-safe stack merging -----------------===//
+
+#include "compcertx/StackMerge.h"
+
+#include "support/Check.h"
+
+using namespace ccal;
+
+MergedStackSim::MergedStackSim(unsigned NumThreads)
+    : Private(NumThreads), FrameStacks(NumThreads) {
+  CCAL_CHECK(NumThreads >= 1, "need at least one thread");
+}
+
+void MergedStackSim::yieldTo(unsigned To) {
+  CCAL_CHECK(To < Private.size(), "yield target out of range");
+  Cur = To;
+  // Extended yield semantics: placeholders for frames allocated by other
+  // threads while `To` was off-CPU.
+  std::uint32_t Gap = Merged.nb() - Private[To].nb();
+  Private[To].liftnb(Gap);
+}
+
+std::uint32_t MergedStackSim::pushFrame(std::int64_t Words) {
+  AlgMem &Mine = Private[Cur];
+  // The running thread is always fully lifted (yieldTo maintains this).
+  CCAL_CHECK(Mine.nb() == Merged.nb(),
+             "running thread's private memory must be current");
+  std::uint32_t BPriv = Mine.alloc(0, Words);
+  std::uint32_t BMerged = Merged.alloc(0, Words);
+  CCAL_CHECK(BPriv == BMerged, "frame block ids must agree");
+  FrameStacks[Cur].push_back(BMerged);
+  return BMerged;
+}
+
+void MergedStackSim::popFrame() {
+  auto &Stack = FrameStacks[Cur];
+  CCAL_CHECK(!Stack.empty(), "popFrame: no live frame");
+  std::uint32_t B = Stack.back();
+  Stack.pop_back();
+  CCAL_CHECK(Private[Cur].freeBlock(B), "popFrame: private free failed");
+  CCAL_CHECK(Merged.freeBlock(B), "popFrame: merged free failed");
+}
+
+bool MergedStackSim::storeTop(std::int64_t Off, std::int64_t V) {
+  auto &Stack = FrameStacks[Cur];
+  if (Stack.empty())
+    return false;
+  MemLoc Loc{Stack.back(), Off};
+  bool OkPriv = Private[Cur].store(Loc, V);
+  bool OkMerged = Merged.store(Loc, V);
+  CCAL_CHECK(OkPriv == OkMerged, "store must agree between views");
+  return OkMerged;
+}
+
+std::optional<std::int64_t> MergedStackSim::loadTop(std::int64_t Off) const {
+  const auto &Stack = FrameStacks[Cur];
+  if (Stack.empty())
+    return std::nullopt;
+  return Merged.load(MemLoc{Stack.back(), Off});
+}
+
+bool MergedStackSim::invariantHolds() const {
+  // m' = m1 (*) ... (*) m(N-1), then mN (*) m' ~ m (§5.5's N-ary
+  // generalization).  Composition of private memories must be defined and
+  // equal to the merged memory up to trailing placeholder blocks, which we
+  // normalize by lifting the fold result to nb(Merged).
+  AlgMem Acc = Private[0];
+  for (size_t T = 1; T != Private.size(); ++T) {
+    std::optional<AlgMem> Next = AlgMem::compose(Acc, Private[T]);
+    if (!Next)
+      return false;
+    Acc = std::move(*Next);
+  }
+  if (Acc.nb() < Merged.nb())
+    Acc.liftnb(Merged.nb() - Acc.nb());
+  return Acc == Merged;
+}

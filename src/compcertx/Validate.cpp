@@ -1,0 +1,102 @@
+//===- compcertx/Validate.cpp - Translation validation ----------------------===//
+
+#include "compcertx/Validate.h"
+
+#include "compcertx/Linker.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+VmRun ccal::runVmSequential(const AsmProgramPtr &Prog, const std::string &Fn,
+                            std::vector<std::int64_t> Args,
+                            const PrimHandler &Prims,
+                            std::uint64_t MaxSteps) {
+  VmRun Out;
+  Vm Machine(Prog);
+  Machine.start(Fn, std::move(Args));
+  Out.Globals = Prog->initialGlobals();
+
+  while (true) {
+    // The budget spans primitive resumptions: a loop around a primitive
+    // call must not get a fresh budget per iteration.
+    std::uint64_t Remaining =
+        MaxSteps > Machine.steps() ? MaxSteps - Machine.steps() : 1;
+    Vm::Status St = Machine.run(Out.Globals, Remaining);
+    if (St == Vm::Status::Done) {
+      Out.Ret = Machine.result();
+      Out.Steps = Machine.steps();
+      return Out;
+    }
+    if (St == Vm::Status::Error) {
+      Out.Error = Machine.error();
+      Out.Steps = Machine.steps();
+      return Out;
+    }
+    // At a primitive.
+    std::optional<std::int64_t> Ret =
+        Prims(Machine.primName(), Machine.primArgs());
+    if (!Ret) {
+      Out.Error = "primitive '" + Machine.primName() + "' got stuck";
+      Out.Steps = Machine.steps();
+      return Out;
+    }
+    Out.Trace.push_back({Machine.primName(), Machine.primArgs(), *Ret});
+    Machine.resumePrim(*Ret);
+  }
+}
+
+ValidationReport
+ccal::validateTranslation(const ClightModule &Src,
+                          const std::vector<ValidationCase> &Cases,
+                          const std::function<PrimHandler()> &MakePrims,
+                          std::uint64_t MaxSteps) {
+  ValidationReport Report;
+  AsmProgramPtr Compiled = compileAndLink(Src.Name + ".lasm", {&Src});
+
+  for (const ValidationCase &Case : Cases) {
+    ++Report.CasesChecked;
+
+    InterpOptions RefOpts;
+    RefOpts.MaxSteps = MaxSteps;
+    Interp Ref(Src, MakePrims(), RefOpts);
+    std::optional<std::int64_t> RefRet = Ref.call(Case.Fn, Case.Args);
+
+    VmRun Compiled2 =
+        runVmSequential(Compiled, Case.Fn, Case.Args, MakePrims(), MaxSteps);
+
+    auto Mismatch = [&](const std::string &What) {
+      Report.Ok = false;
+      Report.Error = strFormat(
+          "case %s%s: %s", Case.Fn.c_str(),
+          intListToString(Case.Args).c_str(), What.c_str());
+    };
+
+    if (RefRet.has_value() != Compiled2.Ret.has_value()) {
+      Mismatch(strFormat(
+          "one side got stuck (interp: %s / vm: %s)",
+          RefRet ? "ok" : Ref.error().c_str(),
+          Compiled2.Ret ? "ok" : Compiled2.Error.c_str()));
+      return Report;
+    }
+    if (!RefRet) {
+      // Both went wrong; the compiler preserved the error behavior.
+      ++Report.BothStuck;
+      continue;
+    }
+    if (*RefRet != *Compiled2.Ret) {
+      Mismatch(strFormat("result mismatch: interp %lld vs vm %lld",
+                         static_cast<long long>(*RefRet),
+                         static_cast<long long>(*Compiled2.Ret)));
+      return Report;
+    }
+    if (Ref.trace() != Compiled2.Trace) {
+      Mismatch("primitive trace mismatch");
+      return Report;
+    }
+    if (Ref.globals() != Compiled2.Globals) {
+      Mismatch("final global memory mismatch");
+      return Report;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,75 @@
+//===- compcertx/Validate.h - Translation validation -----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation validation for the CompCertX analogue.  The paper proves the
+/// compiler correct once and for all in Coq; here each (program, input)
+/// pair is validated: the ClightX reference interpreter and the compiled
+/// LAsm code must produce identical results, identical primitive traces
+/// (the observable events), and identical final global memories.  The
+/// ClightX program fuzzer in tests widens this to randomly generated
+/// programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_COMPCERTX_VALIDATE_H
+#define CCAL_COMPCERTX_VALIDATE_H
+
+#include "lang/Interp.h"
+#include "lasm/Vm.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Outcome of a sequential LAsm run driven by a PrimHandler.
+struct VmRun {
+  std::optional<std::int64_t> Ret; ///< nullopt on trap / stuck primitive
+  std::vector<PrimTraceEntry> Trace;
+  std::vector<std::int64_t> Globals;
+  std::string Error;
+  std::uint64_t Steps = 0;
+};
+
+/// Runs \p Fn of the linked program sequentially, dispatching primitives
+/// to \p Prims.
+VmRun runVmSequential(const AsmProgramPtr &Prog, const std::string &Fn,
+                      std::vector<std::int64_t> Args, const PrimHandler &Prims,
+                      std::uint64_t MaxSteps = 1u << 22);
+
+/// One validation case: a function to call and its arguments.
+struct ValidationCase {
+  std::string Fn;
+  std::vector<std::int64_t> Args;
+};
+
+/// Result of validating a compilation.
+struct ValidationReport {
+  bool Ok = true;
+  std::uint64_t CasesChecked = 0;
+  std::string Error; ///< first mismatch, with context
+
+  /// Both executions diverged/trapped identically on this many cases; such
+  /// cases count as agreeing (the compiler must preserve going wrong).
+  std::uint64_t BothStuck = 0;
+};
+
+/// Validates that the compiled-and-linked form of \p Src agrees with the
+/// reference interpreter on every case.  \p MakePrims builds a fresh
+/// deterministic primitive handler per execution so that both sides see
+/// identical primitive behavior.
+ValidationReport
+validateTranslation(const ClightModule &Src,
+                    const std::vector<ValidationCase> &Cases,
+                    const std::function<PrimHandler()> &MakePrims,
+                    std::uint64_t MaxSteps = 1u << 22);
+
+} // namespace ccal
+
+#endif // CCAL_COMPCERTX_VALIDATE_H

@@ -1,0 +1,110 @@
+//===- core/Calculus.h - The concurrent layer calculus ---------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fine-grained layer calculus of Fig. 9: rules Empty, Fun, Vcomp,
+/// Hcomp, Wk, Compat, and Pcomp for building certified concurrent layers
+/// `L[A] |-_R M : L'[A]`.
+///
+/// Each rule is a combinator that *checks its side conditions at run time*
+/// (CCAL_CHECK — the analogue of Coq refusing an ill-typed derivation) and
+/// produces a composed RefinementCertificate whose premises record the
+/// Fig. 5 derivation tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_CALCULUS_H
+#define CCAL_CORE_CALCULUS_H
+
+#include "core/Certificate.h"
+#include "core/LayerInterface.h"
+#include "core/Simulation.h"
+
+#include <vector>
+
+namespace ccal {
+
+/// A certified concurrent abstraction layer: the tuple
+/// `(L1[A], M, L2[A])` plus its machine-checked certificate (§1).
+struct CertifiedLayer {
+  LayerPtr Underlay;
+  LayerPtr Overlay;
+  std::string ModuleName;
+  std::vector<ThreadId> Focus; ///< the focused thread/CPU set A
+  std::string Relation;        ///< name of the simulation relation R
+  CertPtr Cert;
+
+  bool valid() const { return Cert && Cert->Valid; }
+
+  /// "L0[{1,2}]"-style rendering of an interface at this focus set.
+  static std::string atFocus(const std::string &Name,
+                             const std::vector<ThreadId> &Focus);
+};
+
+namespace calculus {
+
+/// Fig. 9 Empty: `L[A] |-id (empty module) : L[A]`.
+CertifiedLayer empty(LayerPtr L, std::vector<ThreadId> Focus);
+
+/// Fig. 9 Fun: wraps a discharged strategy simulation into a leaf layer.
+/// Aborts if the report shows the simulation failed.
+CertifiedLayer fun(LayerPtr Underlay, std::string ModuleName,
+                   LayerPtr Overlay, std::vector<ThreadId> Focus,
+                   const EventMap &R, const SimReport &Report);
+
+/// Generalized leaf: wraps any externally produced certificate (e.g. from
+/// the machine-level refinement harness) into a certified layer.
+CertifiedLayer fromCertificate(LayerPtr Underlay, std::string ModuleName,
+                               LayerPtr Overlay,
+                               std::vector<ThreadId> Focus,
+                               std::string Relation, CertPtr Cert);
+
+/// Fig. 9 Vcomp: `L1 |-R M : L2` and `L2 |-S N : L3` give
+/// `L1 |-RoS M (+) N : L3`.  Requires A.Overlay == B.Underlay and equal
+/// focus sets.
+CertifiedLayer vcomp(const CertifiedLayer &A, const CertifiedLayer &B);
+
+/// Fig. 9 Hcomp: two modules over the same underlay at the same focus,
+/// refining sibling interfaces, are merged; the composite overlay is the
+/// `(+)` of the two overlays (pass the pre-merged interface).
+CertifiedLayer hcomp(const CertifiedLayer &A, const CertifiedLayer &B,
+                     LayerPtr MergedOverlay);
+
+/// Fig. 9 Wk (weakening): strengthens the underlay and/or weakens the
+/// overlay using interface-simulation certificates (`L'1 <=R L1` and
+/// `L2 <=T L'2`); either certificate may be null for the identity.
+CertifiedLayer wk(LayerPtr NewUnderlay, CertPtr UnderlaySim,
+                  const CertifiedLayer &Mid, CertPtr OverlaySim,
+                  LayerPtr NewOverlay);
+
+/// Result of the executable Compat side condition (Fig. 9): each side's
+/// guarantee implies the other side's rely, over a corpus of logs.
+struct CompatReport {
+  bool Holds = true;
+  std::uint64_t LogsChecked = 0;
+  std::vector<ImplicationReport> Details;
+  CertPtr cert(const std::string &Interface) const;
+};
+
+/// Checks compat(L[A], L[B], L[A u B]) over \p Corpus: for every i in A,
+/// `L.G restricted to B`(i) => `L.R at A`(i), and symmetrically.
+CompatReport checkCompat(const LayerInterface &L,
+                         const std::vector<ThreadId> &FocusA,
+                         const std::vector<ThreadId> &FocusB,
+                         const std::vector<Log> &Corpus);
+
+/// Fig. 9 Pcomp (parallel layer composition): same module and relation on
+/// disjoint focus sets, with compat certificates for both the underlay and
+/// overlay interfaces, yields the layer at the union focus set.
+CertifiedLayer pcomp(const CertifiedLayer &A, const CertifiedLayer &B,
+                     const CompatReport &UnderlayCompat,
+                     const CompatReport &OverlayCompat);
+
+} // namespace calculus
+} // namespace ccal
+
+#endif // CCAL_CORE_CALCULUS_H

@@ -1,0 +1,51 @@
+//===- core/Certificate.cpp - Refinement certificates ----------------------===//
+
+#include "core/Certificate.h"
+
+#include "support/Text.h"
+
+using namespace ccal;
+
+std::string RefinementCertificate::statement() const {
+  return strFormat("%s |-%s %s : %s", Underlay.c_str(), Relation.c_str(),
+                   Module.c_str(), Overlay.c_str());
+}
+
+static void renderTree(const RefinementCertificate &C, unsigned Depth,
+                       std::string &Out) {
+  Out += std::string(Depth * 2, ' ');
+  Out += strFormat("[%s]%s %s  (obligations=%llu, runs=%llu)\n",
+                   C.Rule.c_str(), C.Valid ? "" : " INVALID",
+                   C.statement().c_str(),
+                   static_cast<unsigned long long>(C.Obligations),
+                   static_cast<unsigned long long>(C.Runs));
+  for (const auto &P : C.Premises)
+    renderTree(*P, Depth + 1, Out);
+}
+
+std::string RefinementCertificate::tree() const {
+  std::string Out;
+  renderTree(*this, 0, Out);
+  return Out;
+}
+
+std::uint64_t RefinementCertificate::totalObligations() const {
+  std::uint64_t N = Obligations;
+  for (const auto &P : Premises)
+    N += P->totalObligations();
+  return N;
+}
+
+std::uint64_t RefinementCertificate::totalRuns() const {
+  std::uint64_t N = Runs;
+  for (const auto &P : Premises)
+    N += P->totalRuns();
+  return N;
+}
+
+std::uint64_t RefinementCertificate::totalInvariants() const {
+  std::uint64_t N = Invariants;
+  for (const auto &P : Premises)
+    N += P->totalInvariants();
+  return N;
+}

@@ -1,0 +1,75 @@
+//===- core/Certificate.h - Refinement certificates ------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Refinement certificates: the executable stand-in for the paper's Coq
+/// "mechanized proof objects".  A certificate records which rule of the
+/// layer calculus produced it, the statement `L'[A] |- M : L[A]` it
+/// establishes, how many obligations were discharged by checking, and the
+/// premise certificates — so the full Fig. 5 derivation tree can be
+/// rendered and audited.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_CERTIFICATE_H
+#define CCAL_CORE_CERTIFICATE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// A machine-checked refinement fact with its evidence counts.
+struct RefinementCertificate {
+  /// Which calculus rule produced this certificate ("Fun", "Vcomp",
+  /// "Hcomp", "Wk", "Pcomp", "Soundness", "MulticoreLink", ...).
+  std::string Rule;
+
+  /// The statement `Underlay[Focus] |- Module : Overlay[Focus]` via
+  /// relation \p Relation.  Focus is rendered into the names.
+  std::string Underlay;
+  std::string Module;
+  std::string Overlay;
+  std::string Relation;
+
+  /// Whether every checked obligation held.
+  bool Valid = false;
+
+  /// Evidence counters: individual simulation obligations matched, distinct
+  /// complete runs (schedules x env choices) explored, total strategy or
+  /// machine moves executed, and log invariants verified.
+  std::uint64_t Obligations = 0;
+  std::uint64_t Runs = 0;
+  std::uint64_t Moves = 0;
+  std::uint64_t Invariants = 0;
+
+  /// Premise certificates (the subderivations of the Fig. 5 tree).
+  std::vector<std::shared_ptr<const RefinementCertificate>> Premises;
+
+  /// Free-form diagnostics (counterexample traces on failure).
+  std::vector<std::string> Notes;
+
+  /// "L0[1] |-R1 M1 : L1[1]".
+  std::string statement() const;
+
+  /// Renders this certificate and its premises as an indented derivation
+  /// tree (the shape of Fig. 5).
+  std::string tree() const;
+
+  /// Sum of this certificate's counters and all premises', recursively.
+  std::uint64_t totalObligations() const;
+  std::uint64_t totalRuns() const;
+  std::uint64_t totalInvariants() const;
+};
+
+using CertPtr = std::shared_ptr<const RefinementCertificate>;
+
+} // namespace ccal
+
+#endif // CCAL_CORE_CERTIFICATE_H

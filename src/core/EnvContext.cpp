@@ -1,0 +1,182 @@
+//===- core/EnvContext.cpp - Environment contexts --------------------------===//
+
+#include "core/EnvContext.h"
+
+#include "support/Check.h"
+
+using namespace ccal;
+
+EnvModel::~EnvModel() = default;
+
+namespace {
+
+class NullEnv final : public EnvModel {
+public:
+  std::unique_ptr<EnvModel> clone() const override {
+    return std::make_unique<NullEnv>();
+  }
+  std::vector<EnvChoice> choices(const Log &) const override {
+    EnvChoice C;
+    C.ReturnsControl = true;
+    return {C};
+  }
+  void advance(size_t Idx, const Log &) override {
+    CCAL_CHECK(Idx == 0, "null environment has a single choice");
+  }
+};
+
+class ScriptedEnv final : public EnvModel {
+public:
+  explicit ScriptedEnv(std::vector<EnvChoice> Script)
+      : Script(std::move(Script)) {}
+
+  std::unique_ptr<EnvModel> clone() const override {
+    auto C = std::make_unique<ScriptedEnv>(Script);
+    C->Pos = Pos;
+    return C;
+  }
+
+  std::vector<EnvChoice> choices(const Log &) const override {
+    if (Pos >= Script.size())
+      return {};
+    return {Script[Pos]};
+  }
+
+  void advance(size_t Idx, const Log &) override {
+    CCAL_CHECK(Idx == 0 && Pos < Script.size(),
+               "scripted environment advanced past its script");
+    ++Pos;
+  }
+
+private:
+  std::vector<EnvChoice> Script;
+  size_t Pos = 0;
+};
+
+/// Union of participant strategies plus an enumerated fair scheduler.
+///
+/// Choice layout: if some environment participant is in its critical state
+/// it is the unique choice (index 0).  Otherwise choice 0 returns control
+/// to the focused set, and choice k >= 1 schedules the k-th live
+/// participant for one move.
+class StrategyEnv final : public EnvModel {
+public:
+  StrategyEnv(std::map<ThreadId, std::shared_ptr<Strategy>> Participants,
+              unsigned MaxEnvMoves, unsigned FairReturnBound)
+      : Participants(std::move(Participants)), MaxEnvMoves(MaxEnvMoves),
+        FairReturnBound(FairReturnBound) {}
+
+  std::unique_ptr<EnvModel> clone() const override {
+    std::map<ThreadId, std::shared_ptr<Strategy>> Copy;
+    for (const auto &[Tid, S] : Participants)
+      Copy.emplace(Tid, std::shared_ptr<Strategy>(S->clone()));
+    auto C = std::make_unique<StrategyEnv>(std::move(Copy), MaxEnvMoves,
+                                           FairReturnBound);
+    C->MovesThisQuery = MovesThisQuery;
+    C->ConsecReturns = ConsecReturns;
+    return C;
+  }
+
+  std::vector<EnvChoice> choices(const Log &L) const override {
+    if (std::optional<ThreadId> Crit = criticalId())
+      return {makeMoveChoice(*Crit, L)};
+
+    std::vector<ThreadId> Movers = moverIds();
+    std::vector<EnvChoice> Out;
+    // Fairness: after FairReturnBound consecutive returns with live
+    // participants, the environment must schedule someone.
+    bool MustProgress = FairReturnBound > 0 && !Movers.empty() &&
+                        ConsecReturns >= FairReturnBound &&
+                        MovesThisQuery < MaxEnvMoves;
+    if (!MustProgress) {
+      EnvChoice Back;
+      Back.ReturnsControl = true;
+      Out.push_back(Back);
+    }
+    if (MovesThisQuery >= MaxEnvMoves)
+      return Out;
+    for (ThreadId Tid : Movers)
+      Out.push_back(makeMoveChoice(Tid, L));
+    return Out;
+  }
+
+  void advance(size_t Idx, const Log &L) override {
+    if (std::optional<ThreadId> Crit = criticalId()) {
+      CCAL_CHECK(Idx == 0, "critical env participant must move");
+      stepParticipant(*Crit, L);
+      return;
+    }
+    std::vector<ThreadId> Movers = moverIds();
+    bool MustProgress = FairReturnBound > 0 && !Movers.empty() &&
+                        ConsecReturns >= FairReturnBound &&
+                        MovesThisQuery < MaxEnvMoves;
+    if (!MustProgress && Idx == 0) {
+      MovesThisQuery = 0; // control returned; next query starts afresh
+      ++ConsecReturns;
+      return;
+    }
+    size_t MoverIdx = MustProgress ? Idx : Idx - 1;
+    CCAL_CHECK(MoverIdx < Movers.size(), "bad environment choice index");
+    stepParticipant(Movers[MoverIdx], L);
+    ConsecReturns = 0;
+  }
+
+private:
+  void stepParticipant(ThreadId Tid, const Log &L) {
+    std::optional<StrategyMove> M = Participants[Tid]->onScheduled(L);
+    CCAL_CHECK(M.has_value(),
+               "environment strategy got stuck (rely condition violated)");
+    ++MovesThisQuery;
+  }
+
+  EnvChoice makeMoveChoice(ThreadId Tid, const Log &L) const {
+    // Peek the move on a clone so choices() stays const.
+    std::unique_ptr<Strategy> Probe = Participants.at(Tid)->clone();
+    std::optional<StrategyMove> M = Probe->onScheduled(L);
+    CCAL_CHECK(M.has_value(),
+               "environment strategy got stuck (rely condition violated)");
+    EnvChoice C;
+    C.ReturnsControl = false;
+    C.Events = M->Events;
+    return C;
+  }
+
+  std::vector<ThreadId> moverIds() const {
+    std::vector<ThreadId> Out;
+    for (const auto &[Tid, S] : Participants)
+      if (!S->done())
+        Out.push_back(Tid);
+    return Out;
+  }
+
+  std::optional<ThreadId> criticalId() const {
+    for (const auto &[Tid, S] : Participants)
+      if (!S->done() && S->critical())
+        return Tid;
+    return std::nullopt;
+  }
+
+  std::map<ThreadId, std::shared_ptr<Strategy>> Participants;
+  unsigned MaxEnvMoves;
+  unsigned FairReturnBound;
+  unsigned MovesThisQuery = 0;
+  unsigned ConsecReturns = 0;
+};
+
+} // namespace
+
+std::unique_ptr<EnvModel> ccal::makeNullEnv() {
+  return std::make_unique<NullEnv>();
+}
+
+std::unique_ptr<EnvModel>
+ccal::makeScriptedEnv(std::vector<EnvChoice> Script) {
+  return std::make_unique<ScriptedEnv>(std::move(Script));
+}
+
+std::unique_ptr<EnvModel> ccal::makeStrategyEnv(
+    std::map<ThreadId, std::shared_ptr<Strategy>> Participants,
+    unsigned MaxEnvMoves, unsigned FairReturnBound) {
+  return std::make_unique<StrategyEnv>(std::move(Participants), MaxEnvMoves,
+                                       FairReturnBound);
+}

@@ -1,0 +1,97 @@
+//===- core/EnvContext.h - Environment contexts ----------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Environment contexts (§2, §3.2).  When a layer machine focuses on a set
+/// A of participants, everything else — the hardware scheduler plus the
+/// participants outside A — is an *environment context* E.  At each query
+/// point the machine repeatedly asks E for events until control transfers
+/// back to A (the paper's `E[A, l]`).
+///
+/// Verification must hold for *all* valid environment contexts (the rely
+/// condition).  We therefore model the environment as an enumerable
+/// decision tree: at every query the EnvModel offers a finite set of
+/// choices, and the simulation checker branches over all of them.  A
+/// concrete deterministic environment (a scripted schedule, or the union of
+/// specific strategies) is the special case of a model with exactly one
+/// choice per query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_ENVCONTEXT_H
+#define CCAL_CORE_ENVCONTEXT_H
+
+#include "core/Strategy.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ccal {
+
+/// One possible environment response at a query point.
+struct EnvChoice {
+  /// Events the environment appends to the global log.
+  std::vector<Event> Events;
+
+  /// True when this choice transfers control back to the focused set; the
+  /// query loop ends after taking such a choice.
+  bool ReturnsControl = false;
+};
+
+/// Enumerable model of the environment: the executable form of the set of
+/// valid environment contexts accepted by a layer's rely condition.
+class EnvModel {
+public:
+  virtual ~EnvModel();
+
+  /// Independent copy at the same internal position (for branch-and-clone
+  /// exploration).
+  virtual std::unique_ptr<EnvModel> clone() const = 0;
+
+  /// The finite set of possible responses at this query point, given log
+  /// \p L.  An empty result means the environment is exhausted/stuck.
+  virtual std::vector<EnvChoice> choices(const Log &L) const = 0;
+
+  /// Commits choice \p Idx of the most recent choices() call; \p L is the
+  /// log *before* the choice's events are appended (stateful environments
+  /// such as strategy unions need it to step their strategies).
+  virtual void advance(size_t Idx, const Log &L) = 0;
+};
+
+/// Environment with no other participants: the single choice is an
+/// immediate transfer of control back (used when the focus set is the full
+/// domain D).
+std::unique_ptr<EnvModel> makeNullEnv();
+
+/// Environment that plays a fixed script: each call to choices() offers the
+/// next batch verbatim.  Used to replay specific schedules such as the
+/// paper's "1, 2, 2, 1, 1, 2, 1, 2, 1, 1, 2, 2" example.
+std::unique_ptr<EnvModel>
+makeScriptedEnv(std::vector<EnvChoice> Script);
+
+/// Environment built from the strategies of the non-focused participants
+/// plus a nondeterministic (enumerated) scheduler: at every query point,
+/// either some environment participant not yet done is scheduled for one
+/// move, or control returns to the focused set.  \p MaxEnvMoves bounds how
+/// many environment moves may occur at a single query point so exploration
+/// terminates.  A participant in its critical state is forced to keep
+/// moving until it leaves it (the gray states of §2).
+///
+/// \p FairReturnBound, when nonzero, encodes the *fairness* part of the
+/// rely condition: after that many consecutive control returns while live
+/// participants exist, the environment must schedule one of them — without
+/// it, a spinning focused thread could be starved forever by a scheduler
+/// that never runs the lock holder, and Def 2.1 checks involving loops
+/// would diverge (§2: "the scheduler strategy must be fair").
+std::unique_ptr<EnvModel> makeStrategyEnv(
+    std::map<ThreadId, std::shared_ptr<Strategy>> Participants,
+    unsigned MaxEnvMoves, unsigned FairReturnBound = 0);
+
+} // namespace ccal
+
+#endif // CCAL_CORE_ENVCONTEXT_H

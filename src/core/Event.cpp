@@ -1,0 +1,44 @@
+//===- core/Event.cpp - Observable events ---------------------------------===//
+
+#include "core/Event.h"
+
+#include "support/Text.h"
+
+#include <tuple>
+
+using namespace ccal;
+
+std::string Event::toString() const {
+  if (isSched())
+    return strFormat("->%u", Tid);
+  std::string Out = strFormat("%u.%s", Tid, Kind.c_str());
+  if (!Args.empty()) {
+    Out += "(";
+    for (size_t I = 0, E = Args.size(); I != E; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += std::to_string(Args[I]);
+    }
+    Out += ")";
+  }
+  return Out;
+}
+
+bool ccal::operator<(const Event &A, const Event &B) {
+  return std::tie(A.Tid, A.Kind, A.Args) < std::tie(B.Tid, B.Kind, B.Args);
+}
+
+std::uint64_t ccal::hashEvent(const Event &E) {
+  std::uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](std::uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  Mix(E.Tid);
+  for (char C : E.Kind)
+    Mix(static_cast<unsigned char>(C));
+  Mix(0xff);
+  for (std::int64_t A : E.Args)
+    Mix(static_cast<std::uint64_t>(A));
+  return H;
+}

@@ -1,0 +1,69 @@
+//===- core/Event.h - Observable events ------------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observable events, the atoms of the paper's semantic model (§3.1,
+/// Fig. 7).  Every shared-primitive call performed by a CPU/thread is
+/// recorded as an event appended to the global log; hardware scheduling is
+/// itself an event.  An event is written `i.kind(args)` in the paper, e.g.
+/// `1.FAI_t` or `c.push(b, v)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_EVENT_H
+#define CCAL_CORE_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Identifier of a participant in the concurrency game: a CPU id at the
+/// multicore layers (§3) or a thread id at the multithreaded layers (§5).
+using ThreadId = std::uint32_t;
+
+/// The event kind reserved for hardware-scheduler transitions ("the
+/// scheduler acts as a judge of the game", §2).  A `sched` event with
+/// Tid = c records that control transferred to participant c.
+inline const char *const SchedEventKind = "sched";
+
+/// One observable event `Tid.Kind(Args)`.
+struct Event {
+  ThreadId Tid = 0;
+  std::string Kind;
+  std::vector<std::int64_t> Args;
+
+  Event() = default;
+  Event(ThreadId Tid, std::string Kind, std::vector<std::int64_t> Args = {})
+      : Tid(Tid), Kind(std::move(Kind)), Args(std::move(Args)) {}
+
+  /// Convenience constructor for a scheduling event transferring control to
+  /// participant \p To.
+  static Event sched(ThreadId To) { return Event(To, SchedEventKind); }
+
+  bool isSched() const { return Kind == SchedEventKind; }
+
+  bool operator==(const Event &O) const {
+    return Tid == O.Tid && Kind == O.Kind && Args == O.Args;
+  }
+  bool operator!=(const Event &O) const { return !(*this == O); }
+
+  /// Renders as "i.kind(a0, a1)"; scheduling events render as "->i".
+  std::string toString() const;
+};
+
+/// Total order used to store events in ordered containers; the order has no
+/// semantic meaning.
+bool operator<(const Event &A, const Event &B);
+
+/// FNV-style hash for state-dedup tables.
+std::uint64_t hashEvent(const Event &E);
+
+} // namespace ccal
+
+#endif // CCAL_CORE_EVENT_H

@@ -1,0 +1,150 @@
+//===- core/LayerInterface.h - Layer interfaces ----------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurrent layer interfaces `L[A] = (L, R, G)` (§3.2, Fig. 7): a
+/// collection of primitives, a rely condition (the valid environment
+/// contexts), and a guarantee condition (the invariant local events
+/// maintain).
+///
+/// A primitive's semantics is a (partial) function of the calling thread,
+/// the arguments, the current global log, and the caller's CPU-local memory
+/// — the paper's `Prim in State -> List Val -> State -> Val -> Prop`,
+/// deterministic here.  Shared primitives append events and may read/write
+/// the local copy of shared memory (the push/pull model delivers shared
+/// effects this way, Fig. 8); private primitives touch only local memory.
+/// A primitive returning std::nullopt is *stuck*: the executable analogue
+/// of undefined behaviour such as a data race, which verification must show
+/// unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_LAYERINTERFACE_H
+#define CCAL_CORE_LAYERINTERFACE_H
+
+#include "core/Log.h"
+#include "core/RelyGuarantee.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Everything a primitive may observe when invoked.
+struct PrimCall {
+  /// The calling CPU/thread.
+  ThreadId Tid = 0;
+
+  /// Evaluated arguments.
+  std::vector<std::int64_t> Args;
+
+  /// The global log *before* this call.
+  const Log *L = nullptr;
+
+  /// The caller's CPU-local memory (LAsm globals), or nullptr when invoked
+  /// outside a machine (e.g. by the strategy simulation checker).
+  const std::vector<std::int64_t> *LocalMem = nullptr;
+};
+
+/// Everything a primitive may effect.
+struct PrimResult {
+  /// Events appended to the global log (empty for private primitives).
+  std::vector<Event> Events;
+
+  /// The return value.
+  std::int64_t Ret = 0;
+
+  /// Writes delivered into the caller's CPU-local memory, as (address,
+  /// value) pairs — how pull materializes the shared copy (Fig. 8).
+  std::vector<std::pair<std::int32_t, std::int64_t>> LocalWrites;
+
+  /// True when the primitive cannot proceed *yet* (an atomic blocking
+  /// specification, e.g. `acq` while the lock is held).  The machine keeps
+  /// the caller parked; the call will be retried when the log has grown.
+  /// Unlike std::nullopt (stuck = a safety violation), Blocked is a normal
+  /// spec-level state.
+  bool Blocked = false;
+
+  static PrimResult blocked() {
+    PrimResult R;
+    R.Blocked = true;
+    return R;
+  }
+};
+
+/// Deterministic partial semantics of one primitive.
+using PrimSemantics =
+    std::function<std::optional<PrimResult>(const PrimCall &)>;
+
+/// A named primitive of a layer interface.
+struct Primitive {
+  std::string Name;
+
+  /// Shared primitives are query/interleaving points (the `|>` marks in
+  /// Fig. 10/11); private primitives are silent.
+  bool Shared = true;
+
+  /// True for scheduling primitives after which the calling thread never
+  /// resumes (the multithreaded machine marks it exited): `texit` and the
+  /// atomic `thread_exit`.
+  bool ExitsThread = false;
+
+  PrimSemantics Sem;
+};
+
+/// A layer interface: primitive collection + rely/guarantee.  Interfaces
+/// are immutable once built and shared between certified layers.
+class LayerInterface {
+public:
+  explicit LayerInterface(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Registers a primitive; the name must be fresh.
+  void addPrim(Primitive P);
+
+  /// Convenience: registers a shared primitive.
+  void addShared(std::string Name, PrimSemantics Sem);
+
+  /// Convenience: registers a private (silent) primitive.
+  void addPrivate(std::string Name, PrimSemantics Sem);
+
+  /// Looks a primitive up; nullptr when absent.
+  const Primitive *lookup(const std::string &Name) const;
+
+  /// True when the interface provides \p Name.
+  bool provides(const std::string &Name) const {
+    return lookup(Name) != nullptr;
+  }
+
+  /// All primitive names, sorted.
+  std::vector<std::string> primNames() const;
+
+  RelyGuarantee &rg() { return RG; }
+  const RelyGuarantee &rg() const { return RG; }
+
+  /// The `(+)` of Fig. 9 (Hcomp): union of primitive collections.  Name
+  /// clashes must agree by construction and are rejected.
+  static std::shared_ptr<LayerInterface>
+  merge(std::string Name, const LayerInterface &A, const LayerInterface &B);
+
+private:
+  std::string Name;
+  std::map<std::string, Primitive> Prims;
+  RelyGuarantee RG;
+};
+
+using LayerPtr = std::shared_ptr<const LayerInterface>;
+
+} // namespace ccal
+
+#endif // CCAL_CORE_LAYERINTERFACE_H

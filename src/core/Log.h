@@ -1,0 +1,61 @@
+//===- core/Log.h - The global event log -----------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global log `l` (§2, §3.1): the list of observable events recording
+/// all shared operations, interleaved in chronological order.  All shared
+/// abstract state is reconstructed from the log by replay functions
+/// (core/Replay.h), so the log *is* the shared state of a layer machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_LOG_H
+#define CCAL_CORE_LOG_H
+
+#include "core/Event.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// The global event log.  The paper "cons"es events at the front
+/// (`l • e` in §2); we append at the back, so index 0 is the oldest event.
+using Log = std::vector<Event>;
+
+/// Appends \p E to \p L (the paper's `l • e`).
+inline void logAppend(Log &L, Event E) { L.push_back(std::move(E)); }
+
+/// Appends all of \p Events to \p L in order.
+void logAppendAll(Log &L, const std::vector<Event> &Events);
+
+/// Renders the log as "e0 • e1 • ...".
+std::string logToString(const Log &L);
+
+/// Number of events with the given participant and kind.
+std::uint64_t logCount(const Log &L, ThreadId Tid, const std::string &Kind);
+
+/// Number of events with the given kind from any participant.
+std::uint64_t logCountKind(const Log &L, const std::string &Kind);
+
+/// All events of one participant, in order.
+Log logFilterTid(const Log &L, ThreadId Tid);
+
+/// All events with one kind, in order.
+Log logFilterKind(const Log &L, const std::string &Kind);
+
+/// The participant holding control after replaying the scheduling events of
+/// \p L, or \p Default if the log contains none.
+ThreadId logControl(const Log &L, ThreadId Default);
+
+/// Combined FNV hash of all events, for dedup tables.
+std::uint64_t hashLog(const Log &L);
+
+} // namespace ccal
+
+#endif // CCAL_CORE_LOG_H

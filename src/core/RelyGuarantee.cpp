@@ -1,0 +1,69 @@
+//===- core/RelyGuarantee.cpp - Rely/guarantee conditions ------------------===//
+
+#include "core/RelyGuarantee.h"
+
+using namespace ccal;
+
+LogInvariant LogInvariant::top(std::string Name) {
+  return {std::move(Name), [](const Log &) { return true; }};
+}
+
+LogInvariant LogInvariant::conj(const LogInvariant &A, const LogInvariant &B) {
+  auto FA = A.Holds, FB = B.Holds;
+  return {"(" + A.Name + " /\\ " + B.Name + ")",
+          [FA, FB](const Log &L) { return FA(L) && FB(L); }};
+}
+
+LogInvariant LogInvariant::disj(const LogInvariant &A, const LogInvariant &B) {
+  auto FA = A.Holds, FB = B.Holds;
+  return {"(" + A.Name + " \\/ " + B.Name + ")",
+          [FA, FB](const Log &L) { return FA(L) || FB(L); }};
+}
+
+static const LogInvariant &topInvariant() {
+  static const LogInvariant Top = LogInvariant::top();
+  return Top;
+}
+
+const LogInvariant &RelyGuarantee::rely(ThreadId Tid) const {
+  auto It = Rely.find(Tid);
+  return It == Rely.end() ? topInvariant() : It->second;
+}
+
+const LogInvariant &RelyGuarantee::guar(ThreadId Tid) const {
+  auto It = Guar.find(Tid);
+  return It == Guar.end() ? topInvariant() : It->second;
+}
+
+RelyGuarantee RelyGuarantee::compose(const RelyGuarantee &A,
+                                     const RelyGuarantee &B,
+                                     const std::vector<ThreadId> &FocusA,
+                                     const std::vector<ThreadId> &FocusB) {
+  // Fig. 9, Compat: L[A u B].R = L[A].R n L[B].R and
+  //                 L[A u B].G = L[A].G u L[B].G.
+  RelyGuarantee Out;
+  auto AllIds = FocusA;
+  AllIds.insert(AllIds.end(), FocusB.begin(), FocusB.end());
+  for (ThreadId Tid : AllIds) {
+    Out.Rely.emplace(Tid, LogInvariant::conj(A.rely(Tid), B.rely(Tid)));
+    Out.Guar.emplace(Tid, LogInvariant::disj(A.guar(Tid), B.guar(Tid)));
+  }
+  return Out;
+}
+
+ImplicationReport ccal::checkImplication(const LogInvariant &A,
+                                         const LogInvariant &B,
+                                         const std::vector<Log> &Corpus) {
+  ImplicationReport R;
+  R.Premise = A.Name;
+  R.Conclusion = B.Name;
+  for (const Log &L : Corpus) {
+    ++R.LogsChecked;
+    if (A.Holds(L) && !B.Holds(L)) {
+      R.Holds = false;
+      R.Counterexample = L;
+      return R;
+    }
+  }
+  return R;
+}

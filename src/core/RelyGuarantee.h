@@ -1,0 +1,84 @@
+//===- core/RelyGuarantee.h - Rely/guarantee conditions --------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rely and guarantee conditions (§2, §3.2, Fig. 7).  In the paper both are
+/// "simply expressed as invariants over the global log": the rely condition
+/// R(i) constrains what events participant i's *environment* may contribute
+/// (the validity of environment contexts), and the guarantee G(i) is the
+/// invariant participant i's own events maintain.  The Compat rule of the
+/// layer calculus (Fig. 9) demands that each side's guarantee implies the
+/// other side's rely.
+///
+/// Executably, an invariant is a predicate over logs, and implication is
+/// checked over a *corpus* of logs produced by exploration: for every log
+/// in the corpus on which the premise holds, the conclusion must hold too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_RELYGUARANTEE_H
+#define CCAL_CORE_RELYGUARANTEE_H
+
+#include "core/Log.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// A named invariant over the global log (the `Inv` of Fig. 7).
+struct LogInvariant {
+  std::string Name;
+  std::function<bool(const Log &)> Holds;
+
+  /// The trivial invariant, satisfied by every log.
+  static LogInvariant top(std::string Name = "true");
+
+  /// Conjunction of two invariants.
+  static LogInvariant conj(const LogInvariant &A, const LogInvariant &B);
+
+  /// Disjunction of two invariants.
+  static LogInvariant disj(const LogInvariant &A, const LogInvariant &B);
+};
+
+/// Per-participant rely and guarantee maps (`R, G : Id -> Inv`, Fig. 7).
+/// A participant missing from a map has the trivial condition.
+struct RelyGuarantee {
+  std::map<ThreadId, LogInvariant> Rely;
+  std::map<ThreadId, LogInvariant> Guar;
+
+  const LogInvariant &rely(ThreadId Tid) const;
+  const LogInvariant &guar(ThreadId Tid) const;
+
+  /// Intersection of rely conditions / union of guarantees, as required for
+  /// the composed interface `L[A u B]` in the Compat rule.
+  static RelyGuarantee compose(const RelyGuarantee &A,
+                               const RelyGuarantee &B,
+                               const std::vector<ThreadId> &FocusA,
+                               const std::vector<ThreadId> &FocusB);
+};
+
+/// Result of one executable implication check `Premise => Conclusion` over
+/// a corpus of logs.
+struct ImplicationReport {
+  std::string Premise;
+  std::string Conclusion;
+  std::uint64_t LogsChecked = 0;
+  bool Holds = true;
+  Log Counterexample; // first log where premise held but conclusion failed
+};
+
+/// Checks `A => B` over every log in \p Corpus.
+ImplicationReport checkImplication(const LogInvariant &A,
+                                   const LogInvariant &B,
+                                   const std::vector<Log> &Corpus);
+
+} // namespace ccal
+
+#endif // CCAL_CORE_RELYGUARANTEE_H

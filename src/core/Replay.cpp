@@ -1,0 +1,5 @@
+//===- core/Replay.cpp - Replay functions ---------------------------------===//
+
+#include "core/Replay.h"
+
+// Replayer is a header-only template; this file anchors the TU.

@@ -1,0 +1,71 @@
+//===- core/Replay.h - Replay functions ------------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replay functions (§2): "functions that reconstruct the current shared
+/// state from the log".  A replay function folds over the event log; an
+/// event the state cannot accept makes the replay *stuck* — the executable
+/// analogue of the machine getting stuck on a data race (§3.1).
+///
+/// Each object defines its own replay (`Rticket` for the ticket lock,
+/// `Rshared` for push/pull memory, `Rsched` for the scheduler...); this
+/// header provides the shared fold machinery plus determinism helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_REPLAY_H
+#define CCAL_CORE_REPLAY_H
+
+#include "core/Log.h"
+
+#include <functional>
+#include <optional>
+
+namespace ccal {
+
+/// A replay function over logs producing shared state of type \p State.
+/// `Step(S, E)` returns the successor state or std::nullopt when the event
+/// is not acceptable in state S (stuck — e.g. pulling an owned location).
+template <typename State> class Replayer {
+public:
+  using StepFn = std::function<std::optional<State>(const State &,
+                                                    const Event &)>;
+
+  Replayer(State Init, StepFn Step)
+      : Init(std::move(Init)), Step(std::move(Step)) {}
+
+  /// Replays the full log from the initial state.
+  std::optional<State> replay(const Log &L) const {
+    return replayFrom(Init, L, 0);
+  }
+
+  /// Replays \p L starting at index \p From with explicit start state; used
+  /// by incremental checkers that cache a prefix.
+  std::optional<State> replayFrom(State S, const Log &L, size_t From) const {
+    for (size_t I = From, E = L.size(); I != E; ++I) {
+      std::optional<State> Next = Step(S, L[I]);
+      if (!Next)
+        return std::nullopt;
+      S = std::move(*Next);
+    }
+    return S;
+  }
+
+  /// True when the whole log replays without getting stuck ("well-formed",
+  /// Fig. 8).
+  bool wellFormed(const Log &L) const { return replay(L).has_value(); }
+
+  const State &initial() const { return Init; }
+
+private:
+  State Init;
+  StepFn Step;
+};
+
+} // namespace ccal
+
+#endif // CCAL_CORE_REPLAY_H

@@ -1,0 +1,140 @@
+//===- core/Strategy.h - Game-semantic strategies --------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strategies (§2): each participant of the concurrency game contributes a
+/// deterministic partial function from the current global log to its next
+/// move whenever the last event transfers control to it.  The paper draws
+/// strategies as automata, e.g. the ticket-lock acquire specification
+///
+///     ?E, !i.FAI_t, v t  -->  (spin: ?E, !i.get_n, v n != t)
+///                        -->  ?E, !i.get_n, v t  -->  ?E, !i.hold
+///
+/// We reify exactly that: an AutomatonStrategy has integer control states
+/// and a deterministic transition function from (state, log) to a move.  A
+/// move emits zero or more events, may produce a return value, and may
+/// enter or leave the *critical state* (gray states in the paper, in which
+/// the environment is never queried).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_STRATEGY_H
+#define CCAL_CORE_STRATEGY_H
+
+#include "core/Log.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace ccal {
+
+/// One move of a strategy when control is transferred to it.
+struct StrategyMove {
+  /// Events appended to the global log by this move (possibly none, the
+  /// paper's silent move `!e`... with the empty event `ε`).
+  std::vector<Event> Events;
+
+  /// Return value produced by this move (the paper's `v t`), if any.
+  std::optional<std::int64_t> Return;
+
+  /// Whether the strategy is in the critical state *after* this move
+  /// ("there is no need to ask E in critical state", §2).
+  bool CriticalAfter = false;
+};
+
+/// A deterministic partial strategy.  Implementations are stateful automata;
+/// clone() produces an independent copy at the same control state so that
+/// checkers can branch over environment choices.
+class Strategy {
+public:
+  virtual ~Strategy();
+
+  /// Independent deep copy at the current control state.
+  virtual std::unique_ptr<Strategy> clone() const = 0;
+
+  /// Presents the current log; produces the next move or std::nullopt when
+  /// the strategy is stuck on this log (a safety violation at this layer).
+  virtual std::optional<StrategyMove> onScheduled(const Log &L) = 0;
+
+  /// True once the strategy has completed all of its moves and became idle
+  /// (the reflexive `?l', !ε` edge in §2).
+  virtual bool done() const = 0;
+
+  /// True while in the critical state (no environment query before the next
+  /// move).
+  virtual bool critical() const = 0;
+
+  /// Human-readable name ("phi_acq[1]").
+  virtual std::string describe() const = 0;
+};
+
+/// A strategy given by an explicit automaton.
+class AutomatonStrategy final : public Strategy {
+public:
+  using State = std::int64_t;
+
+  /// Result of one automaton transition: the move plus the next state.
+  struct Transition {
+    StrategyMove Move;
+    State Next = 0;
+  };
+
+  /// Deterministic transition function; std::nullopt means the automaton is
+  /// stuck at (state, log).
+  using Delta =
+      std::function<std::optional<Transition>(State, const Log &)>;
+
+  /// \p Accept is the idle/done state.
+  AutomatonStrategy(std::string Name, State Start, State Accept, Delta D)
+      : Name(std::move(Name)), Cur(Start), Accept(Accept),
+        D(std::move(D)) {}
+
+  std::unique_ptr<Strategy> clone() const override {
+    auto Copy = std::make_unique<AutomatonStrategy>(Name, Cur, Accept, D);
+    Copy->InCritical = InCritical;
+    return Copy;
+  }
+
+  std::optional<StrategyMove> onScheduled(const Log &L) override;
+
+  bool done() const override { return Cur == Accept; }
+  bool critical() const override { return InCritical; }
+  std::string describe() const override { return Name; }
+
+  State state() const { return Cur; }
+
+private:
+  std::string Name;
+  State Cur;
+  State Accept;
+  Delta D;
+  bool InCritical = false;
+};
+
+/// Builds the one-shot *atomic* strategy of an overlay interface (§2):
+/// query E, emit the single event `Tid.Kind(Args)`, and return the value
+/// computed by \p RetFn from the log *including* the new event.  This is
+/// the shape of every atomic object specification in the paper.
+std::unique_ptr<Strategy> makeAtomicCallStrategy(
+    ThreadId Tid, std::string Kind, std::vector<std::int64_t> Args,
+    std::function<std::optional<std::int64_t>(const Log &)> RetFn);
+
+/// A strategy that is already done (an idle participant).
+std::unique_ptr<Strategy> makeIdleStrategy(std::string Name);
+
+/// Runs the strategies in \p Seq one after the other (each must finish
+/// before the next is scheduled); used to build per-thread client
+/// strategies like "call acq; then rel".
+std::unique_ptr<Strategy>
+makeSeqStrategy(std::string Name,
+                std::vector<std::unique_ptr<Strategy>> Seq);
+
+} // namespace ccal
+
+#endif // CCAL_CORE_STRATEGY_H

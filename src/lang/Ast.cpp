@@ -1,0 +1,131 @@
+//===- lang/Ast.cpp - ClightX abstract syntax -------------------------------===//
+
+#include "lang/Ast.h"
+
+#include "support/Check.h"
+
+using namespace ccal;
+
+ExprPtr Expr::intLit(std::int64_t V, int Line) {
+  auto E = std::make_unique<Expr>();
+  E->K = Kind::IntLit;
+  E->IntVal = V;
+  E->Line = Line;
+  return E;
+}
+
+ExprPtr Expr::var(std::string Name, int Line) {
+  auto E = std::make_unique<Expr>();
+  E->K = Kind::Var;
+  E->Name = std::move(Name);
+  E->Line = Line;
+  return E;
+}
+
+const FuncDecl *ClightModule::findFunc(const std::string &FName) const {
+  for (const FuncDecl &F : Funcs)
+    if (F.Name == FName)
+      return &F;
+  return nullptr;
+}
+
+const GlobalDecl *ClightModule::findGlobal(const std::string &GName) const {
+  for (const GlobalDecl &G : Globals)
+    if (G.Name == GName)
+      return &G;
+  return nullptr;
+}
+
+std::vector<std::string> ClightModule::definedFuncs() const {
+  std::vector<std::string> Out;
+  for (const FuncDecl &F : Funcs)
+    if (!F.IsExtern)
+      Out.push_back(F.Name);
+  return Out;
+}
+
+ExprPtr ccal::cloneExpr(const Expr &E) {
+  auto C = std::make_unique<Expr>();
+  C->K = E.K;
+  C->IntVal = E.IntVal;
+  C->Name = E.Name;
+  C->Op = E.Op;
+  C->Line = E.Line;
+  C->LocalSlot = E.LocalSlot;
+  C->CalleeExtern = E.CalleeExtern;
+  for (const ExprPtr &A : E.Args)
+    C->Args.push_back(cloneExpr(*A));
+  return C;
+}
+
+StmtPtr ccal::cloneStmt(const Stmt &S) {
+  auto C = std::make_unique<Stmt>();
+  C->K = S.K;
+  C->Name = S.Name;
+  C->Line = S.Line;
+  C->LocalSlot = S.LocalSlot;
+  for (const StmtPtr &B : S.Body)
+    C->Body.push_back(cloneStmt(*B));
+  if (S.Cond)
+    C->Cond = cloneExpr(*S.Cond);
+  if (S.A)
+    C->A = cloneExpr(*S.A);
+  if (S.B)
+    C->B = cloneExpr(*S.B);
+  if (S.Then)
+    C->Then = cloneStmt(*S.Then);
+  if (S.Else)
+    C->Else = cloneStmt(*S.Else);
+  return C;
+}
+
+FuncDecl ccal::cloneFunc(const FuncDecl &F) {
+  FuncDecl C;
+  C.Name = F.Name;
+  C.IsExtern = F.IsExtern;
+  C.ReturnsVoid = F.ReturnsVoid;
+  C.Params = F.Params;
+  C.Line = F.Line;
+  C.NumSlots = F.NumSlots;
+  if (F.Body)
+    C.Body = cloneStmt(*F.Body);
+  return C;
+}
+
+ClightModule ccal::cloneModule(const ClightModule &M) {
+  ClightModule C;
+  C.Name = M.Name;
+  C.Globals = M.Globals;
+  for (const FuncDecl &F : M.Funcs)
+    C.Funcs.push_back(cloneFunc(F));
+  return C;
+}
+
+ClightModule
+ccal::linkModules(std::string Name,
+                  const std::vector<const ClightModule *> &Mods) {
+  ClightModule Out;
+  Out.Name = std::move(Name);
+  // Collect definitions first so extern declarations can be dropped when a
+  // sibling module defines the symbol (the paper's layer linking, §5.5).
+  for (const ClightModule *M : Mods) {
+    for (const GlobalDecl &G : M->Globals) {
+      CCAL_CHECK(Out.findGlobal(G.Name) == nullptr,
+                 "link: duplicate global definition");
+      Out.Globals.push_back(G);
+    }
+    for (const FuncDecl &F : M->Funcs) {
+      if (F.IsExtern)
+        continue;
+      const FuncDecl *Prev = Out.findFunc(F.Name);
+      CCAL_CHECK(Prev == nullptr, "link: duplicate function definition");
+      Out.Funcs.push_back(cloneFunc(F));
+    }
+  }
+  // Keep extern declarations only for still-unresolved names.
+  for (const ClightModule *M : Mods)
+    for (const FuncDecl &F : M->Funcs)
+      if (F.IsExtern && !Out.findFunc(F.Name))
+        Out.Funcs.push_back(cloneFunc(F));
+  return Out;
+}

@@ -1,0 +1,136 @@
+//===- lang/Ast.h - ClightX abstract syntax --------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of ClightX modules.  A module is the unit of the layer
+/// calculus' `(+)` and of separate compilation: it declares the primitives
+/// of its underlay interface as `extern` functions, defines globals in
+/// CPU-local memory, and defines the functions it contributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LANG_AST_H
+#define CCAL_LANG_AST_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node (tagged union style; fields used depend on K).
+struct Expr {
+  enum class Kind {
+    IntLit, ///< IntVal
+    Var,    ///< Name (local or global scalar)
+    Index,  ///< Name[Args[0]] (global array)
+    Call,   ///< Name(Args...) — user function or extern primitive
+    Unary,  ///< Op Args[0] where Op is "-" or "!"
+    Binary, ///< Args[0] Op Args[1]
+  };
+
+  Kind K = Kind::IntLit;
+  std::int64_t IntVal = 0;
+  std::string Name;
+  std::string Op;
+  std::vector<ExprPtr> Args;
+  int Line = 0;
+
+  // Resolution results (filled by the type checker).
+  int LocalSlot = -1;      ///< Var: local/param slot, -1 when global
+  bool CalleeExtern = false; ///< Call: resolves to an extern primitive
+
+  static ExprPtr intLit(std::int64_t V, int Line);
+  static ExprPtr var(std::string Name, int Line);
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind {
+    Block,       ///< Body
+    If,          ///< Cond, Then, Else?
+    While,       ///< Cond, Then (the body)
+    Return,      ///< A? (void return when null)
+    LocalDecl,   ///< Name, A? (initializer)
+    Assign,      ///< Name = A
+    IndexAssign, ///< Name[B] = A
+    ExprStmt,    ///< A
+    Break,
+    Continue,
+  };
+
+  Kind K = Kind::Block;
+  std::vector<StmtPtr> Body;
+  ExprPtr Cond;
+  ExprPtr A;
+  ExprPtr B;
+  StmtPtr Then;
+  StmtPtr Else;
+  std::string Name;
+  int Line = 0;
+
+  // Resolution results.
+  int LocalSlot = -1; ///< LocalDecl/Assign: slot; -1 = global for Assign
+};
+
+/// A function definition or extern declaration.
+struct FuncDecl {
+  std::string Name;
+  bool IsExtern = false;
+  bool ReturnsVoid = false;
+  std::vector<std::string> Params;
+  StmtPtr Body; ///< null for extern declarations
+  int Line = 0;
+
+  // Resolution results.
+  int NumSlots = 0; ///< params + locals after slot assignment
+};
+
+/// A global scalar or array in CPU-local memory.
+struct GlobalDecl {
+  std::string Name;
+  int Size = 1; ///< 1 for scalars
+  std::vector<std::int64_t> Init;
+  int Line = 0;
+};
+
+/// One ClightX module (translation unit).
+struct ClightModule {
+  std::string Name;
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+
+  const FuncDecl *findFunc(const std::string &Name) const;
+  const GlobalDecl *findGlobal(const std::string &Name) const;
+
+  /// Non-extern function names, in declaration order.
+  std::vector<std::string> definedFuncs() const;
+};
+
+/// Deep copies (modules own their ASTs via unique_ptr).
+ExprPtr cloneExpr(const Expr &E);
+StmtPtr cloneStmt(const Stmt &S);
+FuncDecl cloneFunc(const FuncDecl &F);
+ClightModule cloneModule(const ClightModule &M);
+
+/// Links modules textually: the paper's `M1 (+) M2` at the source level.
+/// Duplicate global or function definitions abort; extern declarations
+/// satisfied by a definition in another module are dropped.
+ClightModule linkModules(std::string Name,
+                         const std::vector<const ClightModule *> &Mods);
+
+} // namespace ccal
+
+#endif // CCAL_LANG_AST_H

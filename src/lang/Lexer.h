@@ -1,0 +1,38 @@
+//===- lang/Lexer.h - ClightX lexer ----------------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for ClightX.  Supports `//` and `/* */` comments and
+/// decimal/hex integer literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LANG_LEXER_H
+#define CCAL_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Outcome of lexing: the token stream or a diagnostic.
+struct LexResult {
+  std::vector<Token> Tokens;
+  std::string Error; ///< empty on success
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Lexes \p Source; the final token is always Eof on success.
+LexResult lex(const std::string &Source);
+
+} // namespace ccal
+
+#endif // CCAL_LANG_LEXER_H

@@ -1,0 +1,490 @@
+//===- lang/Parser.cpp - ClightX parser -------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Check.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.  Errors unwind by
+/// setting Err and returning null nodes; the driver surfaces the first one.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  ClightModule run(const std::string &Name, std::string &Error) {
+    ClightModule M;
+    M.Name = Name;
+    while (!peek().is(TokenKind::Eof) && Err.empty())
+      parseTopDecl(M);
+    Error = Err;
+    return M;
+  }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token take() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool accept(TokenKind K) {
+    if (!peek().is(K))
+      return false;
+    take();
+    return true;
+  }
+  void expect(TokenKind K, const char *Ctx) {
+    if (accept(K))
+      return;
+    error(strFormat("expected %s %s, found %s", tokenKindName(K), Ctx,
+                    tokenKindName(peek().Kind)));
+  }
+  void error(const std::string &Msg) {
+    if (Err.empty())
+      Err = strFormat("line %d: %s", peek().Line, Msg.c_str());
+  }
+
+  static bool isTypeKw(TokenKind K) {
+    return K == TokenKind::KwInt || K == TokenKind::KwUint ||
+           K == TokenKind::KwVoid;
+  }
+
+  /// Accepts 'volatile'? type; returns true when the type is void.
+  bool parseType(const char *Ctx) {
+    accept(TokenKind::KwVolatile);
+    if (accept(TokenKind::KwVoid))
+      return true;
+    if (accept(TokenKind::KwInt) || accept(TokenKind::KwUint))
+      return false;
+    error(strFormat("expected a type %s", Ctx));
+    return false;
+  }
+
+  void parseTopDecl(ClightModule &M) {
+    bool IsExtern = accept(TokenKind::KwExtern);
+    bool IsVoid = parseType("at top level");
+    if (!Err.empty())
+      return;
+    Token Name = peek();
+    expect(TokenKind::Ident, "as declaration name");
+    if (!Err.empty())
+      return;
+
+    if (peek().is(TokenKind::LParen)) {
+      parseFunc(M, Name, IsExtern, IsVoid);
+      return;
+    }
+    // Global variable(s): int g; int g = 3; int a[4]; int x, y;
+    if (IsExtern || IsVoid) {
+      error("globals must be non-extern ints");
+      return;
+    }
+    parseGlobalTail(M, Name);
+    while (Err.empty() && accept(TokenKind::Comma)) {
+      Token Next = peek();
+      expect(TokenKind::Ident, "in global declarator list");
+      if (Err.empty())
+        parseGlobalTail(M, Next);
+    }
+    expect(TokenKind::Semi, "after global declaration");
+  }
+
+  void parseGlobalTail(ClightModule &M, const Token &Name) {
+    GlobalDecl G;
+    G.Name = Name.Text;
+    G.Line = Name.Line;
+    if (accept(TokenKind::LBracket)) {
+      Token Sz = peek();
+      expect(TokenKind::IntLit, "as array size");
+      expect(TokenKind::RBracket, "after array size");
+      G.Size = static_cast<int>(Sz.IntVal);
+      if (G.Size <= 0)
+        error("array size must be positive");
+    }
+    if (accept(TokenKind::Assign)) {
+      bool Neg = accept(TokenKind::Minus);
+      Token V = peek();
+      expect(TokenKind::IntLit, "as global initializer");
+      G.Init.push_back(Neg ? -V.IntVal : V.IntVal);
+    }
+    if (G.Init.empty())
+      G.Init.assign(static_cast<size_t>(G.Size), 0);
+    else
+      G.Init.resize(static_cast<size_t>(G.Size), 0);
+    M.Globals.push_back(std::move(G));
+  }
+
+  void parseFunc(ClightModule &M, const Token &Name, bool IsExtern,
+                 bool IsVoid) {
+    FuncDecl F;
+    F.Name = Name.Text;
+    F.IsExtern = IsExtern;
+    F.ReturnsVoid = IsVoid;
+    F.Line = Name.Line;
+    expect(TokenKind::LParen, "after function name");
+    if (!accept(TokenKind::RParen)) {
+      // Either "(void)" or a parameter list.
+      if (peek().is(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+        take();
+        take();
+      } else {
+        do {
+          bool PVoid = parseType("for a parameter");
+          if (PVoid)
+            error("parameters cannot be void");
+          Token P = peek();
+          expect(TokenKind::Ident, "as parameter name");
+          F.Params.push_back(P.Text);
+        } while (Err.empty() && accept(TokenKind::Comma));
+        expect(TokenKind::RParen, "after parameters");
+      }
+    }
+    if (IsExtern) {
+      expect(TokenKind::Semi, "after extern declaration");
+    } else {
+      F.Body = parseBlock();
+    }
+    M.Funcs.push_back(std::move(F));
+  }
+
+  StmtPtr makeStmt(Stmt::Kind K, int Line) {
+    auto S = std::make_unique<Stmt>();
+    S->K = K;
+    S->Line = Line;
+    return S;
+  }
+
+  StmtPtr parseBlock() {
+    int Line = peek().Line;
+    expect(TokenKind::LBrace, "to open a block");
+    StmtPtr S = makeStmt(Stmt::Kind::Block, Line);
+    while (Err.empty() && !peek().is(TokenKind::RBrace) &&
+           !peek().is(TokenKind::Eof))
+      S->Body.push_back(parseStmt());
+    expect(TokenKind::RBrace, "to close a block");
+    return S;
+  }
+
+  StmtPtr parseStmt() {
+    int Line = peek().Line;
+    switch (peek().Kind) {
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::KwIf: {
+      take();
+      StmtPtr S = makeStmt(Stmt::Kind::If, Line);
+      expect(TokenKind::LParen, "after 'if'");
+      S->Cond = parseExpr();
+      expect(TokenKind::RParen, "after if condition");
+      S->Then = parseStmt();
+      if (accept(TokenKind::KwElse))
+        S->Else = parseStmt();
+      return S;
+    }
+    case TokenKind::KwWhile: {
+      take();
+      StmtPtr S = makeStmt(Stmt::Kind::While, Line);
+      expect(TokenKind::LParen, "after 'while'");
+      S->Cond = parseExpr();
+      expect(TokenKind::RParen, "after while condition");
+      S->Then = parseStmt();
+      return S;
+    }
+    case TokenKind::KwFor:
+      return parseFor();
+    case TokenKind::KwReturn: {
+      take();
+      StmtPtr S = makeStmt(Stmt::Kind::Return, Line);
+      if (!peek().is(TokenKind::Semi))
+        S->A = parseExpr();
+      expect(TokenKind::Semi, "after return");
+      return S;
+    }
+    case TokenKind::KwBreak: {
+      take();
+      expect(TokenKind::Semi, "after 'break'");
+      return makeStmt(Stmt::Kind::Break, Line);
+    }
+    case TokenKind::KwContinue: {
+      take();
+      expect(TokenKind::Semi, "after 'continue'");
+      return makeStmt(Stmt::Kind::Continue, Line);
+    }
+    case TokenKind::KwInt:
+    case TokenKind::KwUint:
+    case TokenKind::KwVolatile: {
+      parseType("for a local declaration");
+      StmtPtr S = makeStmt(Stmt::Kind::LocalDecl, Line);
+      Token Name = peek();
+      expect(TokenKind::Ident, "as local variable name");
+      S->Name = Name.Text;
+      if (accept(TokenKind::Assign))
+        S->A = parseExpr();
+      expect(TokenKind::Semi, "after local declaration");
+      return S;
+    }
+    default:
+      break;
+    }
+    // Assignment or expression statement.
+    if (peek().is(TokenKind::Ident)) {
+      if (peek(1).is(TokenKind::Assign)) {
+        Token Name = take();
+        take(); // '='
+        StmtPtr S = makeStmt(Stmt::Kind::Assign, Line);
+        S->Name = Name.Text;
+        S->A = parseExpr();
+        expect(TokenKind::Semi, "after assignment");
+        return S;
+      }
+      if (peek(1).is(TokenKind::LBracket)) {
+        // Could be a[i] = e; or an expression starting with a[i].
+        size_t Save = Pos;
+        Token Name = take();
+        take(); // '['
+        ExprPtr Idx = parseExpr();
+        if (Err.empty() && accept(TokenKind::RBracket) &&
+            accept(TokenKind::Assign)) {
+          StmtPtr S = makeStmt(Stmt::Kind::IndexAssign, Line);
+          S->Name = Name.Text;
+          S->B = std::move(Idx);
+          S->A = parseExpr();
+          expect(TokenKind::Semi, "after array assignment");
+          return S;
+        }
+        Pos = Save; // reparse as an expression
+        if (!Err.empty())
+          return makeStmt(Stmt::Kind::Block, Line);
+      }
+    }
+    StmtPtr S = makeStmt(Stmt::Kind::ExprStmt, Line);
+    S->A = parseExpr();
+    expect(TokenKind::Semi, "after expression statement");
+    return S;
+  }
+
+  /// Desugars `for (init; cond; step) body` into
+  /// `{ init; while (cond) { body; step; } }`.
+  StmtPtr parseFor() {
+    int Line = peek().Line;
+    take(); // 'for'
+    expect(TokenKind::LParen, "after 'for'");
+    StmtPtr Outer = makeStmt(Stmt::Kind::Block, Line);
+    if (!peek().is(TokenKind::Semi)) {
+      // Reuse statement parsing for the init clause (consumes the ';').
+      Outer->Body.push_back(parseStmt());
+    } else {
+      take();
+    }
+    StmtPtr Loop = makeStmt(Stmt::Kind::While, Line);
+    if (!peek().is(TokenKind::Semi))
+      Loop->Cond = parseExpr();
+    else
+      Loop->Cond = Expr::intLit(1, Line);
+    expect(TokenKind::Semi, "after for condition");
+    StmtPtr Step;
+    if (!peek().is(TokenKind::RParen)) {
+      // Step is an assignment or expression without the trailing ';'.
+      if (peek().is(TokenKind::Ident) && peek(1).is(TokenKind::Assign)) {
+        Token Name = take();
+        take();
+        Step = makeStmt(Stmt::Kind::Assign, Line);
+        Step->Name = Name.Text;
+        Step->A = parseExpr();
+      } else {
+        Step = makeStmt(Stmt::Kind::ExprStmt, Line);
+        Step->A = parseExpr();
+      }
+    }
+    expect(TokenKind::RParen, "after for clauses");
+    StmtPtr BodyStmt = parseStmt();
+    StmtPtr LoopBody = makeStmt(Stmt::Kind::Block, Line);
+    LoopBody->Body.push_back(std::move(BodyStmt));
+    if (Step)
+      LoopBody->Body.push_back(std::move(Step));
+    Loop->Then = std::move(LoopBody);
+    Outer->Body.push_back(std::move(Loop));
+    return Outer;
+  }
+
+  // Expression parsing by precedence climbing.
+  ExprPtr parseExpr() { return parseBinary(0); }
+
+  static int precedenceOf(TokenKind K) {
+    switch (K) {
+    case TokenKind::PipePipe:
+      return 1;
+    case TokenKind::AmpAmp:
+      return 2;
+    case TokenKind::EqEq:
+    case TokenKind::NotEq:
+      return 3;
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq:
+      return 4;
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+      return 5;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent:
+      return 6;
+    default:
+      return -1;
+    }
+  }
+
+  static const char *opSpelling(TokenKind K) {
+    switch (K) {
+    case TokenKind::PipePipe:
+      return "||";
+    case TokenKind::AmpAmp:
+      return "&&";
+    case TokenKind::EqEq:
+      return "==";
+    case TokenKind::NotEq:
+      return "!=";
+    case TokenKind::Less:
+      return "<";
+    case TokenKind::LessEq:
+      return "<=";
+    case TokenKind::Greater:
+      return ">";
+    case TokenKind::GreaterEq:
+      return ">=";
+    case TokenKind::Plus:
+      return "+";
+    case TokenKind::Minus:
+      return "-";
+    case TokenKind::Star:
+      return "*";
+    case TokenKind::Slash:
+      return "/";
+    case TokenKind::Percent:
+      return "%";
+    default:
+      return "?";
+    }
+  }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr Lhs = parseUnary();
+    while (Err.empty()) {
+      int Prec = precedenceOf(peek().Kind);
+      if (Prec < 0 || Prec < MinPrec)
+        break;
+      Token Op = take();
+      ExprPtr Rhs = parseBinary(Prec + 1);
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Binary;
+      E->Op = opSpelling(Op.Kind);
+      E->Line = Op.Line;
+      E->Args.push_back(std::move(Lhs));
+      E->Args.push_back(std::move(Rhs));
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseUnary() { return parseUnaryImpl(peek().Line); }
+
+  ExprPtr parseUnaryImpl(int Line) {
+    if (peek().is(TokenKind::Minus)) {
+      take();
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Unary;
+      E->Op = "-";
+      E->Line = Line;
+      E->Args.push_back(parseUnaryImpl(peek().Line));
+      return E;
+    }
+    if (peek().is(TokenKind::Bang)) {
+      take();
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Unary;
+      E->Op = "!";
+      E->Line = Line;
+      E->Args.push_back(parseUnaryImpl(peek().Line));
+      return E;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    int Line = peek().Line;
+    if (peek().is(TokenKind::IntLit)) {
+      Token T = take();
+      return Expr::intLit(T.IntVal, Line);
+    }
+    if (accept(TokenKind::LParen)) {
+      ExprPtr E = parseExpr();
+      expect(TokenKind::RParen, "to close a parenthesized expression");
+      return E;
+    }
+    if (peek().is(TokenKind::Ident)) {
+      Token Name = take();
+      if (accept(TokenKind::LParen)) {
+        auto E = std::make_unique<Expr>();
+        E->K = Expr::Kind::Call;
+        E->Name = Name.Text;
+        E->Line = Line;
+        if (!accept(TokenKind::RParen)) {
+          do
+            E->Args.push_back(parseExpr());
+          while (Err.empty() && accept(TokenKind::Comma));
+          expect(TokenKind::RParen, "after call arguments");
+        }
+        return E;
+      }
+      if (accept(TokenKind::LBracket)) {
+        auto E = std::make_unique<Expr>();
+        E->K = Expr::Kind::Index;
+        E->Name = Name.Text;
+        E->Line = Line;
+        E->Args.push_back(parseExpr());
+        expect(TokenKind::RBracket, "after array index");
+        return E;
+      }
+      return Expr::var(Name.Text, Line);
+    }
+    error(strFormat("expected an expression, found %s",
+                    tokenKindName(peek().Kind)));
+    return Expr::intLit(0, Line);
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+ParseResult ccal::parseModule(const std::string &ModuleName,
+                              const std::string &Source) {
+  ParseResult Out;
+  LexResult Lexed = lex(Source);
+  if (!Lexed.ok()) {
+    Out.Error = Lexed.Error;
+    return Out;
+  }
+  Parser P(std::move(Lexed.Tokens));
+  Out.Module = P.run(ModuleName, Out.Error);
+  return Out;
+}
+
+ClightModule ccal::parseModuleOrDie(const std::string &ModuleName,
+                                    const std::string &Source) {
+  ParseResult R = parseModule(ModuleName, Source);
+  if (!R.ok()) {
+    reportFatal(("parse error in module " + ModuleName + ": " + R.Error)
+                    .c_str(),
+                __FILE__, __LINE__);
+  }
+  return std::move(R.Module);
+}

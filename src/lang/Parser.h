@@ -1,0 +1,43 @@
+//===- lang/Parser.h - ClightX parser --------------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for ClightX.  `for` loops are desugared into
+/// `while`; `volatile` is accepted and ignored (the model's shared state
+/// lives behind primitives, so the qualifier is documentation only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LANG_PARSER_H
+#define CCAL_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace ccal {
+
+/// Parse outcome: the module or a diagnostic.
+struct ParseResult {
+  ClightModule Module;
+  std::string Error; ///< empty on success
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses \p Source into a module named \p ModuleName.
+ParseResult parseModule(const std::string &ModuleName,
+                        const std::string &Source);
+
+/// Convenience used everywhere in tests and objects: parses and aborts on
+/// any syntax error (the source is a compile-time-known module).
+ClightModule parseModuleOrDie(const std::string &ModuleName,
+                              const std::string &Source);
+
+} // namespace ccal
+
+#endif // CCAL_LANG_PARSER_H

@@ -1,0 +1,81 @@
+//===- lang/Token.h - ClightX tokens ---------------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of ClightX, the C subset in which layer implementations are
+/// written (the paper's Fig. 3/10/11 code parses unchanged modulo the `|>`
+/// query-point marks, which are semantic, not syntactic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LANG_TOKEN_H
+#define CCAL_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccal {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Ident,
+  IntLit,
+  // Keywords.
+  KwInt,
+  KwUint,
+  KwVoid,
+  KwExtern,
+  KwVolatile,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Eof,
+};
+
+/// Human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;        ///< identifier spelling
+  std::int64_t IntVal = 0; ///< integer literal value
+  int Line = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace ccal
+
+#endif // CCAL_LANG_TOKEN_H

@@ -1,0 +1,235 @@
+//===- lang/TypeCheck.cpp - ClightX semantic analysis ----------------------===//
+
+#include "lang/TypeCheck.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+#include <map>
+#include <vector>
+
+using namespace ccal;
+
+namespace {
+
+class Checker {
+public:
+  explicit Checker(ClightModule &M) : M(M) {}
+
+  std::string run() {
+    for (FuncDecl &F : M.Funcs) {
+      if (F.IsExtern)
+        continue;
+      checkFunc(F);
+      if (!Err.empty())
+        break;
+    }
+    return Err;
+  }
+
+private:
+  void error(int Line, const std::string &Msg) {
+    if (Err.empty())
+      Err = strFormat("line %d: %s", Line, Msg.c_str());
+  }
+
+  void checkFunc(FuncDecl &F) {
+    Scopes.clear();
+    NextSlot = 0;
+    pushScope();
+    for (const std::string &P : F.Params)
+      declare(P, F.Line);
+    CCAL_CHECK(F.Body != nullptr, "defined function must have a body");
+    checkStmt(*F.Body);
+    popScope();
+    F.NumSlots = NextSlot;
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  int declare(const std::string &Name, int Line) {
+    auto &Top = Scopes.back();
+    if (Top.count(Name)) {
+      error(Line, "redeclaration of '" + Name + "' in the same scope");
+      return Top[Name];
+    }
+    int Slot = NextSlot++;
+    Top[Name] = Slot;
+    return Slot;
+  }
+
+  /// Returns the slot of a visible local, or -1.
+  int lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return F->second;
+    }
+    return -1;
+  }
+
+  void checkStmt(Stmt &S) {
+    if (!Err.empty())
+      return;
+    switch (S.K) {
+    case Stmt::Kind::Block:
+      pushScope();
+      for (StmtPtr &Child : S.Body)
+        checkStmt(*Child);
+      popScope();
+      return;
+    case Stmt::Kind::If:
+      checkExpr(*S.Cond, /*ValueUsed=*/true);
+      checkStmt(*S.Then);
+      if (S.Else)
+        checkStmt(*S.Else);
+      return;
+    case Stmt::Kind::While:
+      checkExpr(*S.Cond, true);
+      ++LoopDepth;
+      checkStmt(*S.Then);
+      --LoopDepth;
+      return;
+    case Stmt::Kind::Return:
+      if (S.A)
+        checkExpr(*S.A, true);
+      return;
+    case Stmt::Kind::LocalDecl:
+      if (S.A)
+        checkExpr(*S.A, true);
+      S.LocalSlot = declare(S.Name, S.Line);
+      return;
+    case Stmt::Kind::Assign: {
+      checkExpr(*S.A, true);
+      int Slot = lookupLocal(S.Name);
+      if (Slot >= 0) {
+        S.LocalSlot = Slot;
+        return;
+      }
+      const GlobalDecl *G = M.findGlobal(S.Name);
+      if (!G) {
+        error(S.Line, "assignment to undeclared variable '" + S.Name + "'");
+        return;
+      }
+      if (G->Size != 1)
+        error(S.Line, "cannot assign to array '" + S.Name + "' as a scalar");
+      S.LocalSlot = -1;
+      return;
+    }
+    case Stmt::Kind::IndexAssign: {
+      checkExpr(*S.B, true);
+      checkExpr(*S.A, true);
+      const GlobalDecl *G = M.findGlobal(S.Name);
+      if (!G)
+        error(S.Line, "indexing undeclared global '" + S.Name + "'");
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      checkExpr(*S.A, /*ValueUsed=*/false);
+      return;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      if (LoopDepth == 0)
+        error(S.Line, "break/continue outside of a loop");
+      return;
+    }
+    CCAL_UNREACHABLE("unknown statement kind");
+  }
+
+  void checkExpr(Expr &E, bool ValueUsed) {
+    if (!Err.empty())
+      return;
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return;
+    case Expr::Kind::Var: {
+      int Slot = lookupLocal(E.Name);
+      if (Slot >= 0) {
+        E.LocalSlot = Slot;
+        return;
+      }
+      const GlobalDecl *G = M.findGlobal(E.Name);
+      if (!G) {
+        error(E.Line, "use of undeclared variable '" + E.Name + "'");
+        return;
+      }
+      if (G->Size != 1)
+        error(E.Line, "array '" + E.Name + "' used as a scalar");
+      E.LocalSlot = -1;
+      return;
+    }
+    case Expr::Kind::Index: {
+      const GlobalDecl *G = M.findGlobal(E.Name);
+      if (!G) {
+        error(E.Line, "indexing undeclared global '" + E.Name + "'");
+        return;
+      }
+      if (lookupLocal(E.Name) >= 0)
+        error(E.Line, "local variable '" + E.Name + "' cannot be indexed");
+      checkExpr(*E.Args[0], true);
+      return;
+    }
+    case Expr::Kind::Call: {
+      const FuncDecl *F = M.findFunc(E.Name);
+      if (!F) {
+        error(E.Line, "call to undeclared function '" + E.Name + "'");
+        return;
+      }
+      if (F->Params.size() != E.Args.size()) {
+        error(E.Line,
+              strFormat("call to '%s' with %zu arguments, expected %zu",
+                        E.Name.c_str(), E.Args.size(), F->Params.size()));
+        return;
+      }
+      if (ValueUsed && F->ReturnsVoid) {
+        error(E.Line, "void function '" + E.Name + "' used as a value");
+        return;
+      }
+      E.CalleeExtern = F->IsExtern;
+      for (ExprPtr &A : E.Args)
+        checkExpr(*A, true);
+      return;
+    }
+    case Expr::Kind::Unary:
+      checkExpr(*E.Args[0], true);
+      return;
+    case Expr::Kind::Binary:
+      checkExpr(*E.Args[0], true);
+      checkExpr(*E.Args[1], true);
+      return;
+    }
+    CCAL_UNREACHABLE("unknown expression kind");
+  }
+
+  ClightModule &M;
+  std::vector<std::map<std::string, int>> Scopes;
+  int NextSlot = 0;
+  int LoopDepth = 0;
+  std::string Err;
+};
+
+} // namespace
+
+TypeCheckResult ccal::typeCheck(ClightModule &M) {
+  // Reject duplicate definitions up front.
+  for (size_t I = 0; I != M.Funcs.size(); ++I)
+    for (size_t J = I + 1; J != M.Funcs.size(); ++J)
+      if (M.Funcs[I].Name == M.Funcs[J].Name)
+        return {"duplicate function '" + M.Funcs[I].Name + "'"};
+  for (size_t I = 0; I != M.Globals.size(); ++I)
+    for (size_t J = I + 1; J != M.Globals.size(); ++J)
+      if (M.Globals[I].Name == M.Globals[J].Name)
+        return {"duplicate global '" + M.Globals[I].Name + "'"};
+
+  Checker C(M);
+  return {C.run()};
+}
+
+void ccal::typeCheckOrDie(ClightModule &M) {
+  TypeCheckResult R = typeCheck(M);
+  if (!R.ok())
+    reportFatal(
+        ("type error in module " + M.Name + ": " + R.Error).c_str(),
+        __FILE__, __LINE__);
+}

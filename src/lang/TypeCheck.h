@@ -1,0 +1,39 @@
+//===- lang/TypeCheck.h - ClightX semantic analysis ------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for ClightX: resolves identifiers to local slots or
+/// globals, checks call arity and void-value misuse, and annotates the AST
+/// (Expr::LocalSlot, Expr::CalleeExtern, FuncDecl::NumSlots) for the
+/// interpreter and the code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LANG_TYPECHECK_H
+#define CCAL_LANG_TYPECHECK_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace ccal {
+
+/// Outcome of semantic analysis.
+struct TypeCheckResult {
+  std::string Error; ///< first diagnostic; empty on success
+  bool ok() const { return Error.empty(); }
+};
+
+/// Checks and annotates \p M in place.
+TypeCheckResult typeCheck(ClightModule &M);
+
+/// Checks and aborts on error (for compile-time-known modules).
+void typeCheckOrDie(ClightModule &M);
+
+} // namespace ccal
+
+#endif // CCAL_LANG_TYPECHECK_H

@@ -1,0 +1,98 @@
+//===- lasm/Instr.cpp - LAsm instruction set --------------------------------===//
+
+#include "lasm/Instr.h"
+
+#include "support/Text.h"
+
+using namespace ccal;
+
+const char *ccal::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Push:
+    return "push";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::LoadL:
+    return "loadl";
+  case Opcode::StoreL:
+    return "storel";
+  case Opcode::LoadG:
+    return "loadg";
+  case Opcode::StoreG:
+    return "storeg";
+  case Opcode::LoadGI:
+    return "loadgi";
+  case Opcode::StoreGI:
+    return "storegi";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Eq:
+    return "eq";
+  case Opcode::Ne:
+    return "ne";
+  case Opcode::Lt:
+    return "lt";
+  case Opcode::Le:
+    return "le";
+  case Opcode::Gt:
+    return "gt";
+  case Opcode::Ge:
+    return "ge";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Jz:
+    return "jz";
+  case Opcode::Jnz:
+    return "jnz";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Prim:
+    return "prim";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+std::string Instr::toString() const {
+  std::string Out = opcodeName(Op);
+  switch (Op) {
+  case Opcode::Push:
+    return Out + " " + std::to_string(Imm);
+  case Opcode::LoadL:
+  case Opcode::StoreL:
+  case Opcode::Jmp:
+  case Opcode::Jz:
+  case Opcode::Jnz:
+    return Out + " " + std::to_string(Target);
+  case Opcode::LoadG:
+  case Opcode::StoreG:
+  case Opcode::LoadGI:
+  case Opcode::StoreGI:
+    return Out + " " +
+           (Sym.empty() ? std::to_string(Target) : Sym + "@" +
+                                                       std::to_string(Target));
+  case Opcode::Call:
+  case Opcode::Prim:
+    return strFormat("%s %s/%lld", Out.c_str(),
+                     Sym.empty() ? std::to_string(Target).c_str()
+                                 : Sym.c_str(),
+                     static_cast<long long>(Imm));
+  default:
+    return Out;
+  }
+}

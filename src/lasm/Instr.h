@@ -1,0 +1,90 @@
+//===- lasm/Instr.h - LAsm instruction set ---------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LAsm instruction set: the assembly-level target of the CompCertX
+/// analogue.  LAsm is a stack bytecode with per-function local slots,
+/// CPU-local global memory, and an explicit PRIM instruction for calls into
+/// the underlay layer interface — the assembly-machine counterpart of the
+/// paper's `AsmFn`/`AsmModule` (Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LASM_INSTR_H
+#define CCAL_LASM_INSTR_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccal {
+
+enum class Opcode : std::uint8_t {
+  Push,    ///< push Imm
+  Pop,     ///< drop top of stack
+  LoadL,   ///< push locals[Target]
+  StoreL,  ///< locals[Target] = pop
+  LoadG,   ///< push globals[Target]            (Sym pre-link)
+  StoreG,  ///< globals[Target] = pop           (Sym pre-link)
+  LoadGI,  ///< i = pop; push globals[Target+i], bounds-checked by Imm=size
+  StoreGI, ///< v = pop; i = pop; globals[Target+i] = v
+  Add,
+  Sub,
+  Mul,
+  Div, ///< traps on zero divisor
+  Mod, ///< traps on zero divisor
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not, ///< logical negation
+  Neg, ///< arithmetic negation
+  Jmp, ///< unconditional jump to Target
+  Jz,  ///< pop; jump to Target when zero
+  Jnz, ///< pop; jump to Target when nonzero
+  Call, ///< call function Target with Imm args  (Sym pre-link)
+  Prim, ///< call underlay primitive Sym with Imm args
+  Ret,  ///< return; top of stack is the return value
+  Halt, ///< stop the machine (entry frame only)
+};
+
+const char *opcodeName(Opcode Op);
+
+/// One LAsm instruction.  Target carries slot/address/jump/function
+/// operands; Imm carries immediates and argument counts; Sym carries
+/// symbolic references until the linker resolves them.
+struct Instr {
+  Opcode Op = Opcode::Halt;
+  std::int32_t Target = 0;
+  std::int64_t Imm = 0;
+  std::string Sym;
+
+  Instr() = default;
+  explicit Instr(Opcode Op) : Op(Op) {}
+  Instr(Opcode Op, std::int32_t Target) : Op(Op), Target(Target) {}
+  Instr(Opcode Op, std::int32_t Target, std::int64_t Imm)
+      : Op(Op), Target(Target), Imm(Imm) {}
+
+  static Instr push(std::int64_t V) {
+    Instr I(Opcode::Push);
+    I.Imm = V;
+    return I;
+  }
+  static Instr withSym(Opcode Op, std::string Sym, std::int64_t Imm = 0) {
+    Instr I(Op);
+    I.Sym = std::move(Sym);
+    I.Imm = Imm;
+    return I;
+  }
+
+  std::string toString() const;
+};
+
+} // namespace ccal
+
+#endif // CCAL_LASM_INSTR_H

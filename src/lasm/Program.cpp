@@ -1,0 +1,72 @@
+//===- lasm/Program.cpp - LAsm programs and modules --------------------------===//
+
+#include "lasm/Program.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+std::string AsmFunc::disassemble() const {
+  std::string Out =
+      strFormat("%s(params=%u, slots=%u):\n", Name.c_str(), NumParams,
+                NumSlots);
+  for (size_t I = 0, E = Code.size(); I != E; ++I)
+    Out += strFormat("  %4zu: %s\n", I, Code[I].toString().c_str());
+  return Out;
+}
+
+const AsmFunc *AsmProgram::findFunc(const std::string &FName) const {
+  for (const AsmFunc &F : Funcs)
+    if (F.Name == FName)
+      return &F;
+  return nullptr;
+}
+
+int AsmProgram::funcIndex(const std::string &FName) const {
+  for (size_t I = 0, E = Funcs.size(); I != E; ++I)
+    if (Funcs[I].Name == FName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+const AsmGlobal *AsmProgram::findGlobal(const std::string &GName) const {
+  for (const AsmGlobal &G : Globals)
+    if (G.Name == GName)
+      return &G;
+  return nullptr;
+}
+
+std::int32_t AsmProgram::globalWords() const {
+  std::int32_t N = 0;
+  for (const AsmGlobal &G : Globals)
+    N += G.Size;
+  return N;
+}
+
+std::vector<std::int64_t> AsmProgram::initialGlobals() const {
+  CCAL_CHECK(Linked, "global image requires a linked program");
+  std::vector<std::int64_t> Out(static_cast<size_t>(globalWords()), 0);
+  for (const AsmGlobal &G : Globals)
+    for (std::int32_t I = 0; I != G.Size; ++I)
+      Out[static_cast<size_t>(G.Addr + I)] =
+          I < static_cast<std::int32_t>(G.Init.size()) ? G.Init[I] : 0;
+  return Out;
+}
+
+std::int32_t AsmProgram::globalAddr(const std::string &GName) const {
+  CCAL_CHECK(Linked, "global addresses require a linked program");
+  const AsmGlobal *G = findGlobal(GName);
+  CCAL_CHECK(G != nullptr, "unknown global");
+  return G->Addr;
+}
+
+std::string AsmProgram::disassemble() const {
+  std::string Out = "; module " + Name + (Linked ? " (linked)\n" : "\n");
+  for (const AsmGlobal &G : Globals)
+    Out += strFormat("; global %s size=%d addr=%d\n", G.Name.c_str(), G.Size,
+                     G.Addr);
+  for (const AsmFunc &F : Funcs)
+    Out += F.disassemble();
+  return Out;
+}

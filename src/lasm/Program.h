@@ -1,0 +1,75 @@
+//===- lasm/Program.h - LAsm programs and modules --------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LAsm functions, object modules (separately compiled, with symbolic
+/// references), and linked programs runnable by the VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LASM_PROGRAM_H
+#define CCAL_LASM_PROGRAM_H
+
+#include "lasm/Instr.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// One compiled function.
+struct AsmFunc {
+  std::string Name;
+  unsigned NumParams = 0;
+  unsigned NumSlots = 0; ///< params + locals
+  std::vector<Instr> Code;
+
+  std::string disassemble() const;
+};
+
+/// A global reservation in CPU-local memory.
+struct AsmGlobal {
+  std::string Name;
+  std::int32_t Addr = -1; ///< assigned by the linker
+  std::int32_t Size = 1;
+  std::vector<std::int64_t> Init;
+};
+
+/// A compiled (possibly unlinked) LAsm module/program.  Before linking,
+/// Call/LoadG/etc. carry symbolic references; after linking every Target is
+/// resolved, unresolved Calls have become Prims (underlay primitives), and
+/// the program is immutable and shareable between VMs.
+struct AsmProgram {
+  std::string Name;
+  std::vector<AsmFunc> Funcs;
+  std::vector<AsmGlobal> Globals;
+  bool Linked = false;
+
+  const AsmFunc *findFunc(const std::string &Name) const;
+  int funcIndex(const std::string &Name) const; ///< -1 when absent
+  const AsmGlobal *findGlobal(const std::string &Name) const;
+
+  /// Total words of global memory (after linking).
+  std::int32_t globalWords() const;
+
+  /// The initial CPU-local memory image (after linking).
+  std::vector<std::int64_t> initialGlobals() const;
+
+  /// Address of global \p Name; aborts when absent or unlinked.
+  std::int32_t globalAddr(const std::string &Name) const;
+
+  std::string disassemble() const;
+};
+
+using AsmProgramPtr = std::shared_ptr<const AsmProgram>;
+
+} // namespace ccal
+
+#endif // CCAL_LASM_PROGRAM_H

@@ -1,0 +1,323 @@
+//===- lasm/Vm.cpp - LAsm virtual machine -----------------------------------===//
+
+#include "lasm/Vm.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+void Vm::start(const std::string &Fn, std::vector<std::int64_t> Args) {
+  CCAL_CHECK(Prog && Prog->Linked, "VM needs a linked program");
+  int Idx = Prog->funcIndex(Fn);
+  CCAL_CHECK(Idx >= 0, "VM start: unknown function");
+  const AsmFunc &F = Prog->Funcs[static_cast<size_t>(Idx)];
+  CCAL_CHECK(Args.size() == F.NumParams, "VM start: wrong arity");
+
+  Frames.clear();
+  Frame Entry;
+  Entry.Func = Idx;
+  Entry.PC = 0;
+  Entry.Slots.assign(F.NumSlots, 0);
+  for (size_t I = 0; I != Args.size(); ++I)
+    Entry.Slots[I] = Args[I];
+  Frames.push_back(std::move(Entry));
+  St = Status::Ready;
+  Result = 0;
+  Err.clear();
+  Steps = 0;
+}
+
+void Vm::trap(const std::string &Msg) {
+  St = Status::Error;
+  if (Err.empty())
+    Err = Msg;
+}
+
+bool Vm::pop(std::int64_t &V) {
+  Frame &F = Frames.back();
+  if (F.Stack.empty()) {
+    trap("operand stack underflow");
+    return false;
+  }
+  V = F.Stack.back();
+  F.Stack.pop_back();
+  return true;
+}
+
+Vm::Status Vm::run(std::vector<std::int64_t> &Globals,
+                   std::uint64_t MaxSteps) {
+  bool Exhausted = false;
+  Status S = runBounded(Globals, MaxSteps, Exhausted);
+  if (Exhausted) {
+    trap("instruction budget exhausted (possible divergence)");
+    return St;
+  }
+  return S;
+}
+
+Vm::Status Vm::runBounded(std::vector<std::int64_t> &Globals,
+                          std::uint64_t MaxSteps, bool &Exhausted) {
+  CCAL_CHECK(St == Status::Ready || St == Status::AtPrim,
+             "VM run: not runnable");
+  CCAL_CHECK(St != Status::AtPrim || PrimSym.empty(),
+             "VM run: pending primitive not resumed");
+  St = Status::Ready;
+  Exhausted = false;
+
+  std::uint64_t Budget = MaxSteps;
+  while (true) {
+    if (Frames.empty()) {
+      St = Status::Done;
+      return St;
+    }
+    if (Budget-- == 0) {
+      Exhausted = true;
+      return St;
+    }
+    ++Steps;
+
+    Frame &F = Frames.back();
+    const AsmFunc &Fn = Prog->Funcs[static_cast<size_t>(F.Func)];
+    if (F.PC < 0 || static_cast<size_t>(F.PC) >= Fn.Code.size()) {
+      trap("program counter out of range");
+      return St;
+    }
+    const Instr &I = Fn.Code[static_cast<size_t>(F.PC)];
+    ++F.PC;
+
+    auto Binary = [&](auto Apply) {
+      std::int64_t B, A;
+      if (!pop(B) || !pop(A))
+        return;
+      Frames.back().Stack.push_back(Apply(A, B));
+    };
+
+    switch (I.Op) {
+    case Opcode::Push:
+      F.Stack.push_back(I.Imm);
+      break;
+    case Opcode::Pop: {
+      std::int64_t V;
+      pop(V);
+      break;
+    }
+    case Opcode::LoadL:
+      if (I.Target < 0 || static_cast<size_t>(I.Target) >= F.Slots.size()) {
+        trap("local slot out of range");
+        break;
+      }
+      F.Stack.push_back(F.Slots[static_cast<size_t>(I.Target)]);
+      break;
+    case Opcode::StoreL: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      Frame &Cur = Frames.back();
+      if (I.Target < 0 || static_cast<size_t>(I.Target) >= Cur.Slots.size()) {
+        trap("local slot out of range");
+        break;
+      }
+      Cur.Slots[static_cast<size_t>(I.Target)] = V;
+      break;
+    }
+    case Opcode::LoadG:
+      if (I.Target < 0 || static_cast<size_t>(I.Target) >= Globals.size()) {
+        trap("global address out of range");
+        break;
+      }
+      F.Stack.push_back(Globals[static_cast<size_t>(I.Target)]);
+      break;
+    case Opcode::StoreG: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      if (I.Target < 0 || static_cast<size_t>(I.Target) >= Globals.size()) {
+        trap("global address out of range");
+        break;
+      }
+      Globals[static_cast<size_t>(I.Target)] = V;
+      break;
+    }
+    case Opcode::LoadGI: {
+      std::int64_t Idx;
+      if (!pop(Idx))
+        break;
+      if (Idx < 0 || Idx >= I.Imm) {
+        trap(strFormat("array index %lld out of bounds (size %lld)",
+                       static_cast<long long>(Idx),
+                       static_cast<long long>(I.Imm)));
+        break;
+      }
+      size_t Addr = static_cast<size_t>(I.Target + Idx);
+      if (Addr >= Globals.size()) {
+        trap("global address out of range");
+        break;
+      }
+      Frames.back().Stack.push_back(Globals[Addr]);
+      break;
+    }
+    case Opcode::StoreGI: {
+      std::int64_t V, Idx;
+      if (!pop(V) || !pop(Idx))
+        break;
+      if (Idx < 0 || Idx >= I.Imm) {
+        trap(strFormat("array index %lld out of bounds (size %lld)",
+                       static_cast<long long>(Idx),
+                       static_cast<long long>(I.Imm)));
+        break;
+      }
+      size_t Addr = static_cast<size_t>(I.Target + Idx);
+      if (Addr >= Globals.size()) {
+        trap("global address out of range");
+        break;
+      }
+      Globals[Addr] = V;
+      break;
+    }
+    case Opcode::Add:
+      Binary([](std::int64_t A, std::int64_t B) { return A + B; });
+      break;
+    case Opcode::Sub:
+      Binary([](std::int64_t A, std::int64_t B) { return A - B; });
+      break;
+    case Opcode::Mul:
+      Binary([](std::int64_t A, std::int64_t B) { return A * B; });
+      break;
+    case Opcode::Div:
+    case Opcode::Mod: {
+      std::int64_t B, A;
+      if (!pop(B) || !pop(A))
+        break;
+      if (B == 0) {
+        trap("division by zero");
+        break;
+      }
+      Frames.back().Stack.push_back(I.Op == Opcode::Div ? A / B : A % B);
+      break;
+    }
+    case Opcode::Eq:
+      Binary([](std::int64_t A, std::int64_t B) { return A == B ? 1 : 0; });
+      break;
+    case Opcode::Ne:
+      Binary([](std::int64_t A, std::int64_t B) { return A != B ? 1 : 0; });
+      break;
+    case Opcode::Lt:
+      Binary([](std::int64_t A, std::int64_t B) { return A < B ? 1 : 0; });
+      break;
+    case Opcode::Le:
+      Binary([](std::int64_t A, std::int64_t B) { return A <= B ? 1 : 0; });
+      break;
+    case Opcode::Gt:
+      Binary([](std::int64_t A, std::int64_t B) { return A > B ? 1 : 0; });
+      break;
+    case Opcode::Ge:
+      Binary([](std::int64_t A, std::int64_t B) { return A >= B ? 1 : 0; });
+      break;
+    case Opcode::Not: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      Frames.back().Stack.push_back(V == 0 ? 1 : 0);
+      break;
+    }
+    case Opcode::Neg: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      Frames.back().Stack.push_back(-V);
+      break;
+    }
+    case Opcode::Jmp:
+      F.PC = I.Target;
+      break;
+    case Opcode::Jz: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      if (V == 0)
+        Frames.back().PC = I.Target;
+      break;
+    }
+    case Opcode::Jnz: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      if (V != 0)
+        Frames.back().PC = I.Target;
+      break;
+    }
+    case Opcode::Call: {
+      if (I.Target < 0 ||
+          static_cast<size_t>(I.Target) >= Prog->Funcs.size()) {
+        trap("call target out of range (unlinked program?)");
+        break;
+      }
+      const AsmFunc &Callee = Prog->Funcs[static_cast<size_t>(I.Target)];
+      Frame New;
+      New.Func = I.Target;
+      New.PC = 0;
+      New.Slots.assign(Callee.NumSlots, 0);
+      // Arguments were pushed left to right; pop right to left.
+      bool Ok = true;
+      for (size_t A = Callee.NumParams; A-- > 0;) {
+        std::int64_t V;
+        if (!pop(V)) {
+          Ok = false;
+          break;
+        }
+        New.Slots[A] = V;
+      }
+      if (!Ok)
+        break;
+      Frames.push_back(std::move(New));
+      break;
+    }
+    case Opcode::Prim: {
+      PrimSym = I.Sym;
+      PrimArgVals.clear();
+      bool Ok = true;
+      for (std::int64_t A = I.Imm; A-- > 0;) {
+        std::int64_t V;
+        if (!pop(V)) {
+          Ok = false;
+          break;
+        }
+        PrimArgVals.insert(PrimArgVals.begin(), V);
+      }
+      if (!Ok)
+        break;
+      St = Status::AtPrim;
+      return St;
+    }
+    case Opcode::Ret: {
+      std::int64_t V;
+      if (!pop(V))
+        break;
+      Frames.pop_back();
+      if (Frames.empty()) {
+        Result = V;
+        St = Status::Done;
+        return St;
+      }
+      Frames.back().Stack.push_back(V);
+      break;
+    }
+    case Opcode::Halt:
+      St = Status::Done;
+      Frames.clear();
+      return St;
+    }
+
+    if (St == Status::Error)
+      return St;
+  }
+}
+
+void Vm::resumePrim(std::int64_t Ret) {
+  CCAL_CHECK(St == Status::AtPrim, "resumePrim: VM is not at a primitive");
+  CCAL_CHECK(!Frames.empty(), "resumePrim: no live frame");
+  Frames.back().Stack.push_back(Ret);
+  PrimSym.clear();
+  PrimArgVals.clear();
+}

@@ -1,0 +1,101 @@
+//===- lasm/Vm.h - LAsm virtual machine ------------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LAsm virtual machine: a small-step, *copyable* execution state, so
+/// the multicore Explorer can snapshot a machine at every interleaving
+/// point and enumerate hardware schedules by depth-first search — the
+/// executable counterpart of quantifying over all interleavings in Coq.
+///
+/// The VM pauses at every Prim instruction and hands the call to its
+/// driver: the driver decides (via the layer interface) whether the
+/// primitive is private (executed silently) or shared (a query point that
+/// appends events to the global log, §3.1).  CPU-local global memory is
+/// owned by the driver and passed into run(), because threads on the same
+/// CPU share it (§5.5) while each keeps its own frame stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_LASM_VM_H
+#define CCAL_LASM_VM_H
+
+#include "lasm/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Execution state of one hardware thread over a linked AsmProgram.
+/// Copying a Vm copies the whole frame stack; the program is shared.
+class Vm {
+public:
+  enum class Status {
+    Ready,  ///< start() not yet called
+    AtPrim, ///< paused at a Prim instruction; resumePrim() to continue
+    Done,   ///< entry function returned; result() is valid
+    Error,  ///< trapped; error() is valid
+  };
+
+  explicit Vm(AsmProgramPtr Prog) : Prog(std::move(Prog)) {}
+
+  /// Prepares a run of function \p Fn; aborts when unknown or wrong arity.
+  void start(const std::string &Fn, std::vector<std::int64_t> Args);
+
+  /// Executes instructions until a Prim, completion, a trap, or the step
+  /// budget runs out (which is a trap: divergence).  \p Globals is the
+  /// CPU-local memory image, shared with other threads of the same CPU.
+  Status run(std::vector<std::int64_t> &Globals, std::uint64_t MaxSteps);
+
+  /// Like run() but stops after \p MaxSteps without trapping, reporting
+  /// via \p Exhausted — the hardware-machine mode (Mx86, §3.1), where the
+  /// scheduler may preempt between any two instructions.
+  Status runBounded(std::vector<std::int64_t> &Globals,
+                    std::uint64_t MaxSteps, bool &Exhausted);
+
+  /// Valid while AtPrim.
+  const std::string &primName() const { return PrimSym; }
+  const std::vector<std::int64_t> &primArgs() const { return PrimArgVals; }
+
+  /// Delivers the primitive's return value and resumes.
+  void resumePrim(std::int64_t Ret);
+
+  Status status() const { return St; }
+  std::int64_t result() const { return Result; }
+  const std::string &error() const { return Err; }
+
+  /// Total instructions executed since start().
+  std::uint64_t steps() const { return Steps; }
+
+  /// Number of live frames (the merged-stack demo reads this).
+  size_t frameDepth() const { return Frames.size(); }
+
+private:
+  struct Frame {
+    std::int32_t Func = 0;
+    std::int32_t PC = 0;
+    std::vector<std::int64_t> Slots;
+    std::vector<std::int64_t> Stack;
+  };
+
+  void trap(const std::string &Msg);
+  bool pop(std::int64_t &V);
+
+  AsmProgramPtr Prog;
+  std::vector<Frame> Frames;
+  Status St = Status::Ready;
+  std::int64_t Result = 0;
+  std::string Err;
+  std::string PrimSym;
+  std::vector<std::int64_t> PrimArgVals;
+  std::uint64_t Steps = 0;
+};
+
+} // namespace ccal
+
+#endif // CCAL_LASM_VM_H

@@ -1,0 +1,53 @@
+//===- machine/CpuLocal.cpp - CPU-local layer interfaces ---------------------===//
+
+#include "machine/CpuLocal.h"
+
+using namespace ccal;
+
+PrimSemantics ccal::makeFetchIncPrim(std::string Kind) {
+  return [Kind](const PrimCall &Call) -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Ret = static_cast<std::int64_t>(logCountKind(*Call.L, Kind));
+    Res.Events.push_back(Event(Call.Tid, Kind, Call.Args));
+    return Res;
+  };
+}
+
+PrimSemantics ccal::makeReadCounterPrim(std::string Kind,
+                                        std::string CountedKind) {
+  return [Kind, CountedKind](const PrimCall &Call)
+             -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Ret = static_cast<std::int64_t>(logCountKind(*Call.L, CountedKind));
+    Res.Events.push_back(Event(Call.Tid, Kind, Call.Args));
+    return Res;
+  };
+}
+
+PrimSemantics ccal::makeEventPrim(std::string Kind) {
+  return [Kind](const PrimCall &Call) -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Events.push_back(Event(Call.Tid, Kind, Call.Args));
+    return Res;
+  };
+}
+
+PrimSemantics ccal::makeConstPrim(std::int64_t Value) {
+  return [Value](const PrimCall &) -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Ret = Value;
+    return Res;
+  };
+}
+
+PrimSemantics ccal::makeSelfIdPrim() {
+  return [](const PrimCall &Call) -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Ret = static_cast<std::int64_t>(Call.Tid);
+    return Res;
+  };
+}
+
+std::shared_ptr<LayerInterface> ccal::makeInterface(std::string Name) {
+  return std::make_shared<LayerInterface>(std::move(Name));
+}

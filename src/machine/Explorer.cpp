@@ -1,0 +1,33 @@
+//===- machine/Explorer.cpp - Schedule enumeration ---------------------------===//
+
+#include "machine/Explorer.h"
+
+using namespace ccal;
+
+ExploreResult ccal::exploreMachine(MachineConfigPtr Cfg,
+                                   const ExploreOptions &Opts) {
+  MultiCoreMachine Root(std::move(Cfg));
+  return exploreGeneric(Root, Opts);
+}
+
+Outcome ccal::runSchedule(
+    MachineConfigPtr Cfg,
+    const std::function<ThreadId(const std::vector<ThreadId> &, const Log &)>
+        &Pick,
+    std::string *Error) {
+  MultiCoreMachine M(std::move(Cfg));
+  while (M.ok()) {
+    std::vector<ThreadId> Ready = M.schedulable();
+    if (Ready.empty())
+      break;
+    ThreadId C = Pick(Ready, M.log());
+    if (!M.step(C))
+      break;
+  }
+  if (Error)
+    *Error = M.error();
+  Outcome O;
+  O.FinalLog = M.log();
+  O.Returns = M.returns();
+  return O;
+}

@@ -1,0 +1,232 @@
+//===- machine/Explorer.h - Schedule enumeration ---------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Explorer enumerates *all* schedules of a machine up to a fairness
+/// bound, by depth-first search over machine snapshots.  This is the
+/// executable counterpart of the paper's universal quantification over
+/// environment contexts / schedulers: a property checked by the Explorer
+/// holds for every interleaving the bound admits.
+///
+/// The fairness bound caps how many consecutive steps one participant may
+/// take while others are runnable — the finite form of the paper's fair
+/// hardware scheduler assumption (§3.2), without which a spinning CPU
+/// would generate infinitely many schedules.
+///
+/// The DFS is generic over the machine: the multicore machine (§3) and the
+/// multithreaded machine (§5) both instantiate it.  A machine must be
+/// copyable and provide ok()/error(), allIdle(), schedulable(), step(),
+/// log(), and returns().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_MACHINE_EXPLORER_H
+#define CCAL_MACHINE_EXPLORER_H
+
+#include "machine/MultiCore.h"
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// One terminal execution.
+struct Outcome {
+  Log FinalLog;
+  std::map<ThreadId, std::vector<std::int64_t>> Returns;
+};
+
+/// Exploration knobs, parameterized by the machine type so invariants can
+/// inspect the concrete machine.
+template <typename MachineT> struct GenericExploreOptions {
+  /// Max consecutive steps of one participant while another is schedulable
+  /// (the paper's "any CPU can be scheduled within m steps").
+  unsigned FairnessBound = 6;
+
+  /// Budgets; exceeding MaxSteps along a path is reported as divergence.
+  std::uint64_t MaxSchedules = 1u << 22;
+  std::uint64_t MaxSteps = 4096;
+
+  /// Invariant checked after every machine step; a non-empty return is a
+  /// violation (used for mutual exclusion, guarantee conditions, ...).
+  std::function<std::string(const MachineT &)> Invariant;
+
+  /// When true, terminal logs (and sampled intermediate logs) are retained
+  /// in ExploreResult::Corpus for compat implication checking, capped at
+  /// MaxCorpus entries.
+  bool CollectCorpus = false;
+  size_t MaxCorpus = 2048;
+
+  /// When set, every (deduplicated) terminal outcome is passed to this
+  /// callback *instead of* being stored in ExploreResult::Outcomes —
+  /// essential for large schedule spaces.  Returning a non-empty string
+  /// aborts the exploration with that violation.
+  std::function<std::string(const Outcome &)> OnOutcome;
+
+  /// Cap on stored outcomes when OnOutcome is not set.
+  size_t MaxStoredOutcomes = 1u << 18;
+};
+
+/// Aggregate result over all schedules.
+struct ExploreResult {
+  bool Ok = true;
+
+  /// False when a budget (MaxSchedules) truncated the search; obligations
+  /// then cover only the explored prefix.
+  bool Complete = true;
+
+  std::string Violation; ///< first violation with its log
+
+  std::vector<Outcome> Outcomes; ///< one per schedule (deduplicated)
+  std::uint64_t SchedulesExplored = 0;
+  std::uint64_t StatesExplored = 0;
+  std::uint64_t InvariantChecks = 0;
+  std::uint64_t MaxLogLen = 0;
+  std::vector<Log> Corpus;
+};
+
+namespace detail {
+
+/// The DFS worker shared by all machine types.
+template <typename MachineT> class GenericDfs {
+public:
+  GenericDfs(const GenericExploreOptions<MachineT> &Opts, ExploreResult &Res)
+      : Opts(Opts), Res(Res) {}
+
+  void explore(const MachineT &M, ThreadId LastId, unsigned Consec,
+               std::uint64_t Depth) {
+    if (!Res.Ok)
+      return;
+    if (Res.SchedulesExplored >= Opts.MaxSchedules) {
+      Res.Complete = false;
+      return;
+    }
+    ++Res.StatesExplored;
+    Res.MaxLogLen = std::max(Res.MaxLogLen,
+                             static_cast<std::uint64_t>(M.log().size()));
+
+    if (Opts.Invariant) {
+      ++Res.InvariantChecks;
+      std::string V = Opts.Invariant(M);
+      if (!V.empty()) {
+        violate(M, "invariant violated: " + V);
+        return;
+      }
+    }
+
+    std::vector<ThreadId> Ready = M.schedulable();
+    if (Ready.empty()) {
+      if (!M.allIdle()) {
+        violate(M, "deadlock: nothing schedulable but work remains");
+        return;
+      }
+      ++Res.SchedulesExplored;
+      recordOutcome(M);
+      return;
+    }
+    if (Depth >= Opts.MaxSteps) {
+      violate(M, "step bound exceeded (divergence under fair schedules?)");
+      return;
+    }
+
+    for (ThreadId C : Ready) {
+      // Fairness: one participant may not run more than FairnessBound
+      // consecutive steps while someone else is waiting.
+      if (Ready.size() > 1 && C == LastId && Consec >= Opts.FairnessBound)
+        continue;
+      MachineT Next = M;
+      if (!Next.step(C)) {
+        violate(Next, Next.error());
+        return;
+      }
+      if (Opts.CollectCorpus && (Depth & 3) == 0 &&
+          Res.Corpus.size() < Opts.MaxCorpus)
+        Res.Corpus.push_back(Next.log());
+      explore(Next, C, C == LastId ? Consec + 1 : 1, Depth + 1);
+      if (!Res.Ok)
+        return;
+    }
+  }
+
+private:
+  void violate(const MachineT &M, const std::string &Msg) {
+    if (!Res.Ok)
+      return;
+    Res.Ok = false;
+    Res.Violation = Msg + "\n  log: " + logToString(M.log());
+  }
+
+  void recordOutcome(const MachineT &M) {
+    Outcome O;
+    O.FinalLog = M.log();
+    O.Returns = M.returns();
+    if (Opts.CollectCorpus && Res.Corpus.size() < Opts.MaxCorpus)
+      Res.Corpus.push_back(O.FinalLog);
+    // Deduplicate by hash of log + returns.
+    std::uint64_t H = hashLog(O.FinalLog);
+    for (const auto &[Tid, Rets] : O.Returns) {
+      H = H * 1099511628211ULL + Tid;
+      for (std::int64_t R : Rets)
+        H = H * 1099511628211ULL + static_cast<std::uint64_t>(R);
+    }
+    if (!Seen.insert(H).second)
+      return;
+    if (Opts.OnOutcome) {
+      std::string V = Opts.OnOutcome(O);
+      if (!V.empty())
+        violate(M, V);
+      return;
+    }
+    if (Res.Outcomes.size() < Opts.MaxStoredOutcomes)
+      Res.Outcomes.push_back(std::move(O));
+    else
+      Res.Complete = false; // stored set truncated
+  }
+
+  const GenericExploreOptions<MachineT> &Opts;
+  ExploreResult &Res;
+  std::set<std::uint64_t> Seen;
+};
+
+} // namespace detail
+
+/// Explores every schedule reachable from \p Root.
+template <typename MachineT>
+ExploreResult exploreGeneric(const MachineT &Root,
+                             const GenericExploreOptions<MachineT> &Opts) {
+  ExploreResult Res;
+  if (!Root.ok()) {
+    Res.Ok = false;
+    Res.Violation = Root.error();
+    return Res;
+  }
+  detail::GenericDfs<MachineT> D(Opts, Res);
+  D.explore(Root, /*LastId=*/~0u, /*Consec=*/0, /*Depth=*/0);
+  return Res;
+}
+
+/// Options alias for the multicore machine (the common case).
+using ExploreOptions = GenericExploreOptions<MultiCoreMachine>;
+
+/// Explores every schedule of the multicore machine described by \p Cfg.
+ExploreResult exploreMachine(MachineConfigPtr Cfg,
+                             const ExploreOptions &Opts);
+
+/// Runs a single schedule chosen by \p Pick (given the schedulable set and
+/// the log, return the CPU to step); used to replay specific interleavings
+/// such as the paper's §2 example.
+Outcome runSchedule(
+    MachineConfigPtr Cfg,
+    const std::function<ThreadId(const std::vector<ThreadId> &, const Log &)>
+        &Pick,
+    std::string *Error = nullptr);
+
+} // namespace ccal
+
+#endif // CCAL_MACHINE_EXPLORER_H

@@ -1,0 +1,231 @@
+//===- machine/HardwareMachine.cpp - Instruction-level Mx86 -------------------===//
+
+#include "machine/HardwareMachine.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+#include <set>
+
+using namespace ccal;
+
+HardwareMachine::HardwareMachine(MachineConfigPtr CfgIn)
+    : Cfg(std::move(CfgIn)) {
+  CCAL_CHECK(Cfg && Cfg->Layer && Cfg->Program && Cfg->Program->Linked,
+             "machine config needs a layer and a linked program");
+  std::vector<std::int64_t> Image = Cfg->Program->initialGlobals();
+  for (const auto &[Id, Items] : Cfg->Work) {
+    auto [It, Inserted] = Cpus.emplace(Id, Cpu(Cfg->Program, Image));
+    CCAL_CHECK(Inserted, "duplicate CPU id");
+    It->second.Done = Items.empty();
+  }
+}
+
+void HardwareMachine::fault(ThreadId Id, const std::string &Msg) {
+  if (Err.empty())
+    Err = strFormat("CPU %u: %s", Id, Msg.c_str());
+}
+
+bool HardwareMachine::allIdle() const {
+  for (const auto &[Id, C] : Cpus)
+    if (!C.Done)
+      return false;
+  return true;
+}
+
+std::vector<ThreadId> HardwareMachine::schedulable() const {
+  std::vector<ThreadId> Out;
+  for (const auto &[Id, C] : Cpus) {
+    if (C.Done)
+      continue;
+    if (C.AtPrim) {
+      const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+      if (P && P->Shared) {
+        PrimCall Call;
+        Call.Tid = Id;
+        Call.Args = C.Machine.primArgs();
+        Call.L = &GlobalLog;
+        Call.LocalMem = &C.Globals;
+        std::optional<PrimResult> Res = P->Sem(Call);
+        if (Res && Res->Blocked)
+          continue;
+      }
+    }
+    Out.push_back(Id);
+  }
+  return Out;
+}
+
+bool HardwareMachine::step(ThreadId Id) {
+  if (!ok())
+    return false;
+  auto It = Cpus.find(Id);
+  CCAL_CHECK(It != Cpus.end(), "step: unknown CPU");
+  Cpu &C = It->second;
+  CCAL_CHECK(!C.Done, "step: CPU has no work left");
+
+  const std::vector<CpuWorkItem> &Items = Cfg->Work.at(Id);
+  if (!C.Active) {
+    const CpuWorkItem &Item = Items[C.NextWork];
+    C.Machine.start(Item.Fn, Item.Args);
+    C.Active = true;
+  }
+
+  if (C.AtPrim) {
+    const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+    if (!P) {
+      fault(Id, "call to primitive '" + C.Machine.primName() +
+                    "' not provided by layer " + Cfg->Layer->name());
+      return false;
+    }
+    PrimCall Call;
+    Call.Tid = Id;
+    Call.Args = C.Machine.primArgs();
+    Call.L = &GlobalLog;
+    Call.LocalMem = &C.Globals;
+    std::optional<PrimResult> Res = P->Sem(Call);
+    if (!Res) {
+      fault(Id, "primitive '" + P->Name + "' got stuck");
+      return false;
+    }
+    CCAL_CHECK(!Res->Blocked, "step: blocked CPUs are not schedulable");
+    CCAL_CHECK(P->Shared || Res->Events.empty(),
+               "private primitives must not emit events");
+    logAppendAll(GlobalLog, Res->Events);
+    for (auto [Addr, V] : Res->LocalWrites) {
+      CCAL_CHECK(Addr >= 0 && static_cast<size_t>(Addr) < C.Globals.size(),
+                 "primitive local write out of range");
+      C.Globals[static_cast<size_t>(Addr)] = V;
+    }
+    C.Machine.resumePrim(Res->Ret);
+    C.AtPrim = false;
+    return true;
+  }
+
+  // One hardware cycle: a single instruction.
+  bool Exhausted = false;
+  Vm::Status St = C.Machine.runBounded(C.Globals, 1, Exhausted);
+  if (Exhausted)
+    return true; // instruction executed; still running
+  if (St == Vm::Status::Error) {
+    fault(Id, C.Machine.error());
+    return false;
+  }
+  if (St == Vm::Status::AtPrim) {
+    C.AtPrim = true; // the primitive itself runs on this CPU's next cycle
+    return true;
+  }
+  CCAL_CHECK(St == Vm::Status::Done, "unexpected VM status");
+  C.Returns.push_back(C.Machine.result());
+  C.Active = false;
+  if (++C.NextWork >= Items.size())
+    C.Done = true;
+  return true;
+}
+
+std::map<ThreadId, std::vector<std::int64_t>>
+HardwareMachine::returns() const {
+  std::map<ThreadId, std::vector<std::int64_t>> Out;
+  for (const auto &[Id, C] : Cpus)
+    Out.emplace(Id, C.Returns);
+  return Out;
+}
+
+namespace {
+
+std::string outcomeKeyOf(const Outcome &O) {
+  std::string Key = logToString(O.FinalLog);
+  for (const auto &[Tid, Rets] : O.Returns) {
+    Key += strFormat("|%u:", Tid);
+    Key += intListToString(Rets);
+  }
+  return Key;
+}
+
+} // namespace
+
+MulticoreLinkReport ccal::checkMulticoreLinking(MachineConfigPtr Cfg,
+                                                unsigned FairnessBound,
+                                                std::uint64_t MaxSchedules,
+                                                bool CheckExactness) {
+  MulticoreLinkReport Report;
+
+  // Layer machine (query-point interleaving): the small side; collect.
+  ExploreOptions LayerOpts;
+  LayerOpts.FairnessBound = 1u << 20; // no spinning assumed at this level
+  LayerOpts.MaxSchedules = MaxSchedules;
+  ExploreResult LayerRes = exploreMachine(Cfg, LayerOpts);
+  if (!LayerRes.Ok) {
+    Report.Counterexample = "layer machine violation: " + LayerRes.Violation;
+    return Report;
+  }
+  std::set<std::string> LayerSet;
+  for (const Outcome &O : LayerRes.Outcomes)
+    LayerSet.insert(outcomeKeyOf(O));
+
+  // Hardware machine (instruction interleaving): stream and match.
+  std::uint64_t HwOutcomes = 0, Obligations = 0;
+  std::set<std::string> HwSet;
+  GenericExploreOptions<HardwareMachine> HwOpts;
+  HwOpts.FairnessBound = FairnessBound;
+  HwOpts.MaxSchedules = MaxSchedules;
+  HwOpts.MaxSteps = 65536;
+  HwOpts.OnOutcome = [&](const Outcome &O) -> std::string {
+    ++HwOutcomes;
+    std::string Key = outcomeKeyOf(O);
+    HwSet.insert(Key);
+    if (!LayerSet.count(Key))
+      return strFormat("hardware outcome not admitted by the layer "
+                       "machine\n  log: %s",
+                       logToString(O.FinalLog).c_str());
+    ++Obligations;
+    return "";
+  };
+  HardwareMachine Root(Cfg);
+  ExploreResult HwRes = exploreGeneric(Root, HwOpts);
+
+  Report.HardwareSchedules = HwRes.SchedulesExplored;
+  Report.LayerSchedules = LayerRes.SchedulesExplored;
+  Report.HardwareOutcomes = HwOutcomes;
+  Report.LayerOutcomes = LayerRes.Outcomes.size();
+  Report.ObligationsChecked = Obligations;
+  if (!HwRes.Ok) {
+    Report.Counterexample =
+        "hardware machine violation: " + HwRes.Violation;
+    return Report;
+  }
+  // Sanity bonus (only meaningful when the hardware exploration was
+  // exhaustive): the reduction loses nothing — every layer outcome is
+  // also a hardware outcome.  An incomplete sweep or a hardware fairness
+  // bound tighter than the layer machine's can legitimately miss layer
+  // outcomes, so this direction is skipped then; Thm 3.1 itself is the
+  // forward inclusion checked above.
+  if (CheckExactness && HwRes.Complete && LayerRes.Complete) {
+    for (const Outcome &O : LayerRes.Outcomes)
+      if (!HwSet.count(outcomeKeyOf(O))) {
+        Report.Counterexample =
+            "layer outcome unreachable on hardware\n  log: " +
+            logToString(O.FinalLog);
+        return Report;
+      }
+  }
+  Report.Holds = true;
+  return Report;
+}
+
+CertPtr
+ccal::makeMulticoreLinkCertificate(const std::string &MachineName,
+                                   const MulticoreLinkReport &Report) {
+  auto C = std::make_shared<RefinementCertificate>();
+  C->Rule = "MulticoreLink";
+  C->Underlay = "Mx86(" + MachineName + ")";
+  C->Module = "(hardware scheduling)";
+  C->Overlay = "Lx86[D](" + MachineName + ")";
+  C->Relation = "id";
+  C->Valid = Report.Holds;
+  C->Obligations = Report.ObligationsChecked;
+  C->Runs = Report.HardwareSchedules + Report.LayerSchedules;
+  if (!Report.Holds)
+    C->Notes.push_back(Report.Counterexample);
+  return C;
+}

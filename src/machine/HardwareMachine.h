@@ -1,0 +1,105 @@
+//===- machine/HardwareMachine.h - Instruction-level Mx86 ------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *hardware* multicore machine Mx86 (§3.1): "program transitions and
+/// hardware scheduling ... are arbitrarily and nondeterministically
+/// interleaved" — the scheduler may preempt between any two instructions,
+/// not just at shared-primitive query points.
+///
+/// The multicore linking theorem (Thm 3.1) says all code verification over
+/// the layer machine Lx86[D] (which interleaves only at query points)
+/// propagates down to this machine: `[[P]]Mx86 <= [[P]]Lx86[D]`.
+/// checkMulticoreLinking discharges it executably by exploring *every*
+/// instruction-granularity schedule and checking its outcomes against the
+/// query-point machine's — the partial-order-reduction fact that local
+/// instructions only touch CPU-private state, so their interleavings
+/// cannot be observed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_MACHINE_HARDWAREMACHINE_H
+#define CCAL_MACHINE_HARDWAREMACHINE_H
+
+#include "core/Certificate.h"
+#include "machine/Explorer.h"
+
+namespace ccal {
+
+/// Instruction-granularity machine over the same MachineConfig as the
+/// query-point MultiCoreMachine; satisfies the generic Explorer concept.
+class HardwareMachine {
+public:
+  explicit HardwareMachine(MachineConfigPtr Cfg);
+
+  bool ok() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+  bool allIdle() const;
+
+  /// Every CPU with work left and no Blocked pending primitive: hardware
+  /// scheduling may hand any of them the next cycle.
+  std::vector<ThreadId> schedulable() const;
+
+  /// Executes ONE unit on CPU \p C: a single instruction, or the pending
+  /// primitive call (private: silent; shared: appends events).
+  bool step(ThreadId C);
+
+  const Log &log() const { return GlobalLog; }
+  std::map<ThreadId, std::vector<std::int64_t>> returns() const;
+
+private:
+  struct Cpu {
+    Vm Machine;
+    std::vector<std::int64_t> Globals;
+    size_t NextWork = 0;
+    bool Active = false;
+    bool AtPrim = false; ///< parked at a primitive (private or shared)
+    bool Done = false;
+    std::vector<std::int64_t> Returns;
+
+    Cpu(AsmProgramPtr P, std::vector<std::int64_t> G)
+        : Machine(std::move(P)), Globals(std::move(G)) {}
+  };
+
+  void fault(ThreadId Id, const std::string &Msg);
+
+  MachineConfigPtr Cfg;
+  std::map<ThreadId, Cpu> Cpus;
+  Log GlobalLog;
+  std::string Err;
+};
+
+/// Outcome of the Thm 3.1 check.
+struct MulticoreLinkReport {
+  bool Holds = false;
+  std::uint64_t HardwareSchedules = 0;
+  std::uint64_t LayerSchedules = 0;
+  std::uint64_t HardwareOutcomes = 0;
+  std::uint64_t LayerOutcomes = 0;
+  std::uint64_t ObligationsChecked = 0;
+  std::string Counterexample;
+};
+
+/// Checks `[[P]]Mx86 <= [[P]]Lx86[D]` for the program/workload in \p Cfg:
+/// every instruction-granularity outcome must be a query-point outcome.
+/// With \p CheckExactness, additionally requires the reverse inclusion
+/// (the reduction loses nothing); that needs an exhaustive hardware sweep
+/// with a fairness bound at least as long as the longest local stretch
+/// between query points, so it is opt-in.
+MulticoreLinkReport checkMulticoreLinking(MachineConfigPtr Cfg,
+                                          unsigned FairnessBound = 4,
+                                          std::uint64_t MaxSchedules
+                                          = 1u << 22,
+                                          bool CheckExactness = false);
+
+/// Wraps a successful report into a "MulticoreLink" certificate.
+CertPtr makeMulticoreLinkCertificate(const std::string &MachineName,
+                                     const MulticoreLinkReport &Report);
+
+} // namespace ccal
+
+#endif // CCAL_MACHINE_HARDWAREMACHINE_H

@@ -1,0 +1,181 @@
+//===- machine/MultiCore.cpp - The multicore machine model ------------------===//
+
+#include "machine/MultiCore.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+MultiCoreMachine::MultiCoreMachine(MachineConfigPtr CfgIn)
+    : Cfg(std::move(CfgIn)) {
+  CCAL_CHECK(Cfg && Cfg->Layer && Cfg->Program && Cfg->Program->Linked,
+             "machine config needs a layer and a linked program");
+  std::vector<std::int64_t> Image = Cfg->Program->initialGlobals();
+  for (const auto &[Id, Items] : Cfg->Work) {
+    (void)Items;
+    auto [It, Inserted] = Cpus.emplace(Id, Cpu(Cfg->Program, Image));
+    CCAL_CHECK(Inserted, "duplicate CPU id");
+    advance(It->second, Id);
+  }
+}
+
+void MultiCoreMachine::fault(ThreadId Id, const std::string &Msg) {
+  if (Err.empty())
+    Err = strFormat("CPU %u: %s", Id, Msg.c_str());
+  auto It = Cpus.find(Id);
+  if (It != Cpus.end())
+    It->second.Phase = CpuPhase::Faulted;
+}
+
+bool MultiCoreMachine::advance(Cpu &C, ThreadId Id) {
+  const std::vector<CpuWorkItem> &Items = Cfg->Work.at(Id);
+  std::uint64_t PrivateCalls = 0;
+  while (true) {
+    if (++PrivateCalls > Cfg->SliceBudget) {
+      fault(Id, "local slice diverged (private-primitive loop?)");
+      return false;
+    }
+    if (!C.Active) {
+      if (C.NextWork >= Items.size()) {
+        C.Phase = CpuPhase::Idle;
+        return true;
+      }
+      const CpuWorkItem &Item = Items[C.NextWork];
+      C.Machine.start(Item.Fn, Item.Args);
+      C.Active = true;
+    }
+    Vm::Status St = C.Machine.run(C.Globals, Cfg->SliceBudget);
+    if (St == Vm::Status::Done) {
+      C.Returns.push_back(C.Machine.result());
+      C.Active = false;
+      ++C.NextWork;
+      continue;
+    }
+    if (St == Vm::Status::Error) {
+      fault(Id, C.Machine.error());
+      return false;
+    }
+    CCAL_CHECK(St == Vm::Status::AtPrim, "unexpected VM status");
+    const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+    if (!P) {
+      fault(Id, "call to primitive '" + C.Machine.primName() +
+                    "' not provided by layer " + Cfg->Layer->name());
+      return false;
+    }
+    if (P->Shared) {
+      C.Phase = CpuPhase::AtShared;
+      return true;
+    }
+    // Private primitive: silent, executed immediately.
+    PrimCall Call;
+    Call.Tid = Id;
+    Call.Args = C.Machine.primArgs();
+    Call.L = &GlobalLog;
+    Call.LocalMem = &C.Globals;
+    std::optional<PrimResult> Res = P->Sem(Call);
+    if (!Res) {
+      fault(Id, "private primitive '" + P->Name + "' got stuck");
+      return false;
+    }
+    CCAL_CHECK(Res->Events.empty(),
+               "private primitives must not emit events");
+    for (auto [Addr, V] : Res->LocalWrites) {
+      CCAL_CHECK(Addr >= 0 &&
+                     static_cast<size_t>(Addr) < C.Globals.size(),
+                 "primitive local write out of range");
+      C.Globals[static_cast<size_t>(Addr)] = V;
+    }
+    C.Machine.resumePrim(Res->Ret);
+  }
+}
+
+bool MultiCoreMachine::allIdle() const {
+  for (const auto &[Id, C] : Cpus)
+    if (C.Phase != CpuPhase::Idle)
+      return false;
+  return true;
+}
+
+std::vector<ThreadId> MultiCoreMachine::schedulable() const {
+  std::vector<ThreadId> Out;
+  for (const auto &[Id, C] : Cpus) {
+    if (C.Phase != CpuPhase::AtShared)
+      continue;
+    // A CPU whose pending primitive is currently Blocked (an atomic
+    // blocking spec such as acq on a held lock) is not schedulable until
+    // the log grows; primitives are deterministic in the log, so this
+    // dry run is exact.
+    const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+    if (P && P->Shared) {
+      PrimCall Call;
+      Call.Tid = Id;
+      Call.Args = C.Machine.primArgs();
+      Call.L = &GlobalLog;
+      Call.LocalMem = &C.Globals;
+      std::optional<PrimResult> Res = P->Sem(Call);
+      if (Res && Res->Blocked)
+        continue;
+    }
+    Out.push_back(Id);
+  }
+  return Out;
+}
+
+std::string MultiCoreMachine::pendingPrim(ThreadId C) const {
+  auto It = Cpus.find(C);
+  if (It == Cpus.end() || It->second.Phase != CpuPhase::AtShared)
+    return "";
+  return It->second.Machine.primName();
+}
+
+bool MultiCoreMachine::step(ThreadId Id) {
+  if (!ok())
+    return false;
+  auto It = Cpus.find(Id);
+  CCAL_CHECK(It != Cpus.end(), "step: unknown CPU");
+  Cpu &C = It->second;
+  CCAL_CHECK(C.Phase == CpuPhase::AtShared,
+             "step: CPU is not parked at a shared primitive");
+
+  const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+  CCAL_CHECK(P && P->Shared, "parked primitive must be shared");
+
+  PrimCall Call;
+  Call.Tid = Id;
+  Call.Args = C.Machine.primArgs();
+  Call.L = &GlobalLog;
+  Call.LocalMem = &C.Globals;
+  std::optional<PrimResult> Res = P->Sem(Call);
+  if (!Res) {
+    fault(Id, "shared primitive '" + P->Name +
+                  "' got stuck (data race or protocol violation); log: " +
+                  logToString(GlobalLog));
+    return false;
+  }
+  CCAL_CHECK(!Res->Blocked, "step: blocked CPUs are not schedulable");
+  logAppendAll(GlobalLog, Res->Events);
+  for (auto [Addr, V] : Res->LocalWrites) {
+    CCAL_CHECK(Addr >= 0 && static_cast<size_t>(Addr) < C.Globals.size(),
+               "primitive local write out of range");
+    C.Globals[static_cast<size_t>(Addr)] = V;
+  }
+  C.Machine.resumePrim(Res->Ret);
+  ++StepsTaken;
+  return advance(C, Id);
+}
+
+std::map<ThreadId, std::vector<std::int64_t>>
+MultiCoreMachine::returns() const {
+  std::map<ThreadId, std::vector<std::int64_t>> Out;
+  for (const auto &[Id, C] : Cpus)
+    Out.emplace(Id, C.Returns);
+  return Out;
+}
+
+const std::vector<std::int64_t> &
+MultiCoreMachine::cpuMemory(ThreadId C) const {
+  auto It = Cpus.find(C);
+  CCAL_CHECK(It != Cpus.end(), "unknown CPU");
+  return It->second.Globals;
+}

@@ -1,0 +1,93 @@
+//===- machine/Soundness.cpp - Contextual refinement (Thm 2.2) --------------===//
+
+#include "machine/Soundness.h"
+
+#include "support/Text.h"
+
+#include <set>
+
+using namespace ccal;
+
+namespace {
+
+/// Canonical key of an outcome: the (mapped) log plus the client returns.
+std::string outcomeKey(const Log &L,
+                       const std::map<ThreadId, std::vector<std::int64_t>>
+                           &Returns) {
+  std::string Key = logToString(L);
+  for (const auto &[Tid, Rets] : Returns) {
+    Key += strFormat("|%u:", Tid);
+    Key += intListToString(Rets);
+  }
+  return Key;
+}
+
+} // namespace
+
+ContextualRefinementReport ccal::checkContextualRefinement(
+    MachineConfigPtr Impl, MachineConfigPtr Spec, const EventMap &R,
+    const ExploreOptions &ImplOpts, const ExploreOptions &SpecOpts) {
+  ContextualRefinementReport Report;
+
+  ExploreResult SpecRes = exploreMachine(std::move(Spec), SpecOpts);
+  if (!SpecRes.Ok) {
+    Report.Counterexample =
+        "specification machine violation: " + SpecRes.Violation;
+    return Report;
+  }
+
+  std::set<std::string> SpecSet;
+  for (const Outcome &O : SpecRes.Outcomes)
+    SpecSet.insert(outcomeKey(O.FinalLog, O.Returns));
+
+  // Stream implementation outcomes through the matcher instead of storing
+  // them: large schedule spaces would not fit in memory otherwise.
+  std::uint64_t ImplOutcomes = 0, Obligations = 0;
+  ExploreOptions ImplOptsCorpus = ImplOpts;
+  ImplOptsCorpus.CollectCorpus = true;
+  ImplOptsCorpus.OnOutcome = [&](const Outcome &O) -> std::string {
+    ++ImplOutcomes;
+    Log Mapped = R.apply(O.FinalLog);
+    if (!SpecSet.count(outcomeKey(Mapped, O.Returns)))
+      return strFormat(
+          "no specification behavior matches implementation outcome\n"
+          "  impl log:   %s\n  mapped (R): %s",
+          logToString(O.FinalLog).c_str(), logToString(Mapped).c_str());
+    ++Obligations;
+    return "";
+  };
+  ExploreResult ImplRes = exploreMachine(std::move(Impl), ImplOptsCorpus);
+  Report.ImplOutcomes = ImplOutcomes;
+  Report.SpecOutcomes = SpecRes.Outcomes.size();
+  Report.SchedulesExplored =
+      ImplRes.SchedulesExplored + SpecRes.SchedulesExplored;
+  Report.StatesExplored = ImplRes.StatesExplored + SpecRes.StatesExplored;
+  Report.ObligationsChecked = Obligations;
+  Report.Corpus = std::move(ImplRes.Corpus);
+  if (!ImplRes.Ok) {
+    Report.Counterexample =
+        "implementation machine violation: " + ImplRes.Violation;
+    return Report;
+  }
+  Report.Holds = true;
+  return Report;
+}
+
+CertPtr ccal::makeMachineCertificate(
+    const std::string &Rule, const std::string &Underlay,
+    const std::string &Module, const std::string &Overlay, const EventMap &R,
+    const ContextualRefinementReport &Report) {
+  auto C = std::make_shared<RefinementCertificate>();
+  C->Rule = Rule;
+  C->Underlay = Underlay;
+  C->Module = Module;
+  C->Overlay = Overlay;
+  C->Relation = R.name();
+  C->Valid = Report.Holds;
+  C->Obligations = Report.ObligationsChecked;
+  C->Runs = Report.SchedulesExplored;
+  C->Moves = Report.StatesExplored;
+  if (!Report.Holds)
+    C->Notes.push_back(Report.Counterexample);
+  return C;
+}

@@ -1,0 +1,66 @@
+//===- machine/Soundness.h - Contextual refinement (Thm 2.2) ---*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The soundness theorem (Thm 2.2), checked executably: from
+/// `L'[D] |-R M : L[D]`, for any client program P, every behavior (log) of
+/// `P (+) M` over the underlay machine must have an R-related behavior of
+/// P over the overlay machine, with the same client return values.
+///
+/// The implementation machine runs P *linked with* M (so M's functions are
+/// code); the specification machine runs P with M's functions left as
+/// `extern` — they remain Prim instructions bound to the overlay's atomic
+/// primitives.  This is exactly the paper's picture, including the
+/// compiler: both sides are CompCertX-compiled LAsm.
+///
+/// The same checker discharges the multicore linking theorem (Thm 3.1)
+/// when the two configs are the hardware machine and `Lx86[D]`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_MACHINE_SOUNDNESS_H
+#define CCAL_MACHINE_SOUNDNESS_H
+
+#include "core/Certificate.h"
+#include "core/Simulation.h"
+#include "machine/Explorer.h"
+
+namespace ccal {
+
+/// Outcome of a contextual refinement check between two machines.
+struct ContextualRefinementReport {
+  bool Holds = false;
+  std::uint64_t ImplOutcomes = 0;
+  std::uint64_t SpecOutcomes = 0;
+  std::uint64_t ObligationsChecked = 0; ///< impl outcomes matched
+  std::uint64_t SchedulesExplored = 0;
+  std::uint64_t StatesExplored = 0;
+  std::string Counterexample;
+
+  /// Logs gathered from the implementation exploration (for compat checks).
+  std::vector<Log> Corpus;
+};
+
+/// Checks `[[Impl]] <=_R [[Spec]]`: every implementation outcome has a
+/// specification outcome with the R-mapped log and equal client returns.
+ContextualRefinementReport
+checkContextualRefinement(MachineConfigPtr Impl, MachineConfigPtr Spec,
+                          const EventMap &R, const ExploreOptions &ImplOpts,
+                          const ExploreOptions &SpecOpts);
+
+/// Wraps a report into a certificate for the given rule name
+/// ("Soundness", "MulticoreLink", "MultithreadLink", "LogLift", ...).
+CertPtr makeMachineCertificate(const std::string &Rule,
+                               const std::string &Underlay,
+                               const std::string &Module,
+                               const std::string &Overlay,
+                               const EventMap &R,
+                               const ContextualRefinementReport &Report);
+
+} // namespace ccal
+
+#endif // CCAL_MACHINE_SOUNDNESS_H

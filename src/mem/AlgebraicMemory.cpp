@@ -1,0 +1,177 @@
+//===- mem/AlgebraicMemory.cpp - Algebraic memory model (Fig. 12) ----------===//
+
+#include "mem/AlgebraicMemory.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+#include <algorithm>
+
+using namespace ccal;
+
+std::uint32_t AlgMem::alloc(std::int64_t Lo, std::int64_t Hi) {
+  CCAL_CHECK(Lo <= Hi, "alloc bounds must be ordered");
+  Block B;
+  B.Lo = Lo;
+  B.Hi = Hi;
+  B.HasPerm = true;
+  B.Data.assign(static_cast<size_t>(Hi - Lo), 0);
+  Blocks.push_back(std::move(B));
+  return nb() - 1;
+}
+
+void AlgMem::liftnb(std::uint32_t N) {
+  for (std::uint32_t I = 0; I != N; ++I)
+    Blocks.push_back(Block{}); // normalized empty placeholder
+}
+
+std::optional<std::int64_t> AlgMem::load(MemLoc Loc) const {
+  const Block *B = block(Loc.Block);
+  if (!B || !B->HasPerm || Loc.Off < B->Lo || Loc.Off >= B->Hi)
+    return std::nullopt;
+  return B->Data[static_cast<size_t>(Loc.Off - B->Lo)];
+}
+
+bool AlgMem::store(MemLoc Loc, std::int64_t V) {
+  if (Loc.Block >= Blocks.size())
+    return false;
+  Block &B = Blocks[Loc.Block];
+  if (!B.HasPerm || Loc.Off < B.Lo || Loc.Off >= B.Hi)
+    return false;
+  B.Data[static_cast<size_t>(Loc.Off - B.Lo)] = V;
+  return true;
+}
+
+bool AlgMem::freeBlock(std::uint32_t Idx) {
+  if (Idx >= Blocks.size() || !Blocks[Idx].HasPerm)
+    return false;
+  Blocks[Idx] = Block{}; // block number stays allocated, permissions gone
+  return true;
+}
+
+std::string AlgMem::toString() const {
+  std::string Out = "{";
+  for (std::uint32_t I = 0; I != nb(); ++I) {
+    const Block &B = Blocks[I];
+    if (I != 0)
+      Out += ", ";
+    if (!B.HasPerm) {
+      Out += strFormat("b%u:empty", I);
+      continue;
+    }
+    Out += strFormat("b%u:[%lld,%lld)", I, static_cast<long long>(B.Lo),
+                     static_cast<long long>(B.Hi));
+  }
+  return Out + "}";
+}
+
+std::optional<AlgMem> AlgMem::compose(const AlgMem &A, const AlgMem &B) {
+  AlgMem M;
+  std::uint32_t N = std::max(A.nb(), B.nb());
+  for (std::uint32_t I = 0; I != N; ++I) {
+    const Block *BA = A.block(I);
+    const Block *BB = B.block(I);
+    bool PermA = BA && BA->HasPerm;
+    bool PermB = BB && BB->HasPerm;
+    if (PermA && PermB)
+      return std::nullopt; // both sides own the block: not composable
+    if (PermA)
+      M.Blocks.push_back(*BA);
+    else if (PermB)
+      M.Blocks.push_back(*BB);
+    else
+      M.Blocks.push_back(Block{});
+  }
+  return M;
+}
+
+namespace ccal {
+namespace memaxioms {
+
+bool checkNb(const AlgMem &M1, const AlgMem &M2) {
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  if (!M)
+    return true; // vacuous: the relation does not hold
+  return M->nb() == std::max(M1.nb(), M2.nb());
+}
+
+bool checkComm(const AlgMem &M1, const AlgMem &M2) {
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  std::optional<AlgMem> N = AlgMem::compose(M2, M1);
+  if (!M)
+    return !N;
+  return N && *M == *N;
+}
+
+bool checkLd(const AlgMem &M1, const AlgMem &M2, MemLoc Loc) {
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  if (!M)
+    return true;
+  std::optional<std::int64_t> V = M2.load(Loc);
+  if (!V)
+    return true; // premise ld(m2, l) = |v| fails
+  std::optional<std::int64_t> VM = M->load(Loc);
+  return VM && *VM == *V;
+}
+
+bool checkSt(const AlgMem &M1, const AlgMem &M2, MemLoc Loc,
+             std::int64_t V) {
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  AlgMem M2s = M2;
+  if (!M || !M2s.store(Loc, V))
+    return true; // vacuous
+  AlgMem Ms = *M;
+  if (!Ms.store(Loc, V))
+    return false; // store must be preserved by the composed memory
+  std::optional<AlgMem> MPrime = AlgMem::compose(M1, M2s);
+  return MPrime && *MPrime == Ms;
+}
+
+bool checkAlloc(const AlgMem &M1, const AlgMem &M2, std::int64_t Lo,
+                std::int64_t Hi) {
+  if (M1.nb() > M2.nb())
+    return true; // side condition nb(m1) <= nb(m2)
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  if (!M)
+    return true;
+  AlgMem M2a = M2;
+  M2a.alloc(Lo, Hi);
+  AlgMem Ma = *M;
+  Ma.alloc(Lo, Hi);
+  std::optional<AlgMem> MPrime = AlgMem::compose(M1, M2a);
+  return MPrime && *MPrime == Ma;
+}
+
+bool checkLiftR(const AlgMem &M1, const AlgMem &M2, std::uint32_t N) {
+  if (M1.nb() > M2.nb())
+    return true;
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  if (!M)
+    return true;
+  AlgMem M2l = M2;
+  M2l.liftnb(N);
+  AlgMem Ml = *M;
+  Ml.liftnb(N);
+  std::optional<AlgMem> MPrime = AlgMem::compose(M1, M2l);
+  return MPrime && *MPrime == Ml;
+}
+
+bool checkLiftL(const AlgMem &M1, const AlgMem &M2, std::uint32_t N) {
+  if (M1.nb() > M2.nb())
+    return true;
+  std::optional<AlgMem> M = AlgMem::compose(M1, M2);
+  if (!M)
+    return true;
+  AlgMem M1l = M1;
+  M1l.liftnb(N);
+  // liftnb(m, n - (nb(m) - nb(m1))), clamped at zero: lifting m1 below
+  // nb(m2) only fills existing placeholders.
+  std::uint32_t Gap = M->nb() - M1.nb();
+  AlgMem Ml = *M;
+  Ml.liftnb(N > Gap ? N - Gap : 0);
+  std::optional<AlgMem> MPrime = AlgMem::compose(M1l, M2);
+  return MPrime && *MPrime == Ml;
+}
+
+} // namespace memaxioms
+} // namespace ccal

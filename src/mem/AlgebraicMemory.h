@@ -1,0 +1,135 @@
+//===- mem/AlgebraicMemory.h - Algebraic memory model (Fig. 12) -*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extended algebraic memory model of §5.5 / Fig. 12, used by the
+/// thread-safe CompCertX to merge per-thread stack frames into one coherent
+/// CompCert-style memory.
+///
+/// A memory is a sequence of blocks.  A block either carries access
+/// permissions and data (a real stack frame) or is an *empty placeholder*
+/// allocated by the extended yield/sleep semantics to stand for another
+/// thread's frame.  The ternary relation `m1 (*) m2 ~ m` ("m is the
+/// composition of the private memories m1 and m2") is defined when, at
+/// every block index, at most one side holds permissions; `liftnb(m, n)`
+/// extends m with n fresh empty blocks.
+///
+/// All seven axioms of Fig. 12 (Nb, Comm, Ld, St, Alloc, Lift-R, Lift-L)
+/// are implemented as executable checks and verified by property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_MEM_ALGEBRAICMEMORY_H
+#define CCAL_MEM_ALGEBRAICMEMORY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// A memory address (block, offset) in the CompCert style.
+struct MemLoc {
+  std::uint32_t Block = 0;
+  std::int64_t Off = 0;
+
+  bool operator==(const MemLoc &O) const {
+    return Block == O.Block && Off == O.Off;
+  }
+};
+
+/// A CompCert-style memory made of numbered blocks.
+class AlgMem {
+public:
+  /// One block: bounds [Lo, Hi) plus a permission bit.  An empty block
+  /// (no permissions) is the placeholder for another thread's frame.
+  struct Block {
+    std::int64_t Lo = 0;
+    std::int64_t Hi = 0;
+    bool HasPerm = false;
+    std::vector<std::int64_t> Data; ///< Hi - Lo words when HasPerm
+
+    bool operator==(const Block &O) const {
+      return Lo == O.Lo && Hi == O.Hi && HasPerm == O.HasPerm &&
+             Data == O.Data;
+    }
+  };
+
+  AlgMem() = default;
+
+  /// The paper's `nb(m)`: total number of blocks.
+  std::uint32_t nb() const { return static_cast<std::uint32_t>(Blocks.size()); }
+
+  /// `alloc(m, l, h)`: appends a fresh permissioned block with bounds
+  /// [l, h); returns its index.
+  std::uint32_t alloc(std::int64_t Lo, std::int64_t Hi);
+
+  /// `liftnb(m, n)`: appends n empty placeholder blocks.
+  void liftnb(std::uint32_t N);
+
+  /// `ld(m, loc)`: loads a word; std::nullopt when the block is absent,
+  /// unpermissioned, or the offset is out of bounds.
+  std::optional<std::int64_t> load(MemLoc Loc) const;
+
+  /// `st(m, loc, v)`: stores a word; false on a permission/bounds error.
+  bool store(MemLoc Loc, std::int64_t V);
+
+  /// Frees the permissions of a block (frame deallocation on return);
+  /// the block number stays allocated, CompCert-style.
+  bool freeBlock(std::uint32_t Block);
+
+  const Block *block(std::uint32_t Idx) const {
+    return Idx < Blocks.size() ? &Blocks[Idx] : nullptr;
+  }
+
+  bool operator==(const AlgMem &O) const { return Blocks == O.Blocks; }
+
+  std::string toString() const;
+
+  /// The composition `m1 (*) m2 ~ m`: defined when at every index at most
+  /// one side has permissions; the result takes each index's permissioned
+  /// block (or an empty placeholder when neither side has one) and has
+  /// `nb = max(nb(m1), nb(m2))` (axiom Nb).
+  static std::optional<AlgMem> compose(const AlgMem &A, const AlgMem &B);
+
+private:
+  std::vector<Block> Blocks;
+};
+
+/// Executable forms of the Fig. 12 axioms.  Each returns true when the
+/// axiom instance holds for the given memories; property tests quantify
+/// over randomized memories and operations.
+namespace memaxioms {
+
+/// Nb: m1 (*) m2 ~ m implies nb(m) == max(nb(m1), nb(m2)).
+bool checkNb(const AlgMem &M1, const AlgMem &M2);
+
+/// Comm: m1 (*) m2 ~ m implies m2 (*) m1 ~ m.
+bool checkComm(const AlgMem &M1, const AlgMem &M2);
+
+/// Ld: composition preserves loads of the composed parts.
+bool checkLd(const AlgMem &M1, const AlgMem &M2, MemLoc Loc);
+
+/// St: m1 (*) st(m2, loc, v) ~ st(m, loc, v).
+bool checkSt(const AlgMem &M1, const AlgMem &M2, MemLoc Loc, std::int64_t V);
+
+/// Alloc: when nb(m1) <= nb(m2), m1 (*) alloc(m2,l,h) ~ alloc(m,l,h).
+bool checkAlloc(const AlgMem &M1, const AlgMem &M2, std::int64_t Lo,
+                std::int64_t Hi);
+
+/// Lift-R: when nb(m1) <= nb(m2), m1 (*) liftnb(m2,n) ~ liftnb(m,n).
+bool checkLiftR(const AlgMem &M1, const AlgMem &M2, std::uint32_t N);
+
+/// Lift-L: when nb(m1) <= nb(m2),
+/// liftnb(m1,n) (*) m2 ~ liftnb(m, n - (nb(m) - nb(m1))).
+bool checkLiftL(const AlgMem &M1, const AlgMem &M2, std::uint32_t N);
+
+} // namespace memaxioms
+} // namespace ccal
+
+#endif // CCAL_MEM_ALGEBRAICMEMORY_H

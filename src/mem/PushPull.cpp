@@ -1,0 +1,122 @@
+//===- mem/PushPull.cpp - Push/pull shared-memory model --------------------===//
+
+#include "mem/PushPull.h"
+
+#include "support/Check.h"
+
+using namespace ccal;
+
+void PushPullModel::addLocation(Location Loc) {
+  CCAL_CHECK(Loc.Size >= 1, "shared location needs at least one word");
+  if (Loc.Init.empty())
+    Loc.Init.assign(static_cast<size_t>(Loc.Size), 0);
+  CCAL_CHECK(Loc.Init.size() == static_cast<size_t>(Loc.Size),
+             "initial contents must match the location size");
+  auto [It, Inserted] = Locations.emplace(Loc.Loc, std::move(Loc));
+  (void)It;
+  CCAL_CHECK(Inserted, "duplicate shared location");
+}
+
+const PushPullModel::Location *
+PushPullModel::lookup(std::int64_t Loc) const {
+  auto It = Locations.find(Loc);
+  return It == Locations.end() ? nullptr : &It->second;
+}
+
+Replayer<SharedMemState> PushPullModel::replayer() const {
+  SharedMemState Init;
+  for (const auto &[Id, Loc] : Locations)
+    Init.emplace(Id, CellState{Loc.Init, std::nullopt});
+
+  auto Step = [](const SharedMemState &S,
+                 const Event &E) -> std::optional<SharedMemState> {
+    if (E.Kind != PullEventKind && E.Kind != PushEventKind)
+      return S; // other events do not touch the shared memory
+    if (E.Args.empty())
+      return std::nullopt;
+    auto It = S.find(E.Args[0]);
+    if (It == S.end())
+      return std::nullopt; // unknown location
+    SharedMemState Next = S;
+    CellState &Cell = Next[E.Args[0]];
+    if (E.Kind == PullEventKind) {
+      // (v, free) -> (v, own c); anything else is a race.
+      if (Cell.Owner.has_value())
+        return std::nullopt;
+      Cell.Owner = E.Tid;
+      return Next;
+    }
+    // push: (_, own c) -> (vals, free); anything else is a race.
+    if (!Cell.Owner || *Cell.Owner != E.Tid)
+      return std::nullopt;
+    if (E.Args.size() != 1 + Cell.Contents.size())
+      return std::nullopt;
+    Cell.Contents.assign(E.Args.begin() + 1, E.Args.end());
+    Cell.Owner = std::nullopt;
+    return Next;
+  };
+  return Replayer<SharedMemState>(std::move(Init), std::move(Step));
+}
+
+std::optional<SharedMemState> PushPullModel::replay(const Log &L) const {
+  return replayer().replay(L);
+}
+
+void PushPullModel::installPrims(LayerInterface &L) const {
+  Replayer<SharedMemState> R = replayer();
+  std::map<std::int64_t, Location> Locs = Locations;
+
+  // Fig. 8, sigma_pull: append c.pull(b), replay, deliver the contents.
+  L.addShared(PullEventKind, [R, Locs](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (Call.Args.size() != 1)
+      return std::nullopt;
+    auto It = Locs.find(Call.Args[0]);
+    if (It == Locs.end())
+      return std::nullopt;
+    const Location &Loc = It->second;
+
+    Event E(Call.Tid, PullEventKind, {Loc.Loc});
+    Log Extended = *Call.L;
+    Extended.push_back(E);
+    std::optional<SharedMemState> S = R.replay(Extended);
+    if (!S)
+      return std::nullopt; // race: machine gets stuck
+
+    PrimResult Res;
+    Res.Events.push_back(std::move(E));
+    const CellState &Cell = S->at(Loc.Loc);
+    for (std::int32_t I = 0; I != Loc.Size; ++I)
+      Res.LocalWrites.emplace_back(Loc.LocalBase + I,
+                                   Cell.Contents[static_cast<size_t>(I)]);
+    return Res;
+  });
+
+  // Fig. 8, sigma_push: read the local copy, append c.push(b, vals).
+  L.addShared(PushEventKind, [R, Locs](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (Call.Args.size() != 1 || !Call.LocalMem)
+      return std::nullopt;
+    auto It = Locs.find(Call.Args[0]);
+    if (It == Locs.end())
+      return std::nullopt;
+    const Location &Loc = It->second;
+
+    std::vector<std::int64_t> Args = {Loc.Loc};
+    for (std::int32_t I = 0; I != Loc.Size; ++I) {
+      size_t Addr = static_cast<size_t>(Loc.LocalBase + I);
+      if (Addr >= Call.LocalMem->size())
+        return std::nullopt;
+      Args.push_back((*Call.LocalMem)[Addr]);
+    }
+    Event E(Call.Tid, PushEventKind, std::move(Args));
+    Log Extended = *Call.L;
+    Extended.push_back(E);
+    if (!R.replay(Extended))
+      return std::nullopt; // push without ownership: stuck
+
+    PrimResult Res;
+    Res.Events.push_back(std::move(E));
+    return Res;
+  });
+}

@@ -1,0 +1,70 @@
+//===- objects/Linearize.cpp - Linearizability search ------------------------===//
+
+#include "objects/Linearize.h"
+
+using namespace ccal;
+
+namespace {
+
+class Search {
+public:
+  Search(const std::map<ThreadId, std::vector<ObservedOp>> &Histories,
+         const SeqSpec &Spec, std::uint64_t MaxNodes, LinearizeResult &Res)
+      : Histories(Histories), Spec(Spec), MaxNodes(MaxNodes), Res(Res) {
+    for (const auto &[Tid, Ops] : Histories) {
+      (void)Ops;
+      Pos[Tid] = 0;
+    }
+  }
+
+  bool dfs(Log &SoFar) {
+    if (++Res.NodesExplored > MaxNodes) {
+      Res.BudgetExhausted = true;
+      return false;
+    }
+    bool AllDone = true;
+    for (const auto &[Tid, Ops] : Histories) {
+      size_t &P = Pos[Tid];
+      if (P >= Ops.size())
+        continue;
+      AllDone = false;
+      const ObservedOp &Op = Ops[P];
+      std::optional<std::int64_t> Expected = Spec(SoFar, Tid, Op);
+      if (!Expected || *Expected != Op.Ret)
+        continue; // the spec refuses this op here, or returns differently
+      SoFar.push_back(Event(Tid, Op.Method, Op.Args));
+      ++P;
+      if (dfs(SoFar))
+        return true;
+      --P;
+      SoFar.pop_back();
+      if (Res.BudgetExhausted)
+        return false;
+    }
+    if (AllDone) {
+      Res.Linearizable = true;
+      Res.Witness = SoFar;
+      return true;
+    }
+    return false;
+  }
+
+private:
+  const std::map<ThreadId, std::vector<ObservedOp>> &Histories;
+  const SeqSpec &Spec;
+  std::uint64_t MaxNodes;
+  LinearizeResult &Res;
+  std::map<ThreadId, size_t> Pos;
+};
+
+} // namespace
+
+LinearizeResult ccal::findLinearization(
+    const std::map<ThreadId, std::vector<ObservedOp>> &Histories,
+    const SeqSpec &Spec, std::uint64_t MaxNodes) {
+  LinearizeResult Res;
+  Search S(Histories, Spec, MaxNodes, Res);
+  Log SoFar;
+  S.dfs(SoFar);
+  return Res;
+}

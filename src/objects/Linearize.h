@@ -1,0 +1,62 @@
+//===- objects/Linearize.h - Linearizability search ------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A general linearizability checker (Herlihy & Wing; Filipovic et al.
+/// showed it equivalent to contextual refinement, which §7 discusses).  It
+/// searches for a sequential witness: an interleaving of the per-thread
+/// operation histories, preserving each thread's program order, that a
+/// sequential specification accepts with the observed return values.
+///
+/// The commit-point harness (objects/Harness.h) is the main verification
+/// path; this checker is the fallback for objects whose relations carry no
+/// explicit commit events, and a cross-check for those that do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_OBJECTS_LINEARIZE_H
+#define CCAL_OBJECTS_LINEARIZE_H
+
+#include "core/Log.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// One completed operation observed on some thread.
+struct ObservedOp {
+  std::string Method;
+  std::vector<std::int64_t> Args;
+  std::int64_t Ret = 0;
+};
+
+/// Sequential specification: given the spec log so far and the candidate
+/// next operation by \p Tid, return the value the spec would produce, or
+/// std::nullopt when the spec refuses the operation in this state.
+using SeqSpec = std::function<std::optional<std::int64_t>(
+    const Log &SoFar, ThreadId Tid, const ObservedOp &Op)>;
+
+/// Search outcome.
+struct LinearizeResult {
+  bool Linearizable = false;
+  Log Witness; ///< accepted sequential order, when found
+  std::uint64_t NodesExplored = 0;
+  bool BudgetExhausted = false;
+};
+
+/// Searches for a linearization of \p Histories against \p Spec.
+LinearizeResult
+findLinearization(const std::map<ThreadId, std::vector<ObservedOp>> &Histories,
+                  const SeqSpec &Spec, std::uint64_t MaxNodes = 1u << 22);
+
+} // namespace ccal
+
+#endif // CCAL_OBJECTS_LINEARIZE_H

@@ -1,0 +1,205 @@
+//===- objects/LocalQueue.cpp - Certified local (sequential) queue ------------===//
+
+#include "objects/LocalQueue.h"
+
+#include "compcertx/Validate.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "compcertx/Linker.h"
+#include "support/Rng.h"
+#include "support/Text.h"
+
+#include <algorithm>
+
+using namespace ccal;
+
+void AbstractLocalQueue::enQ(std::int64_t T) {
+  if (T < 0 || T >= LocalQueueCap || contains(T))
+    return;
+  Items.push_back(T);
+}
+
+std::int64_t AbstractLocalQueue::deQ() {
+  if (Items.empty())
+    return -1;
+  std::int64_t T = Items.front();
+  Items.pop_front();
+  return T;
+}
+
+void AbstractLocalQueue::rmQ(std::int64_t T) {
+  auto It = std::find(Items.begin(), Items.end(), T);
+  if (It != Items.end())
+    Items.erase(It);
+}
+
+bool AbstractLocalQueue::contains(std::int64_t T) const {
+  return std::find(Items.begin(), Items.end(), T) != Items.end();
+}
+
+ClightModule ccal::makeLocalQueueModule() {
+  ClightModule M = parseModuleOrDie("M_local_queue", R"(
+    // Doubly linked queue of TCB indices over index arrays (the concrete
+    // representation the paper abstracts into a logical list).
+    int q_head = -1;
+    int q_tail = -1;
+    int q_next[16];
+    int q_prev[16];
+    int q_inq[16];
+
+    void q_init() {
+      q_head = -1;
+      q_tail = -1;
+      int i = 0;
+      while (i < 16) {
+        q_next[i] = -1;
+        q_prev[i] = -1;
+        q_inq[i] = 0;
+        i = i + 1;
+      }
+    }
+
+    void enQ(int t) {
+      if (t < 0 || t >= 16) { return; }
+      if (q_inq[t] == 1) { return; }
+      q_inq[t] = 1;
+      q_next[t] = -1;
+      q_prev[t] = q_tail;
+      if (q_tail == -1) {
+        q_head = t;
+      } else {
+        q_next[q_tail] = t;
+      }
+      q_tail = t;
+    }
+
+    int deQ() {
+      if (q_head == -1) { return -1; }
+      int t = q_head;
+      q_head = q_next[t];
+      if (q_head == -1) {
+        q_tail = -1;
+      } else {
+        q_prev[q_head] = -1;
+      }
+      q_inq[t] = 0;
+      q_next[t] = -1;
+      q_prev[t] = -1;
+      return t;
+    }
+
+    void rmQ(int t) {
+      if (t < 0 || t >= 16) { return; }
+      if (q_inq[t] == 0) { return; }
+      if (q_prev[t] == -1) {
+        q_head = q_next[t];
+      } else {
+        q_next[q_prev[t]] = q_next[t];
+      }
+      if (q_next[t] == -1) {
+        q_tail = q_prev[t];
+      } else {
+        q_prev[q_next[t]] = q_prev[t];
+      }
+      q_inq[t] = 0;
+      q_next[t] = -1;
+      q_prev[t] = -1;
+    }
+
+    int q_len() {
+      int n = 0;
+      int i = q_head;
+      while (i != -1) {
+        n = n + 1;
+        i = q_next[i];
+      }
+      return n;
+    }
+
+    int q_head_val() { return q_head; }
+  )");
+  typeCheckOrDie(M);
+  return M;
+}
+
+std::string ccal::runLocalQueueDifferential(std::uint64_t Seed,
+                                            unsigned NumOps, bool ThroughVm) {
+  ClightModule M = makeLocalQueueModule();
+  AbstractLocalQueue Model;
+  Rng R(Seed);
+
+  PrimHandler NoPrims = [](const std::string &,
+                           const std::vector<std::int64_t> &)
+      -> std::optional<std::int64_t> { return std::nullopt; };
+
+  // Interpreter state persists across calls; the VM path replays the whole
+  // op prefix each call on fresh globals... that would be O(n^2), so the
+  // VM path instead drives one persistent global image.
+  Interp Ref(M, NoPrims);
+  AsmProgramPtr Compiled;
+  std::vector<std::int64_t> VmGlobals;
+  if (ThroughVm) {
+    Compiled = compileAndLink("local_queue.lasm", {&M});
+    VmGlobals = Compiled->initialGlobals();
+  }
+
+  auto CallImpl =
+      [&](const std::string &Fn,
+          std::vector<std::int64_t> Args) -> std::optional<std::int64_t> {
+    if (!ThroughVm)
+      return Ref.call(Fn, std::move(Args));
+    Vm Machine(Compiled);
+    Machine.start(Fn, std::move(Args));
+    Vm::Status St = Machine.run(VmGlobals, 1u << 20);
+    if (St != Vm::Status::Done)
+      return std::nullopt;
+    return Machine.result();
+  };
+
+  if (!CallImpl("q_init", {}))
+    return "q_init failed";
+
+  for (unsigned I = 0; I != NumOps; ++I) {
+    unsigned Kind = static_cast<unsigned>(R.below(5));
+    std::int64_t T = R.range(-1, LocalQueueCap); // includes invalid edges
+    std::optional<std::int64_t> Got;
+    std::int64_t Want = 0;
+    std::string OpName;
+    switch (Kind) {
+    case 0:
+      OpName = strFormat("enQ(%lld)", static_cast<long long>(T));
+      Got = CallImpl("enQ", {T});
+      Model.enQ(T);
+      break;
+    case 1:
+      OpName = "deQ()";
+      Want = Model.deQ();
+      Got = CallImpl("deQ", {});
+      break;
+    case 2:
+      OpName = strFormat("rmQ(%lld)", static_cast<long long>(T));
+      Got = CallImpl("rmQ", {T});
+      Model.rmQ(T);
+      break;
+    case 3:
+      OpName = "q_len()";
+      Want = Model.size();
+      Got = CallImpl("q_len", {});
+      break;
+    default:
+      OpName = "q_head_val()";
+      Want = Model.head();
+      Got = CallImpl("q_head_val", {});
+      break;
+    }
+    if (!Got)
+      return strFormat("op %u (%s): implementation faulted", I,
+                       OpName.c_str());
+    bool Observes = Kind == 1 || Kind == 3 || Kind == 4;
+    if (Observes && *Got != Want)
+      return strFormat("op %u (%s): impl %lld vs model %lld", I,
+                       OpName.c_str(), static_cast<long long>(*Got),
+                       static_cast<long long>(Want));
+  }
+  return "";
+}

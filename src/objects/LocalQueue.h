@@ -1,0 +1,75 @@
+//===- objects/LocalQueue.h - Certified local (sequential) queue -*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The local (sequential) thread-queue library of §4.2 and Table 2: a
+/// doubly linked list over index arrays (the concrete representation) that
+/// refines an abstract list of TCB indices (the paper's `tdqp`).
+///
+/// Being CPU-private, this layer is *sequential*: its refinement proof in
+/// the paper is a sequential simulation with an abstraction function from
+/// memory to logical lists.  Executably, we (a) run the ClightX module and
+/// the abstract model side by side over randomized operation sequences
+/// (through both the reference interpreter and the compiled VM), and
+/// (b) reuse it as linked code inside the shared queue and the scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_OBJECTS_LOCALQUEUE_H
+#define CCAL_OBJECTS_LOCALQUEUE_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Capacity of the queue module (TCB index range).
+inline constexpr int LocalQueueCap = 16;
+
+/// The abstract queue of TCB indices (the paper's logical list): a list
+/// with set semantics — an element can be queued at most once, mirroring
+/// TCBs living in at most one queue.
+class AbstractLocalQueue {
+public:
+  /// enQ: appends \p T; out-of-range or already-queued values are ignored
+  /// (the module's defensive behavior).
+  void enQ(std::int64_t T);
+
+  /// deQ: pops the head or returns -1.
+  std::int64_t deQ();
+
+  /// rmQ: removes \p T wherever it is (needed to wake a specific thread).
+  void rmQ(std::int64_t T);
+
+  std::int64_t head() const { return Items.empty() ? -1 : Items.front(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(Items.size()); }
+  bool contains(std::int64_t T) const;
+
+  const std::deque<std::int64_t> &items() const { return Items; }
+
+private:
+  std::deque<std::int64_t> Items;
+};
+
+/// The ClightX module: q_init / enQ / deQ / rmQ / q_len / q_head over
+/// head/tail/next/prev/inq arrays.
+ClightModule makeLocalQueueModule();
+
+/// One randomized differential run of the module against the abstract
+/// model; returns "" on agreement or a mismatch description.
+/// \p ThroughVm selects compiled LAsm execution instead of the reference
+/// interpreter, exercising the compiler on the same module.
+std::string runLocalQueueDifferential(std::uint64_t Seed, unsigned NumOps,
+                                      bool ThroughVm);
+
+} // namespace ccal
+
+#endif // CCAL_OBJECTS_LOCALQUEUE_H

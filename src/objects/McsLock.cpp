@@ -1,0 +1,225 @@
+//===- objects/McsLock.cpp - Certified MCS lock -------------------------------===//
+
+#include "objects/McsLock.h"
+
+#include "machine/CpuLocal.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "objects/TicketLock.h" // for makeTicketClient (same client shape)
+
+using namespace ccal;
+
+Replayer<McsState> ccal::makeMcsReplayer() {
+  auto Step = [](const McsState &S,
+                 const Event &E) -> std::optional<McsState> {
+    McsState N = S;
+    if (E.Kind == "mcs_init") {
+      N.Busy[E.Tid] = 1;
+      N.Next[E.Tid] = -1;
+      return N;
+    }
+    if (E.Kind == "mcs_swap_tail") {
+      N.Tail = E.Tid;
+      return N;
+    }
+    if (E.Kind == "mcs_set_next") {
+      if (E.Args.size() != 1 || E.Args[0] < 0)
+        return std::nullopt;
+      N.Next[static_cast<ThreadId>(E.Args[0])] = E.Tid;
+      return N;
+    }
+    if (E.Kind == "mcs_get_busy" || E.Kind == "mcs_get_next")
+      return N; // reads only append evidence
+    if (E.Kind == "mcs_cas_tail") {
+      if (E.Args.size() != 1)
+        return std::nullopt;
+      bool Success = E.Args[0] != 0;
+      if (Success) {
+        if (S.Tail != static_cast<std::int64_t>(E.Tid))
+          return std::nullopt; // claimed success without being tail
+        if (!S.Holder || *S.Holder != E.Tid)
+          return std::nullopt; // release commit by non-holder
+        N.Tail = -1;
+        N.Holder.reset();
+      } else if (S.Tail == static_cast<std::int64_t>(E.Tid)) {
+        return std::nullopt; // claimed failure while being tail
+      }
+      return N;
+    }
+    if (E.Kind == "mcs_clear_busy") {
+      if (E.Args.size() != 1 || E.Args[0] < 0)
+        return std::nullopt;
+      if (!S.Holder || *S.Holder != E.Tid)
+        return std::nullopt; // handoff by non-holder
+      N.Busy[static_cast<ThreadId>(E.Args[0])] = 0;
+      N.Holder.reset();
+      return N;
+    }
+    if (E.Kind == "hold") {
+      if (S.Holder.has_value())
+        return std::nullopt; // mutual exclusion violated
+      N.Holder = E.Tid;
+      return N;
+    }
+    return N;
+  };
+  return Replayer<McsState>(McsState{}, std::move(Step));
+}
+
+McsLockLayers ccal::makeMcsLockLayers() {
+  McsLockLayers Out;
+  Replayer<McsState> R = makeMcsReplayer();
+
+  auto L0 = makeInterface("L0_mcs");
+  // mcs_init: busy = 1, next = nil for the caller's node.
+  L0->addShared("mcs_init", makeEventPrim("mcs_init"));
+  // mcs_swap_tail: atomically tail <- self, returns the previous tail.
+  L0->addShared("mcs_swap_tail",
+                [R](const PrimCall &Call) -> std::optional<PrimResult> {
+                  std::optional<McsState> S = R.replay(*Call.L);
+                  if (!S)
+                    return std::nullopt;
+                  PrimResult Res;
+                  Res.Ret = S->Tail;
+                  Res.Events.push_back(
+                      Event(Call.Tid, "mcs_swap_tail"));
+                  return Res;
+                });
+  L0->addShared("mcs_set_next", makeEventPrim("mcs_set_next"));
+  L0->addShared("mcs_get_busy",
+                [R](const PrimCall &Call) -> std::optional<PrimResult> {
+                  std::optional<McsState> S = R.replay(*Call.L);
+                  if (!S)
+                    return std::nullopt;
+                  PrimResult Res;
+                  auto It = S->Busy.find(Call.Tid);
+                  Res.Ret = It == S->Busy.end() ? 1 : It->second;
+                  Res.Events.push_back(Event(Call.Tid, "mcs_get_busy"));
+                  return Res;
+                });
+  L0->addShared("mcs_get_next",
+                [R](const PrimCall &Call) -> std::optional<PrimResult> {
+                  std::optional<McsState> S = R.replay(*Call.L);
+                  if (!S)
+                    return std::nullopt;
+                  PrimResult Res;
+                  auto It = S->Next.find(Call.Tid);
+                  Res.Ret = It == S->Next.end() ? -1 : It->second;
+                  Res.Events.push_back(Event(Call.Tid, "mcs_get_next"));
+                  return Res;
+                });
+  // mcs_cas_tail: CAS(tail, self, nil); the success bit is recorded in the
+  // event so the relation can treat a successful CAS as the release commit.
+  L0->addShared("mcs_cas_tail",
+                [R](const PrimCall &Call) -> std::optional<PrimResult> {
+                  std::optional<McsState> S = R.replay(*Call.L);
+                  if (!S)
+                    return std::nullopt;
+                  bool Success =
+                      S->Tail == static_cast<std::int64_t>(Call.Tid);
+                  PrimResult Res;
+                  Res.Ret = Success ? 1 : 0;
+                  Res.Events.push_back(Event(Call.Tid, "mcs_cas_tail",
+                                             {Success ? 1 : 0}));
+                  return Res;
+                });
+  L0->addShared("mcs_clear_busy", makeEventPrim("mcs_clear_busy"));
+  L0->addShared("hold", makeEventPrim("hold"));
+  L0->addShared("f", makeFetchIncPrim("f"));
+  L0->addShared("g", makeFetchIncPrim("g"));
+  Out.L0 = L0;
+
+  Out.M1 = parseModuleOrDie("M1_mcs", R"(
+    extern void mcs_init();
+    extern int mcs_swap_tail();
+    extern void mcs_set_next(int prev);
+    extern int mcs_get_busy();
+    extern int mcs_get_next();
+    extern int mcs_cas_tail();
+    extern void mcs_clear_busy(int t);
+    extern void hold();
+
+    void acq() {
+      mcs_init();
+      int prev = mcs_swap_tail();
+      if (prev != -1) {
+        mcs_set_next(prev);
+        while (mcs_get_busy() != 0) {}
+      }
+      hold();
+    }
+
+    void rel() {
+      int nxt = mcs_get_next();
+      if (nxt == -1) {
+        if (mcs_cas_tail() == 1) {
+          return;
+        }
+        while (nxt == -1) {
+          nxt = mcs_get_next();
+        }
+      }
+      mcs_clear_busy(nxt);
+    }
+  )");
+  typeCheckOrDie(Out.M1);
+
+  // Same atomic overlay as the ticket lock (§6: interchangeable).
+  auto L1 = makeInterface("L1");
+  addAtomicLock(*L1, "acq", "rel");
+  L1->addShared("f", makeFetchIncPrim("f"));
+  L1->addShared("g", makeFetchIncPrim("g"));
+  Out.L1 = L1;
+
+  Out.R1 = EventMap("R1_mcs", [](const Event &E) -> std::optional<Event> {
+    if (E.Kind == "hold")
+      return Event(E.Tid, "acq");
+    if (E.Kind == "mcs_cas_tail")
+      return E.Args == std::vector<std::int64_t>{1}
+                 ? std::optional<Event>(Event(E.Tid, "rel"))
+                 : std::nullopt;
+    if (E.Kind == "mcs_clear_busy")
+      return Event(E.Tid, "rel");
+    if (E.Kind == "mcs_init" || E.Kind == "mcs_swap_tail" ||
+        E.Kind == "mcs_set_next" || E.Kind == "mcs_get_busy" ||
+        E.Kind == "mcs_get_next")
+      return std::nullopt;
+    return E;
+  });
+  return Out;
+}
+
+std::string ccal::mcsMutexInvariant(const MultiCoreMachine &M) {
+  static const Replayer<McsState> R = makeMcsReplayer();
+  if (!R.wellFormed(M.log()))
+    return "mcs replay stuck: mutual exclusion or handoff protocol violated";
+  return "";
+}
+
+HarnessOutcome ccal::certifyMcsLock(unsigned NumCpus, unsigned Rounds) {
+  McsLockLayers Layers = makeMcsLockLayers();
+  static ClightModule M1;
+  static ClightModule Client;
+  M1 = cloneModule(Layers.M1);
+  Client = makeTicketClient(); // same acq/f/g/rel client shape
+
+  ObjectHarness H;
+  H.ObjectName = "mcs_lock";
+  H.Underlay = Layers.L0;
+  H.Modules = {&M1};
+  H.Overlay = Layers.L1;
+  H.R = Layers.R1;
+  H.Client = &Client;
+  for (unsigned C = 1; C <= NumCpus; ++C) {
+    std::vector<CpuWorkItem> Items;
+    for (unsigned I = 0; I != Rounds; ++I)
+      Items.push_back({"t_main", {}});
+    H.Work.emplace(C, std::move(Items));
+  }
+  H.ImplOpts.FairnessBound = 2;
+  H.ImplOpts.MaxSteps = 512;
+  H.ImplOpts.Invariant = mcsMutexInvariant;
+  H.SpecOpts.FairnessBound = 1u << 20;
+  H.SpecOpts.MaxSteps = 512;
+  return runObjectHarness(H);
+}

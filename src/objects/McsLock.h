@@ -1,0 +1,62 @@
+//===- objects/McsLock.h - Certified MCS lock ------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MCS queue lock (Mellor-Crummey & Scott; verified layer by layer in
+/// Kim et al., APLAS'17, using this toolkit — §6 evaluates it alongside the
+/// ticket lock).  Each CPU owns a queue node (busy flag + next pointer);
+/// acquisition swaps itself into the shared tail and spins on its *own*
+/// flag — the cache-local spinning that makes MCS scale (§6's motivation).
+///
+/// Crucially, the MCS lock refines the *same* atomic interface L1 as the
+/// ticket lock, so the two "can be freely interchanged without affecting
+/// any proof in the higher-level modules using locks" (§6) — the mcs tests
+/// re-certify the shared queue over the MCS lock to demonstrate exactly
+/// that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_OBJECTS_MCSLOCK_H
+#define CCAL_OBJECTS_MCSLOCK_H
+
+#include "objects/Harness.h"
+#include "objects/ObjectSpec.h"
+
+namespace ccal {
+
+/// The MCS node/tail state replayed from L0_mcs events.
+struct McsState {
+  std::int64_t Tail = -1;
+  std::map<ThreadId, std::int64_t> Busy; ///< spin flag per CPU (1 = wait)
+  std::map<ThreadId, std::int64_t> Next; ///< successor per CPU (-1 = none)
+  std::optional<ThreadId> Holder;
+};
+
+/// Replays the MCS state; stuck on protocol violations (CAS success
+/// without being tail, hold while held, ...).
+Replayer<McsState> makeMcsReplayer();
+
+/// All MCS layer pieces; the overlay L1 and relation target the same
+/// atomic acq/rel events as the ticket lock.
+struct McsLockLayers {
+  LayerPtr L0;
+  ClightModule M1;
+  LayerPtr L1;
+  EventMap R1;
+};
+
+McsLockLayers makeMcsLockLayers();
+
+/// Mutual-exclusion invariant over the implementation machine.
+std::string mcsMutexInvariant(const MultiCoreMachine &M);
+
+/// Certifies `L0_mcs[{1..NumCpus}] |- mcs_lock : L1[{1..NumCpus}]`.
+HarnessOutcome certifyMcsLock(unsigned NumCpus, unsigned Rounds = 1);
+
+} // namespace ccal
+
+#endif // CCAL_OBJECTS_MCSLOCK_H

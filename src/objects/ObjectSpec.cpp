@@ -1,0 +1,80 @@
+//===- objects/ObjectSpec.cpp - Atomic object specifications ----------------===//
+
+#include "objects/ObjectSpec.h"
+
+using namespace ccal;
+
+void ccal::addAtomicMethod(LayerInterface &L, const std::string &Name,
+                           AtomicSemantics Sem) {
+  L.addShared(Name, [Name, Sem](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    AtomicOutcome O = Sem(Call.Tid, Call.Args, *Call.L);
+    switch (O.K) {
+    case AtomicOutcome::Kind::Stuck:
+      return std::nullopt;
+    case AtomicOutcome::Kind::Blocked:
+      return PrimResult::blocked();
+    case AtomicOutcome::Kind::Ok: {
+      PrimResult Res;
+      Res.Events.push_back(Event(Call.Tid, Name, Call.Args));
+      Res.Ret = O.Ret;
+      return Res;
+    }
+    }
+    return std::nullopt;
+  });
+}
+
+Replayer<AbstractLockState>
+ccal::makeAbstractLockReplayer(std::string AcqKind, std::string RelKind) {
+  auto Step = [AcqKind, RelKind](
+                  const AbstractLockState &S,
+                  const Event &E) -> std::optional<AbstractLockState> {
+    if (E.Kind == AcqKind) {
+      if (S.Holder.has_value())
+        return std::nullopt; // acq while held: mutual exclusion violated
+      AbstractLockState Next = S;
+      Next.Holder = E.Tid;
+      ++Next.Acquisitions;
+      return Next;
+    }
+    if (E.Kind == RelKind) {
+      if (!S.Holder || *S.Holder != E.Tid)
+        return std::nullopt; // rel by a non-holder
+      AbstractLockState Next = S;
+      Next.Holder.reset();
+      return Next;
+    }
+    return S;
+  };
+  return Replayer<AbstractLockState>(AbstractLockState{}, std::move(Step));
+}
+
+void ccal::addAtomicLock(LayerInterface &L, const std::string &AcqKind,
+                         const std::string &RelKind) {
+  Replayer<AbstractLockState> R = makeAbstractLockReplayer(AcqKind, RelKind);
+
+  addAtomicMethod(L, AcqKind,
+                  [R](ThreadId Tid, const std::vector<std::int64_t> &,
+                      const Log &Prefix) -> AtomicOutcome {
+                    std::optional<AbstractLockState> S = R.replay(Prefix);
+                    if (!S)
+                      return AtomicOutcome::stuck();
+                    if (S->Holder.has_value()) {
+                      // Re-acquiring while holding is a protocol violation;
+                      // waiting for another holder is a normal Blocked.
+                      return *S->Holder == Tid ? AtomicOutcome::stuck()
+                                               : AtomicOutcome::blocked();
+                    }
+                    return AtomicOutcome::ok(0);
+                  });
+
+  addAtomicMethod(L, RelKind,
+                  [R](ThreadId Tid, const std::vector<std::int64_t> &,
+                      const Log &Prefix) -> AtomicOutcome {
+                    std::optional<AbstractLockState> S = R.replay(Prefix);
+                    if (!S || !S->Holder || *S->Holder != Tid)
+                      return AtomicOutcome::stuck();
+                    return AtomicOutcome::ok(0);
+                  });
+}

@@ -1,0 +1,75 @@
+//===- objects/ObjectSpec.h - Atomic object specifications -----*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for *atomic* overlay interfaces: each method call appends
+/// exactly one event and computes its return value by replaying the log —
+/// the shape of every high-level strategy in the paper (§2: "each
+/// invocation produces exactly one event in the log").  Methods may also be
+/// blocking (acq on a held lock) or refuse a call outright (rel by a
+/// non-holder: a protocol violation that makes the spec machine stuck).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_OBJECTS_OBJECTSPEC_H
+#define CCAL_OBJECTS_OBJECTSPEC_H
+
+#include "core/LayerInterface.h"
+#include "core/Replay.h"
+
+#include <functional>
+#include <optional>
+
+namespace ccal {
+
+/// What an atomic method does once the event is (tentatively) appended.
+struct AtomicOutcome {
+  enum class Kind {
+    Ok,      ///< event committed, Ret returned
+    Blocked, ///< cannot proceed yet; retried when the log grows
+    Stuck,   ///< protocol violation; the machine faults
+  };
+  Kind K = Kind::Ok;
+  std::int64_t Ret = 0;
+
+  static AtomicOutcome ok(std::int64_t Ret = 0) { return {Kind::Ok, Ret}; }
+  static AtomicOutcome blocked() { return {Kind::Blocked, 0}; }
+  static AtomicOutcome stuck() { return {Kind::Stuck, 0}; }
+};
+
+/// Semantics of one atomic method: \p Prefix is the log *before* the call;
+/// the event `Tid.Name(Args)` is appended by the machine iff the outcome is
+/// Ok.
+using AtomicSemantics = std::function<AtomicOutcome(
+    ThreadId Tid, const std::vector<std::int64_t> &Args, const Log &Prefix)>;
+
+/// Installs an atomic method into interface \p L: a shared primitive
+/// emitting the single event `tid.Name(args)`.
+void addAtomicMethod(LayerInterface &L, const std::string &Name,
+                     AtomicSemantics Sem);
+
+/// Abstract lock state replayed from atomic `AcqKind`/`RelKind` events —
+/// shared by the ticket and MCS lock specifications ("both share the same
+/// high-level atomic specification", §6).
+struct AbstractLockState {
+  std::optional<ThreadId> Holder;
+  std::uint64_t Acquisitions = 0;
+};
+
+/// Replayer over atomic lock events; stuck when acq happens while held or
+/// rel by a non-holder (mutual exclusion as a replay invariant).
+Replayer<AbstractLockState> makeAbstractLockReplayer(std::string AcqKind,
+                                                     std::string RelKind);
+
+/// Installs blocking atomic `acq`/`rel` methods over the abstract lock
+/// replayer into \p L.
+void addAtomicLock(LayerInterface &L, const std::string &AcqKind,
+                   const std::string &RelKind);
+
+} // namespace ccal
+
+#endif // CCAL_OBJECTS_OBJECTSPEC_H

@@ -1,0 +1,242 @@
+//===- objects/SharedQueue.cpp - Certified shared queue ----------------------===//
+
+#include "objects/SharedQueue.h"
+
+#include "compcertx/Linker.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "machine/CpuLocal.h"
+#include "support/Check.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+Replayer<AbstractSharedQueue> ccal::makeSharedQueueReplayer() {
+  auto Step = [](const AbstractSharedQueue &S,
+                 const Event &E) -> std::optional<AbstractSharedQueue> {
+    AbstractSharedQueue N = S;
+    if (E.Kind == "enQ") {
+      if (E.Args.size() != 1)
+        return std::nullopt;
+      if (N.Items.size() < SharedQueueCap)
+        N.Items.push_back(E.Args[0]);
+      return N;
+    }
+    if (E.Kind == "deQ") {
+      if (!N.Items.empty())
+        N.Items.erase(N.Items.begin());
+      return N;
+    }
+    return N;
+  };
+  return Replayer<AbstractSharedQueue>(AbstractSharedQueue{},
+                                       std::move(Step));
+}
+
+static ClightModule makeSharedQueueModule() {
+  ClightModule M = parseModuleOrDie("M_shared_queue", R"(
+    extern void acq();
+    extern void rel();
+    extern void pull(int b);
+    extern void push(int b);
+    extern void deq_done(int r);
+    extern void enq_done(int v);
+
+    // CPU-local copy of the shared queue cell (materialized by pull,
+    // published by push).
+    int sq_data[8];
+    int sq_len;
+
+    int deQ() {
+      acq();
+      pull(0);
+      int r = -1;
+      if (sq_len > 0) {
+        r = sq_data[0];
+        int i = 0;
+        while (i < sq_len - 1) {
+          sq_data[i] = sq_data[i + 1];
+          i = i + 1;
+        }
+        sq_len = sq_len - 1;
+      }
+      deq_done(r);
+      push(0);
+      rel();
+      return r;
+    }
+
+    void enQ(int v) {
+      acq();
+      pull(0);
+      if (sq_len < 8) {
+        sq_data[sq_len] = v;
+        sq_len = sq_len + 1;
+      }
+      enq_done(v);
+      push(0);
+      rel();
+    }
+  )");
+  typeCheckOrDie(M);
+  return M;
+}
+
+static ClightModule makeSharedQueueClient() {
+  ClightModule M = parseModuleOrDie("P_shared_queue_client", R"(
+    extern int deQ();
+    extern void enQ(int v);
+
+    int produce(int v) {
+      enQ(v);
+      return v;
+    }
+
+    int consume() { return deQ(); }
+  )");
+  typeCheckOrDie(M);
+  return M;
+}
+
+SharedQueueSetup ccal::makeSharedQueueSetup(unsigned Producers,
+                                            unsigned Consumers,
+                                            unsigned Rounds) {
+  SharedQueueSetup Out;
+  Out.Module = makeSharedQueueModule();
+  Out.Client = makeSharedQueueClient();
+
+  // Link the implementation first: the push/pull cell needs the linked
+  // addresses of the CPU-local copy.
+  AsmProgramPtr ImplProg =
+      compileAndLink("shared_queue.impl.lasm", {&Out.Client, &Out.Module});
+
+  PushPullModel Mem;
+  {
+    PushPullModel::Location Cell;
+    Cell.Loc = 0;
+    Cell.LocalBase = ImplProg->globalAddr("sq_data");
+    Cell.Size = SharedQueueCap + 1; // sq_data[8] then sq_len
+    CCAL_CHECK(ImplProg->globalAddr("sq_len") ==
+                   Cell.LocalBase + SharedQueueCap,
+               "sq_len must follow sq_data in the linked layout");
+    Mem.addLocation(Cell);
+  }
+
+  // Underlay: the certified lock's atomic interface, the push/pull
+  // primitives, and the ghost commit markers.
+  auto Under = makeInterface("L1_lock_pp");
+  addAtomicLock(*Under, "acq", "rel");
+  Mem.installPrims(*Under);
+  Under->addShared("deq_done", makeEventPrim("deq_done"));
+  Under->addShared("enq_done", makeEventPrim("enq_done"));
+  Out.Underlay = Under;
+
+  // Overlay: atomic enQ/deQ over the abstract queue replay.
+  Replayer<AbstractSharedQueue> QR = makeSharedQueueReplayer();
+  auto Over = makeInterface("Lq");
+  addAtomicMethod(*Over, "deQ",
+                  [QR](ThreadId, const std::vector<std::int64_t> &,
+                       const Log &Prefix) -> AtomicOutcome {
+                    std::optional<AbstractSharedQueue> S = QR.replay(Prefix);
+                    if (!S)
+                      return AtomicOutcome::stuck();
+                    return AtomicOutcome::ok(
+                        S->Items.empty() ? -1 : S->Items.front());
+                  });
+  addAtomicMethod(*Over, "enQ",
+                  [QR](ThreadId, const std::vector<std::int64_t> &Args,
+                       const Log &Prefix) -> AtomicOutcome {
+                    if (Args.size() != 1)
+                      return AtomicOutcome::stuck();
+                    if (!QR.replay(Prefix))
+                      return AtomicOutcome::stuck();
+                    return AtomicOutcome::ok(0);
+                  });
+  Out.Overlay = Over;
+
+  // R: commit markers become the atomic events; lock and memory-model
+  // events are internal.
+  Out.R = EventMap("Rq", [](const Event &E) -> std::optional<Event> {
+    if (E.Kind == "deq_done")
+      return Event(E.Tid, "deQ");
+    if (E.Kind == "enq_done")
+      return Event(E.Tid, "enQ", E.Args);
+    return std::nullopt;
+  });
+
+  // Workloads: producers enqueue distinct values, consumers dequeue.
+  std::map<ThreadId, std::vector<CpuWorkItem>> Work;
+  ThreadId NextCpu = 1;
+  for (unsigned P = 0; P != Producers; ++P, ++NextCpu) {
+    std::vector<CpuWorkItem> Items;
+    for (unsigned I = 0; I != Rounds; ++I)
+      Items.push_back(
+          {"produce", {static_cast<std::int64_t>(NextCpu * 100 + I)}});
+    Work.emplace(NextCpu, std::move(Items));
+  }
+  for (unsigned C = 0; C != Consumers; ++C, ++NextCpu) {
+    std::vector<CpuWorkItem> Items;
+    for (unsigned I = 0; I != Rounds; ++I)
+      Items.push_back({"consume", {}});
+    Work.emplace(NextCpu, std::move(Items));
+  }
+
+  auto ImplCfg = std::make_shared<MachineConfig>();
+  ImplCfg->Name = "shared_queue.impl";
+  ImplCfg->Layer = Out.Underlay;
+  ImplCfg->Program = ImplProg;
+  ImplCfg->Work = Work;
+  Out.ImplConfig = ImplCfg;
+
+  auto SpecCfg = std::make_shared<MachineConfig>();
+  SpecCfg->Name = "shared_queue.spec";
+  SpecCfg->Layer = Out.Overlay;
+  SpecCfg->Program = compileAndLink("shared_queue.spec.lasm", {&Out.Client});
+  SpecCfg->Work = Work;
+  Out.SpecConfig = SpecCfg;
+  return Out;
+}
+
+HarnessOutcome ccal::certifySharedQueue(unsigned Producers,
+                                        unsigned Consumers,
+                                        unsigned Rounds) {
+  SharedQueueSetup Setup =
+      makeSharedQueueSetup(Producers, Consumers, Rounds);
+
+  ExploreOptions ImplOpts;
+  ImplOpts.FairnessBound = 4;
+  ImplOpts.MaxSteps = 512;
+  // Safety invariant: the lock protocol and the push/pull model must stay
+  // race free along every interleaving.
+  Replayer<AbstractLockState> LockR = makeAbstractLockReplayer("acq", "rel");
+  ImplOpts.Invariant = [LockR](const MultiCoreMachine &M) -> std::string {
+    if (!LockR.wellFormed(M.log()))
+      return "lock protocol violated";
+    return "";
+  };
+  ExploreOptions SpecOpts;
+  SpecOpts.FairnessBound = 1u << 20;
+  SpecOpts.MaxSteps = 512;
+
+  HarnessOutcome Out;
+  Out.Report = checkContextualRefinement(Setup.ImplConfig, Setup.SpecConfig,
+                                         Setup.R, ImplOpts, SpecOpts);
+  std::vector<ThreadId> Focus;
+  for (const auto &[Tid, Items] : Setup.ImplConfig->Work) {
+    (void)Items;
+    Focus.push_back(Tid);
+  }
+  CertPtr Cert = makeMachineCertificate(
+      "LogLift", CertifiedLayer::atFocus(Setup.Underlay->name(), Focus),
+      "shared_queue", CertifiedLayer::atFocus(Setup.Overlay->name(), Focus),
+      Setup.R, Out.Report);
+  if (Out.Report.Holds)
+    Out.Layer = calculus::fromCertificate(Setup.Underlay, "shared_queue",
+                                          Setup.Overlay, Focus,
+                                          Setup.R.name(), Cert);
+  else
+    Out.Layer.Cert = Cert;
+  Out.ImplLoC = moduleLoC(Setup.Module);
+  Out.SpecPrimCount = Setup.Overlay->primNames().size();
+  return Out;
+}

@@ -1,0 +1,242 @@
+//===- objects/TicketLock.cpp - Certified ticket lock ------------------------===//
+
+#include "objects/TicketLock.h"
+
+#include "machine/CpuLocal.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "support/Text.h"
+
+#include <map>
+
+using namespace ccal;
+
+Replayer<TicketState> ccal::makeTicketReplayer() {
+  // Folds mutual exclusion (hold requires free, inc_n requires holder) and
+  // the ticket counters; FIFO acquisition order is the separate whole-log
+  // property checkTicketFifo.
+  auto Step = [](const TicketState &S,
+                 const Event &E) -> std::optional<TicketState> {
+    TicketState Next = S;
+    if (E.Kind == "FAI_t") {
+      ++Next.NextTicket;
+      return Next;
+    }
+    if (E.Kind == "hold") {
+      if (S.Holder.has_value())
+        return std::nullopt; // mutual exclusion violated
+      Next.Holder = E.Tid;
+      return Next;
+    }
+    if (E.Kind == "inc_n") {
+      if (!S.Holder || *S.Holder != E.Tid)
+        return std::nullopt; // release by non-holder
+      ++Next.NowServing;
+      Next.Holder.reset();
+      return Next;
+    }
+    return Next;
+  };
+  return Replayer<TicketState>(TicketState{}, std::move(Step));
+}
+
+std::string ccal::checkTicketFifo(const Log &L) {
+  std::vector<ThreadId> TicketOrder; // tid that fetched the k-th ticket
+  size_t NextServed = 0;
+  for (const Event &E : L) {
+    if (E.Kind == "FAI_t") {
+      TicketOrder.push_back(E.Tid);
+      continue;
+    }
+    if (E.Kind != "hold")
+      continue;
+    if (NextServed >= TicketOrder.size())
+      return "hold without a fetched ticket";
+    if (TicketOrder[NextServed] != E.Tid)
+      return strFormat("FIFO violated: ticket %zu belongs to CPU %u but "
+                       "CPU %u acquired",
+                       NextServed, TicketOrder[NextServed], E.Tid);
+    ++NextServed;
+  }
+  return "";
+}
+
+TicketLockLayers ccal::makeTicketLockLayers() {
+  TicketLockLayers Out;
+
+  // --- L0: the x86 atomic primitives (Fig. 3's "Methods provided by L0").
+  auto L0 = makeInterface("L0");
+  L0->addShared("FAI_t", makeFetchIncPrim("FAI_t"));
+  L0->addShared("get_n", makeReadCounterPrim("get_n", "inc_n"));
+  L0->addShared("inc_n", makeEventPrim("inc_n"));
+  L0->addShared("hold", makeEventPrim("hold"));
+  // Pass-through critical-section work: f and g return how many times each
+  // has run before (a log-replayed counter), so client return values are
+  // schedule-sensitive and the refinement compares them meaningfully.
+  L0->addShared("f", makeFetchIncPrim("f"));
+  L0->addShared("g", makeFetchIncPrim("g"));
+  Out.L0 = L0;
+
+  // --- M1: Fig. 3's module, verbatim ClightX.
+  Out.M1 = parseModuleOrDie("M1_ticket", R"(
+    extern int FAI_t();
+    extern int get_n();
+    extern void inc_n();
+    extern void hold();
+
+    void acq() {
+      int my_t = FAI_t();
+      while (get_n() != my_t) {}
+      hold();
+    }
+
+    void rel() { inc_n(); }
+  )");
+  typeCheckOrDie(Out.M1);
+
+  // --- L1: the atomic interface (blocking acq, protocol-checked rel).
+  auto L1 = makeInterface("L1");
+  addAtomicLock(*L1, "acq", "rel");
+  L1->addShared("f", makeFetchIncPrim("f"));
+  L1->addShared("g", makeFetchIncPrim("g"));
+  // Rely/guarantee conditions (§2): every participant guarantees that it
+  // releases a held lock, i.e. the log never shows it acquiring twice
+  // without a release in between — expressed as the abstract lock replay
+  // not getting stuck.
+  {
+    Replayer<AbstractLockState> AR = makeAbstractLockReplayer("acq", "rel");
+    LogInvariant LockOk{"lock-protocol-respected", [AR](const Log &L) {
+                          return AR.wellFormed(L);
+                        }};
+    for (ThreadId Tid = 0; Tid < 8; ++Tid) {
+      L1->rg().Rely.emplace(Tid, LockOk);
+      L1->rg().Guar.emplace(Tid, LockOk);
+    }
+  }
+  Out.L1 = L1;
+
+  // --- R1 (§2): map i.hold to i.acq, i.inc_n to i.rel, and the other
+  // lock-related events to empty ones.
+  Out.R1 = EventMap("R1", [](const Event &E) -> std::optional<Event> {
+    if (E.Kind == "hold")
+      return Event(E.Tid, "acq");
+    if (E.Kind == "inc_n")
+      return Event(E.Tid, "rel");
+    if (E.Kind == "FAI_t" || E.Kind == "get_n")
+      return std::nullopt;
+    return E;
+  });
+  return Out;
+}
+
+ClightModule ccal::makeTicketClient() {
+  ClightModule Client = parseModuleOrDie("P_ticket_client", R"(
+    extern void acq();
+    extern void rel();
+    extern int f();
+    extern int g();
+
+    int t_main() {
+      acq();
+      int a = f();
+      int b = g();
+      rel();
+      return a * 10 + b;
+    }
+  )");
+  typeCheckOrDie(Client);
+  return Client;
+}
+
+std::string ccal::ticketMutexInvariant(const MultiCoreMachine &M) {
+  static const Replayer<TicketState> R = makeTicketReplayer();
+  if (!R.wellFormed(M.log()))
+    return "ticket replay stuck: mutual exclusion or release protocol "
+           "violated";
+  return checkTicketFifo(M.log());
+}
+
+StarvationReport
+ccal::checkTicketStarvationFreedom(unsigned NumCpus,
+                                   unsigned FairnessBound) {
+  TicketLockLayers Layers = makeTicketLockLayers();
+  static ClightModule M1;
+  static ClightModule Client;
+  M1 = cloneModule(Layers.M1);
+  Client = makeTicketClient();
+
+  ObjectHarness H;
+  H.ObjectName = "ticket_starvation";
+  H.Underlay = Layers.L0;
+  H.Modules = {&M1};
+  H.Overlay = Layers.L1;
+  H.Client = &Client;
+  for (unsigned C = 1; C <= NumCpus; ++C)
+    H.Work.emplace(C, std::vector<CpuWorkItem>{{"t_main", {}}});
+
+  StarvationReport Report;
+  // n: events a holder emits from hold to inc_n inclusive (hold, f, g,
+  // inc_n) plus its pre-acquisition FAI/get_n traffic; 6 is a safe
+  // per-cycle cap for this client.
+  const std::uint64_t N = 6;
+  Report.Bound = N * FairnessBound * NumCpus;
+
+  GenericExploreOptions<MultiCoreMachine> Opts;
+  Opts.FairnessBound = FairnessBound;
+  Opts.MaxSteps = 2048;
+  Opts.Invariant = ticketMutexInvariant;
+  Opts.OnOutcome = [&Report](const Outcome &O) -> std::string {
+    // Wait of each CPU: #events strictly between its FAI_t and its hold.
+    std::map<ThreadId, size_t> FaiAt;
+    for (size_t I = 0; I != O.FinalLog.size(); ++I) {
+      const Event &E = O.FinalLog[I];
+      if (E.Kind == "FAI_t")
+        FaiAt[E.Tid] = I;
+      else if (E.Kind == "hold") {
+        auto It = FaiAt.find(E.Tid);
+        if (It == FaiAt.end())
+          return "hold without a ticket";
+        Report.WorstWait =
+            std::max(Report.WorstWait,
+                     static_cast<std::uint64_t>(I - It->second - 1));
+      }
+    }
+    return "";
+  };
+  ExploreResult Res = exploreMachine(H.implConfig(), Opts);
+  Report.SchedulesExplored = Res.SchedulesExplored;
+  Report.Ok = Res.Ok;
+  if (!Res.Ok)
+    Report.Violation = Res.Violation;
+  Report.WithinBound = Report.WorstWait <= Report.Bound;
+  return Report;
+}
+
+HarnessOutcome ccal::certifyTicketLock(unsigned NumCpus, unsigned Rounds) {
+  TicketLockLayers Layers = makeTicketLockLayers();
+  static ClightModule M1;        // harness keeps pointers; keep them alive
+  static ClightModule Client;
+  M1 = cloneModule(Layers.M1);
+  Client = makeTicketClient();
+
+  ObjectHarness H;
+  H.ObjectName = "ticket_lock";
+  H.Underlay = Layers.L0;
+  H.Modules = {&M1};
+  H.Overlay = Layers.L1;
+  H.R = Layers.R1;
+  H.Client = &Client;
+  for (unsigned C = 1; C <= NumCpus; ++C) {
+    std::vector<CpuWorkItem> Items;
+    for (unsigned I = 0; I != Rounds; ++I)
+      Items.push_back({"t_main", {}});
+    H.Work.emplace(C, std::move(Items));
+  }
+  H.ImplOpts.FairnessBound = 2;
+  H.ImplOpts.MaxSteps = 512;
+  H.ImplOpts.Invariant = ticketMutexInvariant;
+  // The atomic spec never spins; no fairness pruning on the spec side.
+  H.SpecOpts.FairnessBound = 1u << 20;
+  H.SpecOpts.MaxSteps = 512;
+  return runObjectHarness(H);
+}

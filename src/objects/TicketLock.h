@@ -1,0 +1,92 @@
+//===- objects/TicketLock.h - Certified ticket lock ------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (§2, §4.1): the ticket lock.
+///
+///   L0:  FAI_t (fetch the next ticket), get_n (read "now serving"),
+///        inc_n (serve the next ticket), hold (announce acquisition),
+///        plus pass-through f and g — all atomic x86-level primitives whose
+///        values replay from the log (Rticket).
+///   M1:  acq/rel in ClightX, verbatim Fig. 3.
+///   L1:  atomic blocking acq / rel (+ f, g).
+///   R1:  i.hold -> i.acq, i.inc_n -> i.rel, other lock events erased —
+///        exactly the relation of §2.
+///
+/// certifyTicketLock() runs the full §2/Fig. 5 story for a Fig. 3-style
+/// client and returns the certified layer `L0[D] |-R1 M1 : L1[D]`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_OBJECTS_TICKETLOCK_H
+#define CCAL_OBJECTS_TICKETLOCK_H
+
+#include "objects/Harness.h"
+#include "objects/ObjectSpec.h"
+
+namespace ccal {
+
+/// The concrete ticket state (next ticket t, now-serving n) replayed from
+/// L0 events — the paper's Rticket.
+struct TicketState {
+  std::int64_t NextTicket = 0; ///< #FAI_t events
+  std::int64_t NowServing = 0; ///< #inc_n events
+  std::optional<ThreadId> Holder; ///< from hold/inc_n pairing
+};
+
+/// Replays the ticket state; stuck when hold/inc_n violate the protocol.
+Replayer<TicketState> makeTicketReplayer();
+
+/// Checks the starvation-freedom *order* property of the ticket lock: the
+/// k-th acquisition (hold event) must belong to the CPU that fetched the
+/// k-th ticket (FIFO handout); returns "" when it holds.
+std::string checkTicketFifo(const Log &L);
+
+/// All ticket-lock layer pieces.
+struct TicketLockLayers {
+  LayerPtr L0;
+  ClightModule M1;
+  LayerPtr L1;
+  EventMap R1;
+};
+
+/// Builds L0, M1, L1, and R1.
+TicketLockLayers makeTicketLockLayers();
+
+/// The Fig. 3 client: `void t_main() { foo-ish critical section }` — it
+/// calls acq, f, g, rel directly so the ticket layer can be certified in
+/// isolation; the foo module (M2) of Fig. 3 lives in the quickstart
+/// example and tests.
+ClightModule makeTicketClient();
+
+/// Mutual-exclusion invariant over the implementation machine, expressed
+/// on the replayed ticket state; returns "" when it holds.
+std::string ticketMutexInvariant(const MultiCoreMachine &M);
+
+/// Certifies `L0[{1..NumCpus}] |- ticket_lock : L1[{1..NumCpus}]` with
+/// each CPU performing \p Rounds acquire/release rounds.
+HarnessOutcome certifyTicketLock(unsigned NumCpus, unsigned Rounds = 1);
+
+/// The §4.1 starvation-freedom bound, measured: across *all* schedules of
+/// the ticket-lock implementation machine, the worst-case number of events
+/// between a CPU's FAI_t (taking a ticket) and its hold (acquiring) must
+/// stay within `n x m x #CPU`, where n bounds the events a holder emits
+/// per critical section and m is the scheduler fairness bound.
+struct StarvationReport {
+  std::uint64_t WorstWait = 0; ///< max events between FAI_t and hold
+  std::uint64_t Bound = 0;     ///< n * m * #CPU
+  std::uint64_t SchedulesExplored = 0;
+  bool WithinBound = false;
+  bool Ok = false; ///< exploration succeeded
+  std::string Violation;
+};
+StarvationReport checkTicketStarvationFreedom(unsigned NumCpus,
+                                              unsigned FairnessBound);
+
+} // namespace ccal
+
+#endif // CCAL_OBJECTS_TICKETLOCK_H

@@ -1,0 +1,6 @@
+//===- runtime/RtMcsLock.cpp - Runtime MCS lock --------------------------------===//
+
+#include "runtime/RtMcsLock.h"
+
+template class ccal::rt::McsLock<true>;
+template class ccal::rt::McsLock<false>;

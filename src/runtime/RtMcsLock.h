@@ -1,0 +1,96 @@
+//===- runtime/RtMcsLock.h - Runtime MCS lock ------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The std::atomic MCS queue lock matching the verified module: each
+/// thread spins on its own cache line, which is why MCS scales under
+/// contention where the ticket lock's shared "now serving" line does not —
+/// the shape bench_lock_scaling regenerates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_RUNTIME_RTMCSLOCK_H
+#define CCAL_RUNTIME_RTMCSLOCK_H
+
+#include "runtime/GhostLog.h"
+
+#include <atomic>
+#include <thread>
+
+namespace ccal {
+namespace rt {
+
+/// MCS lock node; one per thread per lock acquisition scope.
+struct McsNode {
+  alignas(64) std::atomic<McsNode *> Next{nullptr};
+  alignas(64) std::atomic<bool> Locked{false};
+};
+
+/// MCS lock; \p Ghost selects the instrumented build.
+template <bool Ghost> class McsLock {
+public:
+  void acquire(McsNode &Node) {
+    Node.Next.store(nullptr, std::memory_order_relaxed);
+    Node.Locked.store(true, std::memory_order_relaxed);
+    McsNode *Prev = Tail.exchange(&Node, std::memory_order_acq_rel);
+    if constexpr (Ghost)
+      threadGhostLog().record(GhostSwapTail,
+                              reinterpret_cast<std::uintptr_t>(Prev));
+    if (Prev) {
+      Prev->Next.store(&Node, std::memory_order_release);
+      std::uint32_t Spins = 0;
+      while (Node.Locked.load(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+        if (++Spins >= 1024) {
+          Spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+    if constexpr (Ghost)
+      threadGhostLog().record(GhostHold, 0);
+  }
+
+  void release(McsNode &Node) {
+    McsNode *Successor = Node.Next.load(std::memory_order_acquire);
+    if (!Successor) {
+      McsNode *Expected = &Node;
+      if (Tail.compare_exchange_strong(Expected, nullptr,
+                                       std::memory_order_acq_rel)) {
+        if constexpr (Ghost)
+          threadGhostLog().record(GhostCasTail, 1);
+        return;
+      }
+      if constexpr (Ghost)
+        threadGhostLog().record(GhostCasTail, 0);
+      std::uint32_t Spins = 0;
+      while (!(Successor = Node.Next.load(std::memory_order_acquire))) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+        if (++Spins >= 1024) {
+          Spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+    Successor->Locked.store(false, std::memory_order_release);
+    if constexpr (Ghost)
+      threadGhostLog().record(GhostClearBusy,
+                              reinterpret_cast<std::uintptr_t>(Successor));
+  }
+
+private:
+  alignas(64) std::atomic<McsNode *> Tail{nullptr};
+};
+
+} // namespace rt
+} // namespace ccal
+
+#endif // CCAL_RUNTIME_RTMCSLOCK_H

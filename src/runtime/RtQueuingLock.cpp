@@ -1,0 +1,38 @@
+//===- runtime/RtQueuingLock.cpp - Runtime queuing lock ------------------------===//
+
+#include "runtime/RtQueuingLock.h"
+
+using namespace ccal::rt;
+
+void QueuingLock::acquire() {
+  Spin.acquire();
+  if (!Busy) {
+    Busy = true; // fast path: ql_busy = get_tid()
+    Spin.release();
+    return;
+  }
+  // Slow path: sleep on the lock's queue (the spinlock is released before
+  // parking, and the lock is handed to us by the releaser).
+  Waiter W;
+  Sleepers.push_back(&W);
+  Spin.release();
+  std::unique_lock<std::mutex> Guard(W.M);
+  W.Cv.wait(Guard, [&W] { return W.Granted; });
+}
+
+void QueuingLock::release() {
+  Spin.acquire();
+  if (Sleepers.empty()) {
+    Busy = false; // ql_busy = -1
+    Spin.release();
+    return;
+  }
+  Waiter *Next = Sleepers.front();
+  Sleepers.pop_front(); // ql_busy = wakeup(): direct handoff
+  Spin.release();
+  {
+    std::lock_guard<std::mutex> Guard(Next->M);
+    Next->Granted = true;
+  }
+  Next->Cv.notify_one();
+}

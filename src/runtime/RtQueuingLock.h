@@ -1,0 +1,53 @@
+//===- runtime/RtQueuingLock.h - Runtime queuing lock ----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime queuing lock (Fig. 11's shape): a ticket-lock-protected
+/// busy word plus a sleep queue; waiting threads block on an OS futex-like
+/// primitive (std::condition-variable-free: a per-thread parking slot)
+/// instead of spinning.  bench_qlock_crossover sweeps critical-section
+/// length and oversubscription to regenerate the spin-vs-sleep crossover
+/// §5.4 motivates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_RUNTIME_RTQUEUINGLOCK_H
+#define CCAL_RUNTIME_RTQUEUINGLOCK_H
+
+#include "runtime/RtTicketLock.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace ccal {
+namespace rt {
+
+/// Queuing lock: mutual exclusion with sleeping waiters and FIFO handoff.
+class QueuingLock {
+public:
+  void acquire();
+  void release();
+
+private:
+  struct Waiter {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Granted = false;
+  };
+
+  // The spinlock-protected lock state (Fig. 11's ql_busy + sleep queue).
+  TicketLock</*Ghost=*/false> Spin;
+  bool Busy = false;
+  std::deque<Waiter *> Sleepers;
+};
+
+} // namespace rt
+} // namespace ccal
+
+#endif // CCAL_RUNTIME_RTQUEUINGLOCK_H

@@ -1,0 +1,5 @@
+//===- runtime/RtSharedQueue.cpp - Runtime shared queue ------------------------===//
+
+#include "runtime/RtSharedQueue.h"
+
+// Header-only templates; this file anchors the translation unit.

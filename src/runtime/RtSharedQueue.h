@@ -1,0 +1,73 @@
+//===- runtime/RtSharedQueue.h - Runtime shared queue ----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime shared queue (§4.2's pattern, §6's point): "to implement
+/// the atomic queue object, we simply wrap the local queue operations with
+/// lock acquire and release".  Templated over the lock so the ticket and
+/// MCS locks can be interchanged without touching the queue — the runtime
+/// mirror of the interchangeability the model certifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_RUNTIME_RTSHAREDQUEUE_H
+#define CCAL_RUNTIME_RTSHAREDQUEUE_H
+
+#include "runtime/RtMcsLock.h"
+#include "runtime/RtTicketLock.h"
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace ccal {
+namespace rt {
+
+/// Lock adapter concept: defaulted for locks with argumentless
+/// acquire/release (ticket, queuing); specialized for MCS which threads a
+/// node through.
+template <typename LockT> struct LockScope {
+  explicit LockScope(LockT &L) : L(L) { L.acquire(); }
+  ~LockScope() { L.release(); }
+  LockT &L;
+};
+
+template <bool Ghost> struct LockScope<McsLock<Ghost>> {
+  explicit LockScope(McsLock<Ghost> &L) : L(L) { L.acquire(Node); }
+  ~LockScope() { L.release(Node); }
+  McsLock<Ghost> &L;
+  McsNode Node;
+};
+
+/// Lock-wrapped queue of 64-bit values.
+template <typename LockT> class SharedQueue {
+public:
+  void enqueue(std::int64_t V) {
+    LockScope<LockT> Guard(Lock);
+    Items.push_back(V);
+  }
+
+  std::optional<std::int64_t> dequeue() {
+    LockScope<LockT> Guard(Lock);
+    if (Items.empty())
+      return std::nullopt;
+    std::int64_t V = Items.front();
+    Items.pop_front();
+    return V;
+  }
+
+  size_t sizeUnlocked() const { return Items.size(); }
+
+private:
+  LockT Lock;
+  std::deque<std::int64_t> Items;
+};
+
+} // namespace rt
+} // namespace ccal
+
+#endif // CCAL_RUNTIME_RTSHAREDQUEUE_H

@@ -1,0 +1,7 @@
+//===- runtime/RtTicketLock.cpp - Runtime ticket lock --------------------------===//
+
+#include "runtime/RtTicketLock.h"
+
+// Explicit instantiations keep the template out of every bench TU.
+template class ccal::rt::TicketLock<true>;
+template class ccal::rt::TicketLock<false>;

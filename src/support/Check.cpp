@@ -1,0 +1,12 @@
+//===- support/Check.cpp - Assertions and fatal errors -------------------===//
+
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void ccal::reportFatal(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "ccal fatal error: %s at %s:%d\n", Msg, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

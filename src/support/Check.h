@@ -1,0 +1,41 @@
+//===- support/Check.h - Assertions and fatal errors ----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Always-on checked assertions and an unreachable marker.
+///
+/// The library follows the paper's discipline: a violated invariant is a
+/// *programmatic* error (the analogue of a Coq proof failing to typecheck),
+/// so we abort at the point of failure with a diagnostic rather than throw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SUPPORT_CHECK_H
+#define CCAL_SUPPORT_CHECK_H
+
+namespace ccal {
+
+/// Prints "ccal fatal error: <Msg> at <File>:<Line>" to stderr and aborts.
+[[noreturn]] void reportFatal(const char *Msg, const char *File, int Line);
+
+} // namespace ccal
+
+/// Always-on assertion (enabled in release builds too).  Refinement
+/// obligations, calculus side conditions, and machine-model invariants are
+/// checked with CCAL_CHECK so that a certificate can never be produced from
+/// a violated premise.
+#define CCAL_CHECK(Cond, Msg)                                                  \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::ccal::reportFatal(Msg, __FILE__, __LINE__);                            \
+  } while (false)
+
+/// Marks a point in the code that is unreachable if the library invariants
+/// hold.
+#define CCAL_UNREACHABLE(Msg) ::ccal::reportFatal(Msg, __FILE__, __LINE__)
+
+#endif // CCAL_SUPPORT_CHECK_H

@@ -1,0 +1,5 @@
+//===- support/Rng.cpp - Deterministic random number generator ------------===//
+
+#include "support/Rng.h"
+
+// Header-only; this file anchors the translation unit for the library.

@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (splitmix64) so that property tests, the
+/// schedule sampler, and the ClightX program fuzzer are reproducible from a
+/// seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SUPPORT_RNG_H
+#define CCAL_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace ccal {
+
+/// splitmix64: tiny, fast, and deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  std::uint64_t below(std::uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  std::int64_t range(std::int64_t Lo, std::int64_t Hi) {
+    return Lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(std::uint64_t Num, std::uint64_t Den) {
+    return below(Den) < Num;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace ccal
+
+#endif // CCAL_SUPPORT_RNG_H

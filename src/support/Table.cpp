@@ -1,0 +1,49 @@
+//===- support/Table.cpp - ASCII table printer ----------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace ccal;
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line = "  ";
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      std::string Cell = Row[I];
+      Cell.resize(Widths[I], ' ');
+      Line += Cell;
+      if (I + 1 != E)
+        Line += "  ";
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += "\n";
+    return Line;
+  };
+
+  std::string Out = Title + "\n";
+  for (size_t R = 0, E = Rows.size(); R != E; ++R) {
+    Out += RenderRow(Rows[R]);
+    if (R == 0 && E > 1) {
+      size_t Total = 2;
+      for (size_t I = 0, N = Widths.size(); I != N; ++I)
+        Total += Widths[I] + (I + 1 != N ? 2 : 0);
+      Out += std::string(Total, '-') + "\n";
+    }
+  }
+  return Out;
+}

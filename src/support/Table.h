@@ -1,0 +1,42 @@
+//===- support/Table.h - ASCII table printer -------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned ASCII table used by the bench harnesses to print the
+/// same rows as the paper's Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SUPPORT_TABLE_H
+#define CCAL_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Accumulates rows of strings and renders them with every column padded to
+/// its widest cell.  The first row added is treated as the header and is
+/// separated from the body by a dashed rule.
+class Table {
+public:
+  explicit Table(std::string Title) : Title(std::move(Title)) {}
+
+  /// Appends one row; all rows should have the same number of cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (title, header, rule, body) as one string.
+  std::string render() const;
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ccal
+
+#endif // CCAL_SUPPORT_TABLE_H

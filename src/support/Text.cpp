@@ -1,0 +1,78 @@
+//===- support/Text.cpp - Small string utilities --------------------------===//
+
+#include "support/Text.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace ccal;
+
+std::string ccal::strJoin(const std::vector<std::string> &Parts,
+                          const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::vector<std::string> ccal::strSplit(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  Out.push_back(Cur);
+  return Out;
+}
+
+std::string ccal::strTrim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && (S[B] == ' ' || S[B] == '\t' || S[B] == '\n' || S[B] == '\r'))
+    ++B;
+  while (E > B &&
+         (S[E - 1] == ' ' || S[E - 1] == '\t' || S[E - 1] == '\n' ||
+          S[E - 1] == '\r'))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool ccal::strStartsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string ccal::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+std::string ccal::intListToString(const std::vector<std::int64_t> &Vals) {
+  std::string Out = "[";
+  for (size_t I = 0, E = Vals.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += std::to_string(Vals[I]);
+  }
+  Out += "]";
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- support/Text.h - Small string utilities -----------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the diagnostics, the mini-C front end, and the
+/// bench table printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SUPPORT_TEXT_H
+#define CCAL_SUPPORT_TEXT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Joins \p Parts with \p Sep ("a", "b" -> "a,b").
+std::string strJoin(const std::vector<std::string> &Parts,
+                    const std::string &Sep);
+
+/// Splits \p S at every occurrence of \p Sep (no empty-trailing removal).
+std::vector<std::string> strSplit(const std::string &S, char Sep);
+
+/// Removes leading and trailing whitespace.
+std::string strTrim(const std::string &S);
+
+/// Returns true if \p S starts with \p Prefix.
+bool strStartsWith(const std::string &S, const std::string &Prefix);
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a signed integer list as "[1, 2, 3]".
+std::string intListToString(const std::vector<std::int64_t> &Vals);
+
+} // namespace ccal
+
+#endif // CCAL_SUPPORT_TEXT_H

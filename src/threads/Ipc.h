@@ -1,0 +1,40 @@
+//===- threads/Ipc.h - Message-passing IPC ---------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synchronous IPC protocol of §6 ("a synchronous inter-process
+/// communication (IPC) protocol using the queuing lock"): a bounded ring
+/// channel whose send/recv block via two condition-variable queues over
+/// the monitor layer — the top of the Fig. 1 tower (QLock -> CV -> IPC).
+///
+/// Verified properties over all schedules: every message is delivered
+/// exactly once, in order, with no deadlock, for 1-sender/1-receiver
+/// workloads that overflow and drain the ring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_THREADS_IPC_H
+#define CCAL_THREADS_IPC_H
+
+#include "threads/CondVar.h"
+
+namespace ccal {
+
+/// Ring capacity of the channel.
+inline constexpr int IpcRingCap = 2;
+
+/// The channel module: send/recv over cv_wait/cv_signal and the monitor.
+ClightModule makeIpcChannelModule();
+
+/// Explores every schedule of a 1-sender/1-receiver channel exchanging
+/// \p Items messages (Items > IpcRingCap forces both full and empty
+/// blocking paths) and checks exactly-once, in-order delivery.
+MonitorCheck checkIpcChannel(unsigned Items);
+
+} // namespace ccal
+
+#endif // CCAL_THREADS_IPC_H

@@ -1,0 +1,135 @@
+//===- threads/Linking.cpp - Multithreaded linking (Thm 5.1) ------------------===//
+
+#include "threads/Linking.h"
+
+#include "compcertx/Linker.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "machine/CpuLocal.h"
+#include "objects/LocalQueue.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+namespace {
+
+ClightModule makeLinkingClient(unsigned NumThreads) {
+  std::string Spawns;
+  for (unsigned T = 1; T <= NumThreads; ++T)
+    Spawns += strFormat("      spawn(%u);\n", T);
+  std::string Src = strFormat(R"(
+    extern void yield();
+    extern void spawn(int t);
+    extern void thread_exit();
+    extern int bump();
+    extern void done(int v);
+
+    int t_boot() {
+%s      thread_exit();
+      return 0;
+    }
+
+    int t_worker(int rounds) {
+      int acc = 0;
+      int i = 0;
+      while (i < rounds) {
+        acc = acc * 100 + bump();
+        yield();
+        i = i + 1;
+      }
+      done(acc);
+      thread_exit();
+      return 0;
+    }
+  )",
+                              Spawns.c_str());
+  ClightModule M = parseModuleOrDie("P_linking_client", Src);
+  typeCheckOrDie(M);
+  return M;
+}
+
+} // namespace
+
+LinkingReport ccal::checkMultithreadedLinking(const LinkingSetup &Setup) {
+  // Thread placement: everything on CPU 0 (the theorem is per CPU).
+  std::map<ThreadId, ThreadId> CpuOf;
+  for (ThreadId T = 0; T <= Setup.NumThreads; ++T)
+    CpuOf.emplace(T, 0);
+
+  static ClightModule Client;
+  static ClightModule Sched;
+  static ClightModule Queue;
+  Client = makeLinkingClient(Setup.NumThreads);
+  Sched = makeSchedModule();
+  Queue = makeLocalQueueModule();
+
+  // --- Lbtd[c]: scheduler and ready queue are linked code.
+  auto Low = makeInterface("Lbtd");
+  installLowSchedPrims(*Low, CpuOf);
+  Low->addShared("bump", makeFetchIncPrim("bump"));
+  Low->addShared("done", makeEventPrim("done"));
+
+  auto LowCfg = std::make_shared<ThreadedConfig>();
+  LowCfg->Name = "linking.low";
+  LowCfg->Layer = Low;
+  LowCfg->Program =
+      compileAndLink("linking.low.lasm", {&Client, &Sched, &Queue});
+  LowCfg->Sched = makeLowSchedFn(CpuOf);
+
+  // --- Lhtd[c][Tc]: scheduling primitives are atomic.
+  auto High = makeInterface("Lhtd");
+  installHighSchedPrims(*High, CpuOf, /*PreloadReady=*/false);
+  High->addShared("bump", makeFetchIncPrim("bump"));
+  High->addShared("done", makeEventPrim("done"));
+
+  auto HighCfg = std::make_shared<ThreadedConfig>();
+  HighCfg->Name = "linking.high";
+  HighCfg->Layer = High;
+  HighCfg->Program = compileAndLink("linking.high.lasm", {&Client});
+  HighCfg->Sched = makeHighSchedFn(CpuOf, /*PreloadReady=*/false);
+
+  // Same workloads on both.
+  for (auto *Cfg : {LowCfg.get(), HighCfg.get()}) {
+    Cfg->Threads.push_back({0, 0, {{"t_boot", {}}}});
+    for (ThreadId T = 1; T <= Setup.NumThreads; ++T)
+      Cfg->Threads.push_back(
+          {T, 0, {{"t_worker", {static_cast<std::int64_t>(Setup.Rounds)}}}});
+  }
+
+  // Relations: concrete context switches become atomic yields; the
+  // machine-internal events are erased on both sides.
+  EventMap RImpl("Rbtd", [](const Event &E) -> std::optional<Event> {
+    if (E.Kind == "cswitch")
+      return Event(E.Tid, "yield");
+    if (E.Kind == ThreadExitEventKind || E.Kind == ReschedEventKind)
+      return std::nullopt;
+    return E;
+  });
+  EventMap RSpec("Rhtd", [](const Event &E) -> std::optional<Event> {
+    if (E.Kind == "spawn" || E.Kind == ThreadExitEventKind ||
+        E.Kind == ReschedEventKind)
+      return std::nullopt;
+    return E;
+  });
+
+  ThreadedExploreOptions Opts;
+  Opts.MaxSteps = 4096;
+
+  LinkingReport Out;
+  Out.Refinement = checkThreadedRefinement(LowCfg, HighCfg, RImpl, RSpec,
+                                           Opts, Opts);
+  auto C = std::make_shared<RefinementCertificate>();
+  C->Rule = "MultithreadLink";
+  C->Underlay = "Lbtd[0]";
+  C->Module = "M_sched (+) M_local_queue";
+  C->Overlay = "Lhtd[0][Tc]";
+  C->Relation = "Rbtd";
+  C->Valid = Out.Refinement.Holds;
+  C->Obligations = Out.Refinement.ObligationsChecked;
+  C->Runs = Out.Refinement.SchedulesExplored;
+  C->Moves = Out.Refinement.StatesExplored;
+  if (!Out.Refinement.Holds)
+    C->Notes.push_back(Out.Refinement.Counterexample);
+  Out.Cert = C;
+  return Out;
+}

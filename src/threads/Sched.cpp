@@ -1,0 +1,297 @@
+//===- threads/Sched.cpp - Thread schedulers ----------------------------------===//
+
+#include "threads/Sched.h"
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "machine/CpuLocal.h"
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace ccal;
+
+Replayer<HighSchedState>
+ccal::makeHighSchedReplayer(std::map<ThreadId, ThreadId> CpuOf,
+                            bool PreloadReady) {
+  HighSchedState Init;
+  for (const auto &[Tid, Cpu] : CpuOf) {
+    if (!Init.Current.count(Cpu))
+      Init.Current.emplace(Cpu, -1);
+    if (PreloadReady)
+      Init.Ready[Cpu].push_back(Tid);
+  }
+
+  auto Step = [CpuOf](const HighSchedState &S,
+                      const Event &E) -> std::optional<HighSchedState> {
+    auto CpuOfTid = [&CpuOf](ThreadId T) -> std::optional<ThreadId> {
+      auto It = CpuOf.find(T);
+      if (It == CpuOf.end())
+        return std::nullopt;
+      return It->second;
+    };
+
+    HighSchedState N = S;
+    auto PopReady = [&N](ThreadId Cpu) -> std::int64_t {
+      auto &Q = N.Ready[Cpu];
+      if (Q.empty())
+        return -1;
+      ThreadId T = Q.front();
+      Q.erase(Q.begin());
+      return T;
+    };
+
+    if (E.Kind == "spawn") {
+      if (E.Args.size() != 1)
+        return std::nullopt;
+      ThreadId T = static_cast<ThreadId>(E.Args[0]);
+      std::optional<ThreadId> Cpu = CpuOfTid(T);
+      if (!Cpu)
+        return std::nullopt;
+      // Set semantics: re-spawning a queued or running thread is a no-op.
+      auto &Q = N.Ready[*Cpu];
+      if (std::find(Q.begin(), Q.end(), T) == Q.end() &&
+          N.Current[*Cpu] != static_cast<std::int64_t>(T))
+        Q.push_back(T);
+      return N;
+    }
+    if (E.Kind == "yield") {
+      std::optional<ThreadId> Cpu = CpuOfTid(E.Tid);
+      if (!Cpu || N.Current[*Cpu] != static_cast<std::int64_t>(E.Tid))
+        return std::nullopt; // only the current thread may yield
+      N.Ready[*Cpu].push_back(E.Tid);
+      N.Current[*Cpu] = PopReady(*Cpu);
+      return N;
+    }
+    if (E.Kind == "sleep") {
+      if (E.Args.empty())
+        return std::nullopt;
+      std::optional<ThreadId> Cpu = CpuOfTid(E.Tid);
+      if (!Cpu || N.Current[*Cpu] != static_cast<std::int64_t>(E.Tid))
+        return std::nullopt;
+      N.Sleep[E.Args[0]].push_back(E.Tid);
+      N.Sleeping.insert(E.Tid);
+      N.Current[*Cpu] = PopReady(*Cpu);
+      return N;
+    }
+    if (E.Kind == "wakeup") {
+      if (E.Args.empty())
+        return std::nullopt;
+      auto &Q = N.Sleep[E.Args[0]];
+      if (Q.empty())
+        return N; // waking an empty queue is a no-op
+      ThreadId W = Q.front();
+      Q.erase(Q.begin());
+      N.Sleeping.erase(W);
+      std::optional<ThreadId> Cpu = CpuOfTid(W);
+      if (!Cpu)
+        return std::nullopt;
+      if (N.Current[*Cpu] == -1)
+        N.Current[*Cpu] = W; // idle CPU: dispatch directly
+      else
+        N.Ready[*Cpu].push_back(W);
+      return N;
+    }
+    if (E.Kind == ThreadExitEventKind) {
+      std::optional<ThreadId> Cpu = CpuOfTid(E.Tid);
+      if (!Cpu || N.Current[*Cpu] != static_cast<std::int64_t>(E.Tid))
+        return std::nullopt;
+      N.Current[*Cpu] = PopReady(*Cpu);
+      return N;
+    }
+    if (E.Kind == ReschedEventKind) {
+      std::optional<ThreadId> Cpu = CpuOfTid(E.Tid);
+      if (!Cpu || N.Current[*Cpu] != -1)
+        return std::nullopt; // resched only fills an idle CPU
+      auto &Q = N.Ready[*Cpu];
+      auto It = std::find(Q.begin(), Q.end(), E.Tid);
+      if (It != Q.end())
+        Q.erase(It);
+      N.Current[*Cpu] = E.Tid;
+      return N;
+    }
+    return N;
+  };
+  return Replayer<HighSchedState>(std::move(Init), std::move(Step));
+}
+
+SchedReplayFn ccal::makeHighSchedFn(std::map<ThreadId, ThreadId> CpuOf,
+                                    bool PreloadReady) {
+  Replayer<HighSchedState> R =
+      makeHighSchedReplayer(std::move(CpuOf), PreloadReady);
+  return [R](const Log &L) -> std::optional<SchedView> {
+    std::optional<HighSchedState> S = R.replay(L);
+    if (!S)
+      return std::nullopt;
+    SchedView V;
+    V.Current = S->Current;
+    V.Sleeping = S->Sleeping;
+    return V;
+  };
+}
+
+SchedReplayFn ccal::makeLowSchedFn(std::map<ThreadId, ThreadId> CpuOf) {
+  std::map<ThreadId, std::int64_t> Init;
+  for (const auto &[Tid, Cpu] : CpuOf) {
+    (void)Tid;
+    Init.emplace(Cpu, -1);
+  }
+  return [CpuOf, Init](const Log &L) -> std::optional<SchedView> {
+    SchedView V;
+    V.Current = Init;
+    for (const Event &E : L) {
+      auto CpuIt = CpuOf.find(E.Tid);
+      if (CpuIt == CpuOf.end())
+        continue;
+      ThreadId Cpu = CpuIt->second;
+      if (E.Kind == "cswitch") {
+        if (E.Args.size() != 1 ||
+            V.Current[Cpu] != static_cast<std::int64_t>(E.Tid))
+          return std::nullopt;
+        V.Current[Cpu] = E.Args[0];
+      } else if (E.Kind == ThreadExitEventKind) {
+        if (V.Current[Cpu] != static_cast<std::int64_t>(E.Tid))
+          return std::nullopt;
+        V.Current[Cpu] = E.Args.empty() ? -1 : E.Args[0];
+      } else if (E.Kind == ReschedEventKind) {
+        if (V.Current[Cpu] != -1)
+          return std::nullopt;
+        V.Current[Cpu] = E.Tid;
+      }
+    }
+    return V;
+  };
+}
+
+void ccal::installHighSchedPrims(LayerInterface &L,
+                                 std::map<ThreadId, ThreadId> CpuOf,
+                                 bool PreloadReady) {
+  Replayer<HighSchedState> R = makeHighSchedReplayer(CpuOf, PreloadReady);
+
+  auto RequireCurrent = [R, CpuOf](ThreadId Tid,
+                                   const Log &Prefix) -> bool {
+    std::optional<HighSchedState> S = R.replay(Prefix);
+    if (!S)
+      return false;
+    auto It = CpuOf.find(Tid);
+    return It != CpuOf.end() &&
+           S->Current[It->second] == static_cast<std::int64_t>(Tid);
+  };
+
+  L.addShared("yield", [RequireCurrent](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (!RequireCurrent(Call.Tid, *Call.L))
+      return std::nullopt;
+    PrimResult Res;
+    Res.Events.push_back(Event(Call.Tid, "yield"));
+    return Res;
+  });
+
+  L.addShared("spawn", [](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (Call.Args.size() != 1)
+      return std::nullopt;
+    PrimResult Res;
+    Res.Events.push_back(Event(Call.Tid, "spawn", Call.Args));
+    return Res;
+  });
+
+  L.addShared("sleep", [RequireCurrent](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (Call.Args.size() != 1 || !RequireCurrent(Call.Tid, *Call.L))
+      return std::nullopt;
+    PrimResult Res;
+    Res.Events.push_back(Event(Call.Tid, "sleep", Call.Args));
+    return Res;
+  });
+
+  L.addShared("wakeup", [R](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (Call.Args.size() != 1)
+      return std::nullopt;
+    std::optional<HighSchedState> S = R.replay(*Call.L);
+    if (!S)
+      return std::nullopt;
+    PrimResult Res;
+    auto It = S->Sleep.find(Call.Args[0]);
+    Res.Ret = (It == S->Sleep.end() || It->second.empty())
+                  ? -1
+                  : static_cast<std::int64_t>(It->second.front());
+    Res.Events.push_back(Event(Call.Tid, "wakeup", Call.Args));
+    return Res;
+  });
+
+  {
+    Primitive P;
+    P.Name = "thread_exit";
+    P.Shared = true;
+    P.ExitsThread = true;
+    P.Sem = [RequireCurrent](const PrimCall &Call)
+        -> std::optional<PrimResult> {
+      if (!RequireCurrent(Call.Tid, *Call.L))
+        return std::nullopt;
+      PrimResult Res;
+      Res.Events.push_back(Event(Call.Tid, ThreadExitEventKind));
+      return Res;
+    };
+    L.addPrim(std::move(P));
+  }
+
+  L.addPrivate("get_tid", makeSelfIdPrim());
+}
+
+void ccal::installLowSchedPrims(LayerInterface &L,
+                                std::map<ThreadId, ThreadId> CpuOf) {
+  SchedReplayFn Low = makeLowSchedFn(std::move(CpuOf));
+
+  L.addShared("cswitch", [Low](const PrimCall &Call)
+                  -> std::optional<PrimResult> {
+    if (Call.Args.size() != 1)
+      return std::nullopt;
+    std::optional<SchedView> V = Low(*Call.L);
+    if (!V)
+      return std::nullopt;
+    PrimResult Res;
+    Res.Events.push_back(Event(Call.Tid, "cswitch", Call.Args));
+    return Res;
+  });
+
+  {
+    Primitive P;
+    P.Name = "texit";
+    P.Shared = true;
+    P.ExitsThread = true;
+    P.Sem = [](const PrimCall &Call) -> std::optional<PrimResult> {
+      if (Call.Args.size() != 1)
+        return std::nullopt;
+      PrimResult Res;
+      Res.Events.push_back(
+          Event(Call.Tid, ThreadExitEventKind, Call.Args));
+      return Res;
+    };
+    L.addPrim(std::move(P));
+  }
+
+  L.addPrivate("get_tid", makeSelfIdPrim());
+}
+
+ClightModule ccal::makeSchedModule() {
+  ClightModule M = parseModuleOrDie("M_sched", R"(
+    extern void enQ(int t);
+    extern int deQ();
+    extern int get_tid();
+    extern void cswitch(int next);
+    extern void texit(int next);
+
+    void yield() {
+      enQ(get_tid());
+      cswitch(deQ());
+    }
+
+    void spawn(int t) { enQ(t); }
+
+    void thread_exit() { texit(deQ()); }
+  )");
+  typeCheckOrDie(M);
+  return M;
+}

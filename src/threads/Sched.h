@@ -1,0 +1,90 @@
+//===- threads/Sched.h - Thread schedulers ---------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The certified scheduling layers of §5.1/§5.2:
+///
+///   * the *high* scheduler replay `Rsched` interprets atomic scheduling
+///     events (spawn / yield / sleep / wakeup / texit / resched) over
+///     abstract per-CPU ready queues and shared sleep queues — the
+///     interface Lhtd[c][Tc];
+///
+///   * the *low* scheduler replay interprets concrete context-switch
+///     events (cswitch / texit) — the interface Lbtd[c], where the ready
+///     queue lives in CPU-local memory and is manipulated by linked
+///     local-queue *code*;
+///
+///   * the scheduler module M_sched implements yield/spawn/thread_exit in
+///     ClightX over the local-queue module plus the cswitch primitive.
+///
+/// threads/Linking.h uses both to check the multithreaded linking theorem
+/// (Thm 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_THREADS_SCHED_H
+#define CCAL_THREADS_SCHED_H
+
+#include "core/Replay.h"
+#include "lang/Ast.h"
+#include "threads/ThreadMachine.h"
+
+namespace ccal {
+
+/// The abstract scheduler state replayed by the high-level Rsched.
+struct HighSchedState {
+  std::map<ThreadId, std::int64_t> Current;            ///< cpu -> tid/-1
+  std::map<ThreadId, std::vector<ThreadId>> Ready;     ///< cpu -> rdq
+  std::map<std::int64_t, std::vector<ThreadId>> Sleep; ///< q -> sleepers
+  std::set<ThreadId> Sleeping;
+};
+
+/// Builds the high-level scheduler replayer over the given thread->CPU
+/// placement.  Event protocol:
+///   t.spawn(t'):   rdq(cpu(t')) += t'
+///   t.yield:       rdq(cpu) += t; cur = pop rdq
+///   t.sleep(q):    slpq(q) += t;  cur = pop rdq or -1
+///   t.wakeup(q):   w = pop slpq(q); if cpu(w) idle -> cur(cpu(w)) = w
+///                  else rdq(cpu(w)) += w
+///   t.texit:       cur = pop rdq or -1
+///   t.resched:     cur(cpu(t)) = t (idle dispatcher), t removed from rdq
+/// When \p PreloadReady is true every thread starts in its CPU's ready
+/// queue (the usual case); when false, threads must be spawn()ed (the
+/// Thm 5.1 linking demo, where the low level's ready queue in memory also
+/// starts empty).  spawn has set semantics: re-spawning a queued or
+/// running thread is a no-op, mirroring the local-queue module's inq flag.
+Replayer<HighSchedState>
+makeHighSchedReplayer(std::map<ThreadId, ThreadId> CpuOf,
+                      bool PreloadReady = true);
+
+/// Adapts the replayer to the machine's SchedReplayFn.
+SchedReplayFn makeHighSchedFn(std::map<ThreadId, ThreadId> CpuOf,
+                              bool PreloadReady = true);
+
+/// The low-level scheduler view: cur(cpu) follows cswitch/texit(next)
+/// events verbatim; resched dispatches on idle CPUs.
+SchedReplayFn makeLowSchedFn(std::map<ThreadId, ThreadId> CpuOf);
+
+/// Installs the atomic scheduling primitives (yield, spawn, thread_exit,
+/// sleep, wakeup) into \p L, validated against the high replayer.
+/// `sleep(q)` emits only the sleep event; lock layers that need
+/// release-and-sleep install their own composite primitive.
+void installHighSchedPrims(LayerInterface &L,
+                           std::map<ThreadId, ThreadId> CpuOf,
+                           bool PreloadReady = true);
+
+/// Installs the low-level primitives (cswitch, texit, get_tid) into \p L.
+void installLowSchedPrims(LayerInterface &L,
+                          std::map<ThreadId, ThreadId> CpuOf);
+
+/// The scheduler module: yield/spawn/thread_exit over local-queue code and
+/// cswitch/texit primitives (link with makeLocalQueueModule()).
+ClightModule makeSchedModule();
+
+} // namespace ccal
+
+#endif // CCAL_THREADS_SCHED_H

@@ -1,0 +1,319 @@
+//===- threads/ThreadMachine.cpp - The multithreaded machine ------------------===//
+
+#include "threads/ThreadMachine.h"
+
+#include "support/Check.h"
+#include "support/Text.h"
+
+using namespace ccal;
+
+ThreadedMachine::ThreadedMachine(ThreadedConfigPtr CfgIn)
+    : Cfg(std::move(CfgIn)) {
+  CCAL_CHECK(Cfg && Cfg->Layer && Cfg->Program && Cfg->Program->Linked &&
+                 Cfg->Sched,
+             "threaded config needs layer, linked program, and scheduler");
+  std::vector<std::int64_t> Image = Cfg->Program->initialGlobals();
+  for (const ThreadSpec &TS : Cfg->Threads) {
+    auto [It, Inserted] = Threads.emplace(TS.Tid, Thr(Cfg->Program));
+    CCAL_CHECK(Inserted, "duplicate thread id");
+    It->second.Cpu = TS.Cpu;
+    It->second.NeedsRun = true;
+    if (!CpuMem.count(TS.Cpu))
+      CpuMem.emplace(TS.Cpu, Image);
+  }
+  settle();
+}
+
+void ThreadedMachine::fault(ThreadId Tid, const std::string &Msg) {
+  if (Err.empty())
+    Err = strFormat("thread %u: %s", Tid, Msg.c_str());
+}
+
+std::optional<std::int64_t> ThreadedMachine::currentOf(ThreadId Cpu) const {
+  std::optional<SchedView> View = Cfg->Sched(GlobalLog);
+  if (!View)
+    return std::nullopt;
+  auto It = View->Current.find(Cpu);
+  return It == View->Current.end() ? -1 : It->second;
+}
+
+bool ThreadedMachine::settle() {
+  // Iterate until no CPU makes progress: a thread exit or resched event
+  // changes the scheduler view of its own CPU only, but a wakeup executed
+  // earlier can change any CPU, so loop over all of them.
+  bool Changed = true;
+  while (Changed && Err.empty()) {
+    Changed = false;
+    std::optional<SchedView> View = Cfg->Sched(GlobalLog);
+    if (!View) {
+      if (Err.empty())
+        Err = "scheduler replay stuck on log: " + logToString(GlobalLog);
+      return false;
+    }
+    for (auto &[Cpu, Mem] : CpuMem) {
+      (void)Mem;
+      auto CurIt = View->Current.find(Cpu);
+      std::int64_t Cur = CurIt == View->Current.end() ? -1 : CurIt->second;
+
+      if (Cur >= 0) {
+        auto TIt = Threads.find(static_cast<ThreadId>(Cur));
+        if (TIt == Threads.end()) {
+          fault(static_cast<ThreadId>(Cur), "scheduler chose unknown thread");
+          return false;
+        }
+        Thr &T = TIt->second;
+        if (T.Exited) {
+          Cur = -1; // fall through to dispatch below
+        } else if (T.NeedsRun) {
+          if (!runThread(TIt->first, T))
+            return false;
+          Changed = true;
+          break; // log may have changed (exit events); re-replay
+        } else {
+          continue; // parked at a shared primitive: explorer's turn
+        }
+      }
+
+      if (Cur < 0) {
+        // CPU has nothing current: dispatch the lowest-id unfinished,
+        // non-sleeping thread, if any (the deterministic idle dispatcher;
+        // both layers of Thm 5.1 share it).
+        for (auto &[Tid, T] : Threads) {
+          if (T.Cpu != Cpu || T.Exited || View->Sleeping.count(Tid))
+            continue;
+          logAppend(GlobalLog, Event(Tid, ReschedEventKind));
+          Changed = true;
+          break;
+        }
+        if (Changed)
+          break;
+      }
+    }
+  }
+  return Err.empty();
+}
+
+bool ThreadedMachine::runThread(ThreadId Tid, Thr &T) {
+  std::vector<std::int64_t> &Globals = CpuMem.at(T.Cpu);
+  const std::vector<CpuWorkItem> *Items = nullptr;
+  for (const ThreadSpec &TS : Cfg->Threads)
+    if (TS.Tid == Tid)
+      Items = &TS.Items;
+  CCAL_CHECK(Items, "thread spec must exist");
+
+  T.NeedsRun = false;
+  std::uint64_t PrivateCalls = 0;
+  while (true) {
+    if (++PrivateCalls > Cfg->SliceBudget) {
+      fault(Tid, "local slice diverged (private-primitive loop?)");
+      return false;
+    }
+    if (!T.Active) {
+      if (T.NextWork >= Items->size()) {
+        T.Exited = true;
+        logAppend(GlobalLog, Event(Tid, ThreadExitEventKind));
+        return true;
+      }
+      const CpuWorkItem &Item = (*Items)[T.NextWork];
+      T.Machine.start(Item.Fn, Item.Args);
+      T.Active = true;
+    }
+    Vm::Status St = T.Machine.run(Globals, Cfg->SliceBudget);
+    if (St == Vm::Status::Done) {
+      T.Returns.push_back(T.Machine.result());
+      T.Active = false;
+      ++T.NextWork;
+      continue;
+    }
+    if (St == Vm::Status::Error) {
+      fault(Tid, T.Machine.error());
+      return false;
+    }
+    CCAL_CHECK(St == Vm::Status::AtPrim, "unexpected VM status");
+    const Primitive *P = Cfg->Layer->lookup(T.Machine.primName());
+    if (!P) {
+      fault(Tid, "call to primitive '" + T.Machine.primName() +
+                     "' not provided by layer " + Cfg->Layer->name());
+      return false;
+    }
+    if (P->Shared) {
+      T.Parked = true;
+      return true;
+    }
+    PrimCall Call;
+    Call.Tid = Tid;
+    Call.Args = T.Machine.primArgs();
+    Call.L = &GlobalLog;
+    Call.LocalMem = &Globals;
+    std::optional<PrimResult> Res = P->Sem(Call);
+    if (!Res) {
+      fault(Tid, "private primitive '" + P->Name + "' got stuck");
+      return false;
+    }
+    CCAL_CHECK(Res->Events.empty(),
+               "private primitives must not emit events");
+    for (auto [Addr, V] : Res->LocalWrites) {
+      CCAL_CHECK(Addr >= 0 && static_cast<size_t>(Addr) < Globals.size(),
+                 "primitive local write out of range");
+      Globals[static_cast<size_t>(Addr)] = V;
+    }
+    T.Machine.resumePrim(Res->Ret);
+  }
+}
+
+bool ThreadedMachine::allIdle() const {
+  for (const auto &[Tid, T] : Threads)
+    if (!T.Exited)
+      return false;
+  return true;
+}
+
+std::vector<ThreadId> ThreadedMachine::schedulable() const {
+  std::vector<ThreadId> Out;
+  std::optional<SchedView> View = Cfg->Sched(GlobalLog);
+  if (!View)
+    return Out;
+  for (const auto &[Cpu, Cur] : View->Current) {
+    if (Cur < 0)
+      continue;
+    auto It = Threads.find(static_cast<ThreadId>(Cur));
+    if (It == Threads.end() || !It->second.Parked || It->second.Exited)
+      continue;
+    const Thr &T = It->second;
+    const Primitive *P = Cfg->Layer->lookup(T.Machine.primName());
+    if (P && P->Shared) {
+      PrimCall Call;
+      Call.Tid = It->first;
+      Call.Args = T.Machine.primArgs();
+      Call.L = &GlobalLog;
+      Call.LocalMem = &CpuMem.at(Cpu);
+      std::optional<PrimResult> Res = P->Sem(Call);
+      if (Res && Res->Blocked)
+        continue;
+    }
+    Out.push_back(It->first);
+  }
+  return Out;
+}
+
+bool ThreadedMachine::step(ThreadId Tid) {
+  if (!ok())
+    return false;
+  auto It = Threads.find(Tid);
+  CCAL_CHECK(It != Threads.end(), "step: unknown thread");
+  Thr &T = It->second;
+  CCAL_CHECK(T.Parked, "step: thread is not parked at a shared primitive");
+
+  const Primitive *P = Cfg->Layer->lookup(T.Machine.primName());
+  CCAL_CHECK(P && P->Shared, "parked primitive must be shared");
+
+  std::vector<std::int64_t> &Globals = CpuMem.at(T.Cpu);
+  PrimCall Call;
+  Call.Tid = Tid;
+  Call.Args = T.Machine.primArgs();
+  Call.L = &GlobalLog;
+  Call.LocalMem = &Globals;
+  std::optional<PrimResult> Res = P->Sem(Call);
+  if (!Res) {
+    fault(Tid, "shared primitive '" + P->Name +
+                   "' got stuck; log: " + logToString(GlobalLog));
+    return false;
+  }
+  CCAL_CHECK(!Res->Blocked, "step: blocked threads are not schedulable");
+  logAppendAll(GlobalLog, Res->Events);
+  for (auto [Addr, V] : Res->LocalWrites) {
+    CCAL_CHECK(Addr >= 0 && static_cast<size_t>(Addr) < Globals.size(),
+               "primitive local write out of range");
+    Globals[static_cast<size_t>(Addr)] = V;
+  }
+  if (P->ExitsThread) {
+    // The thread never resumes (cswitch-out without return, §5.1); its VM
+    // state is abandoned exactly like a kernel context that is never
+    // loaded again.
+    T.Parked = false;
+    T.Active = false;
+    T.Exited = true;
+    return settle();
+  }
+  T.Machine.resumePrim(Res->Ret);
+  T.Parked = false;
+  T.NeedsRun = true;
+  return settle();
+}
+
+std::map<ThreadId, std::vector<std::int64_t>>
+ThreadedMachine::returns() const {
+  std::map<ThreadId, std::vector<std::int64_t>> Out;
+  for (const auto &[Tid, T] : Threads)
+    Out.emplace(Tid, T.Returns);
+  return Out;
+}
+
+const std::vector<std::int64_t> &
+ThreadedMachine::cpuMemory(ThreadId Cpu) const {
+  auto It = CpuMem.find(Cpu);
+  CCAL_CHECK(It != CpuMem.end(), "unknown CPU");
+  return It->second;
+}
+
+ExploreResult ccal::exploreThreaded(ThreadedConfigPtr Cfg,
+                                    const ThreadedExploreOptions &Opts) {
+  ThreadedMachine Root(std::move(Cfg));
+  return exploreGeneric(Root, Opts);
+}
+
+ThreadedRefinementReport ccal::checkThreadedRefinement(
+    ThreadedConfigPtr Impl, ThreadedConfigPtr Spec, const EventMap &RImpl,
+    const EventMap &RSpec, const ThreadedExploreOptions &ImplOpts,
+    const ThreadedExploreOptions &SpecOpts) {
+  ThreadedRefinementReport Report;
+
+  ExploreResult SpecRes = exploreThreaded(std::move(Spec), SpecOpts);
+  if (!SpecRes.Ok) {
+    Report.Counterexample =
+        "specification machine violation: " + SpecRes.Violation;
+    return Report;
+  }
+  auto Key = [](const Log &L,
+                const std::map<ThreadId, std::vector<std::int64_t>> &Rets) {
+    std::string K = logToString(L);
+    for (const auto &[Tid, Vals] : Rets) {
+      K += strFormat("|%u:", Tid);
+      K += intListToString(Vals);
+    }
+    return K;
+  };
+
+  std::set<std::string> SpecSet;
+  for (const Outcome &O : SpecRes.Outcomes)
+    SpecSet.insert(Key(RSpec.apply(O.FinalLog), O.Returns));
+
+  // Stream implementation outcomes through the matcher (memory-bounded).
+  std::uint64_t ImplOutcomes = 0, Obligations = 0;
+  ThreadedExploreOptions ImplStream = ImplOpts;
+  ImplStream.OnOutcome = [&](const Outcome &O) -> std::string {
+    ++ImplOutcomes;
+    Log Mapped = RImpl.apply(O.FinalLog);
+    if (!SpecSet.count(Key(Mapped, O.Returns)))
+      return strFormat(
+          "no specification behavior matches implementation outcome\n"
+          "  impl log:   %s\n  mapped (R): %s",
+          logToString(O.FinalLog).c_str(), logToString(Mapped).c_str());
+    ++Obligations;
+    return "";
+  };
+  ExploreResult ImplRes = exploreThreaded(std::move(Impl), ImplStream);
+  Report.ImplOutcomes = ImplOutcomes;
+  Report.SpecOutcomes = SpecRes.Outcomes.size();
+  Report.SchedulesExplored =
+      ImplRes.SchedulesExplored + SpecRes.SchedulesExplored;
+  Report.StatesExplored = ImplRes.StatesExplored + SpecRes.StatesExplored;
+  Report.ObligationsChecked = Obligations;
+  if (!ImplRes.Ok) {
+    Report.Counterexample =
+        "implementation machine violation: " + ImplRes.Violation;
+    return Report;
+  }
+  Report.Holds = true;
+  return Report;
+}

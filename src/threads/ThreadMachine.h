@@ -1,0 +1,163 @@
+//===- threads/ThreadMachine.h - The multithreaded machine -----*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multithreaded machine of §5: several threads per CPU, each with its
+/// own LAsm execution state, sharing the CPU-local memory (the §5.5 story:
+/// private frame stacks, thread-shared globals).  Scheduling is
+/// *non-preemptive* ("our machine model does not allow preemption", §5.2):
+/// on each CPU only the current thread runs, and control transfers only at
+/// scheduling events.
+///
+/// Which thread is current is itself *replayed from the log* by a
+/// scheduler replay function, supplied by the scheduler layer: the
+/// high-level one interprets yield/sleep/wakeup events (§5.1), the
+/// low-level one interprets concrete cswitch events (§5.2's Lbtd[c]) —
+/// letting the multithreaded linking theorem (Thm 5.1) compare the two
+/// machines over the same notion of execution.
+///
+/// Two machine-internal bookkeeping events exist at every level:
+/// `texit` (a thread finished its workload) and `resched` (an idle CPU
+/// dispatched the lowest-id unfinished thread).  Relations erase them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_THREADS_THREADMACHINE_H
+#define CCAL_THREADS_THREADMACHINE_H
+
+#include "core/LayerInterface.h"
+#include "core/Simulation.h"
+#include "lasm/Vm.h"
+#include "machine/Explorer.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ccal {
+
+/// Machine-internal event kinds.
+inline const char *const ThreadExitEventKind = "texit";
+inline const char *const ReschedEventKind = "resched";
+
+/// The per-CPU view a scheduler replay produces.
+struct SchedView {
+  /// Current thread of each CPU; -1 when the CPU has nothing to run.
+  std::map<ThreadId, std::int64_t> Current;
+
+  /// Threads asleep on some sleep queue; the idle dispatcher must not
+  /// resched them (only a wakeup can).
+  std::set<ThreadId> Sleeping;
+};
+
+/// Replays the scheduler state from the log; std::nullopt when a
+/// scheduling event violates the protocol.
+using SchedReplayFn =
+    std::function<std::optional<SchedView>(const Log &)>;
+
+/// One thread of the machine.
+struct ThreadSpec {
+  ThreadId Tid = 0;
+  ThreadId Cpu = 0;
+  std::vector<CpuWorkItem> Items;
+};
+
+/// Immutable description of a multithreaded run.
+struct ThreadedConfig {
+  std::string Name;
+  LayerPtr Layer;
+  AsmProgramPtr Program;
+  std::vector<ThreadSpec> Threads;
+  SchedReplayFn Sched;
+  std::uint64_t SliceBudget = 1u << 20;
+};
+
+using ThreadedConfigPtr = std::shared_ptr<const ThreadedConfig>;
+
+/// Copyable multithreaded machine state; satisfies the generic Explorer's
+/// machine concept.
+class ThreadedMachine {
+public:
+  explicit ThreadedMachine(ThreadedConfigPtr Cfg);
+
+  bool ok() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+
+  /// True when every thread has finished its workload.
+  bool allIdle() const;
+
+  /// Threads that are current on their CPU, parked at a shared primitive,
+  /// and not Blocked.
+  std::vector<ThreadId> schedulable() const;
+
+  /// Executes thread \p T's pending shared primitive, then settles every
+  /// CPU (runs new current threads to their query points).
+  bool step(ThreadId T);
+
+  const Log &log() const { return GlobalLog; }
+
+  /// Per-thread return values of completed work items.
+  std::map<ThreadId, std::vector<std::int64_t>> returns() const;
+
+  const std::vector<std::int64_t> &cpuMemory(ThreadId Cpu) const;
+
+private:
+  struct Thr {
+    Vm Machine;
+    ThreadId Cpu = 0;
+    size_t NextWork = 0;
+    bool Active = false;   ///< a work item is in flight in the VM
+    bool Parked = false;   ///< waiting at a shared primitive
+    bool NeedsRun = false; ///< resumed (or fresh) but not yet run
+    bool Exited = false;
+    std::vector<std::int64_t> Returns;
+
+    explicit Thr(AsmProgramPtr P) : Machine(std::move(P)) {}
+  };
+
+  /// Runs local code of every CPU's current thread until each is parked,
+  /// exited, or its CPU is idle.
+  bool settle();
+  bool runThread(ThreadId Tid, Thr &T);
+  void fault(ThreadId Tid, const std::string &Msg);
+  std::optional<std::int64_t> currentOf(ThreadId Cpu) const;
+
+  ThreadedConfigPtr Cfg;
+  std::map<ThreadId, Thr> Threads;
+  std::map<ThreadId, std::vector<std::int64_t>> CpuMem;
+  Log GlobalLog;
+  std::string Err;
+};
+
+/// Options alias and explorer wrapper for the multithreaded machine.
+using ThreadedExploreOptions = GenericExploreOptions<ThreadedMachine>;
+
+ExploreResult exploreThreaded(ThreadedConfigPtr Cfg,
+                              const ThreadedExploreOptions &Opts);
+
+/// Outcome of a threaded refinement check.
+struct ThreadedRefinementReport {
+  bool Holds = false;
+  std::uint64_t ImplOutcomes = 0;
+  std::uint64_t SpecOutcomes = 0;
+  std::uint64_t ObligationsChecked = 0;
+  std::uint64_t SchedulesExplored = 0;
+  std::uint64_t StatesExplored = 0;
+  std::string Counterexample;
+};
+
+/// Contextual refinement between two multithreaded machines, with separate
+/// event maps on each side (machine-internal events are erased by both).
+ThreadedRefinementReport
+checkThreadedRefinement(ThreadedConfigPtr Impl, ThreadedConfigPtr Spec,
+                        const EventMap &RImpl, const EventMap &RSpec,
+                        const ThreadedExploreOptions &ImplOpts,
+                        const ThreadedExploreOptions &SpecOpts);
+
+} // namespace ccal
+
+#endif // CCAL_THREADS_THREADMACHINE_H

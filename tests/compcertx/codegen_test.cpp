@@ -1,0 +1,129 @@
+//===- tests/compcertx/codegen_test.cpp - Compiler and linker tests -------------===//
+
+#include "compcertx/CodeGen.h"
+#include "compcertx/Linker.h"
+#include "compcertx/Validate.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+ClightModule makeModule(const std::string &Name, const std::string &Src) {
+  ClightModule M = parseModuleOrDie(Name, Src);
+  typeCheckOrDie(M);
+  return M;
+}
+
+PrimHandler echoPrims() {
+  return [](const std::string &, const std::vector<std::int64_t> &Args)
+             -> std::optional<std::int64_t> {
+    return Args.empty() ? 1 : Args[0] + 1;
+  };
+}
+
+} // namespace
+
+TEST(CodeGenTest, CompilesSimpleFunction) {
+  ClightModule M = makeModule("m", "int f(int a) { return a * 2 + 1; }");
+  AsmProgram P = compileModule(M);
+  ASSERT_EQ(P.Funcs.size(), 1u);
+  EXPECT_EQ(P.Funcs[0].Name, "f");
+  EXPECT_EQ(P.Funcs[0].NumParams, 1u);
+  EXPECT_FALSE(P.Linked);
+}
+
+TEST(CodeGenTest, ExternCallsBecomePrims) {
+  ClightModule M = makeModule("m", R"(
+    extern int p(int x);
+    int f() { return p(3); }
+  )");
+  AsmProgram P = compileModule(M);
+  bool SawPrim = false;
+  for (const Instr &I : P.Funcs[0].Code)
+    if (I.Op == Opcode::Prim && I.Sym == "p")
+      SawPrim = true;
+  EXPECT_TRUE(SawPrim);
+}
+
+TEST(LinkerTest, ResolvesGlobalsSequentially) {
+  ClightModule A = makeModule("a", "int x = 1; int arr[3];");
+  ClightModule B = makeModule("b", "int y = 2;");
+  AsmProgramPtr P = compileAndLink("ab", {&A, &B});
+  EXPECT_EQ(P->globalAddr("x"), 0);
+  EXPECT_EQ(P->globalAddr("arr"), 1);
+  EXPECT_EQ(P->globalAddr("y"), 4);
+  EXPECT_EQ(P->globalWords(), 5);
+  EXPECT_EQ(P->initialGlobals(),
+            (std::vector<std::int64_t>{1, 0, 0, 0, 2}));
+}
+
+TEST(LinkerTest, CrossModulePrimBecomesCall) {
+  // Module A calls helper() declared extern; module B defines it.  After
+  // linking, the Prim must have become a direct Call (§5.5's layer
+  // linking: an intermediate layer's primitive turns into plain code).
+  ClightModule A = makeModule("a", R"(
+    extern int helper(int x);
+    int main2() { return helper(20); }
+  )");
+  ClightModule B = makeModule("b", "int helper(int x) { return x * 2; }");
+  AsmProgramPtr P = compileAndLink("ab", {&A, &B});
+
+  const AsmFunc *Main = P->findFunc("main2");
+  ASSERT_NE(Main, nullptr);
+  bool SawCall = false;
+  for (const Instr &I : Main->Code) {
+    EXPECT_NE(I.Op, Opcode::Prim); // nothing unresolved left
+    if (I.Op == Opcode::Call && I.Sym == "helper")
+      SawCall = true;
+  }
+  EXPECT_TRUE(SawCall);
+
+  VmRun Run = runVmSequential(P, "main2", {}, echoPrims());
+  EXPECT_EQ(Run.Ret, 40);
+}
+
+TEST(LinkerTest, UnresolvedExternStaysPrim) {
+  ClightModule A = makeModule("a", R"(
+    extern int prim(int x);
+    int main2() { return prim(20); }
+  )");
+  AsmProgramPtr P = compileAndLink("a", {&A});
+  const AsmFunc *Main = P->findFunc("main2");
+  bool SawPrim = false;
+  for (const Instr &I : Main->Code)
+    if (I.Op == Opcode::Prim && I.Sym == "prim")
+      SawPrim = true;
+  EXPECT_TRUE(SawPrim);
+  VmRun Run = runVmSequential(P, "main2", {}, echoPrims());
+  EXPECT_EQ(Run.Ret, 21);
+}
+
+TEST(LinkerTest, DuplicateDefinitionAborts) {
+  ClightModule A = makeModule("a", "int f() { return 1; }");
+  ClightModule B = makeModule("b", "int f() { return 2; }");
+  EXPECT_DEATH(compileAndLink("ab", {&A, &B}), "duplicate");
+}
+
+TEST(LinkerTest, ArityMismatchAcrossModulesAborts) {
+  ClightModule A = makeModule("a", R"(
+    extern int helper(int x, int y);
+    int main2() { return helper(1, 2); }
+  )");
+  ClightModule B = makeModule("b", "int helper(int x) { return x; }");
+  EXPECT_DEATH(compileAndLink("ab", {&A, &B}), "arity");
+}
+
+TEST(LinkerTest, DisassemblyMentionsEverything) {
+  ClightModule A = makeModule("a", R"(
+    int g = 5;
+    int f() { return g; }
+  )");
+  AsmProgramPtr P = compileAndLink("a", {&A});
+  std::string Dis = P->disassemble();
+  EXPECT_NE(Dis.find("global g"), std::string::npos);
+  EXPECT_NE(Dis.find("f(params=0"), std::string::npos);
+}

@@ -1,0 +1,235 @@
+//===- tests/compcertx/fuzz_test.cpp - Random-program differential testing ------===//
+//
+// A ClightX program fuzzer: generates random well-typed modules and checks
+// that the reference interpreter and the compiled LAsm code agree on
+// results, primitive traces, and final memory — the per-program form of
+// CompCertX's correctness theorem, swept over program space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compcertx/Validate.h"
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "support/Rng.h"
+#include "support/Text.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+/// Generates random expressions/statements.  Loops are always of the
+/// bounded `i < K` counter shape so generated programs terminate.
+class ProgramGen {
+public:
+  explicit ProgramGen(std::uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Src.clear();
+    Src += "extern int prim0(int x);\n";
+    Src += "extern int prim1(int x, int y);\n";
+    NumGlobals = 2 + static_cast<unsigned>(R.below(3));
+    for (unsigned G = 0; G != NumGlobals; ++G)
+      Src += strFormat("int g%u = %lld;\n", G,
+                       static_cast<long long>(R.range(-5, 5)));
+    Src += strFormat("int arr0[%u];\n", ArraySize);
+
+    // A couple of helper functions callable from the entry point.
+    NumHelpers = 1 + static_cast<unsigned>(R.below(2));
+    for (unsigned H = 0; H != NumHelpers; ++H)
+      genFunction(strFormat("helper%u", H), /*CanCallHelpers=*/false);
+    genFunction("entry", /*CanCallHelpers=*/true);
+    return Src;
+  }
+
+private:
+  void genFunction(const std::string &Name, bool CanCallHelpers) {
+    Vars = {"a", "b"};
+    NextVar = 0;
+    CallHelpers = CanCallHelpers;
+    Src += strFormat("int %s(int a, int b) {\n", Name.c_str());
+    unsigned NumStmts = 2 + static_cast<unsigned>(R.below(5));
+    for (unsigned S = 0; S != NumStmts; ++S)
+      genStmt(1, 2);
+    Src += strFormat("  return %s;\n}\n", genExpr(2).c_str());
+  }
+
+  void indent(unsigned Depth) { Src += std::string(Depth * 2, ' '); }
+
+  void genStmt(unsigned Depth, unsigned MaxDepth) {
+    switch (R.below(Depth >= MaxDepth ? 4 : 6)) {
+    case 0: { // new local
+      std::string V = strFormat("v%u", NextVar++);
+      indent(Depth);
+      Src += strFormat("int %s = %s;\n", V.c_str(), genExpr(2).c_str());
+      Vars.push_back(V);
+      return;
+    }
+    case 1: // assignment to a local
+      indent(Depth);
+      Src += strFormat("%s = %s;\n",
+                       Vars[R.below(Vars.size())].c_str(),
+                       genExpr(2).c_str());
+      return;
+    case 2: // global/array assignment
+      indent(Depth);
+      if (R.chance(1, 2))
+        Src += strFormat("g%llu = %s;\n",
+                         static_cast<unsigned long long>(R.below(NumGlobals)),
+                         genExpr(2).c_str());
+      else
+        Src += strFormat("arr0[%s %% %u] = %s;\n", genExpr(1).c_str(),
+                         ArraySize, genExpr(2).c_str());
+      return;
+    case 3: // expression statement (may call primitives)
+      indent(Depth);
+      Src += genExpr(2) + ";\n";
+      return;
+    case 4: { // bounded while
+      std::string I = strFormat("v%u", NextVar++);
+      Vars.push_back(I);
+      indent(Depth);
+      Src += strFormat("int %s = 0;\n", I.c_str());
+      indent(Depth);
+      Src += strFormat("while (%s < %lld) {\n", I.c_str(),
+                       static_cast<long long>(R.range(1, 4)));
+      {
+        // Locals declared in the body go out of scope at the brace.
+        size_t Scope = Vars.size();
+        genStmt(Depth + 1, MaxDepth);
+        Vars.resize(Scope);
+      }
+      indent(Depth + 1);
+      Src += strFormat("%s = %s + 1;\n", I.c_str(), I.c_str());
+      indent(Depth);
+      Src += "}\n";
+      return;
+    }
+    default: // if/else
+      indent(Depth);
+      Src += strFormat("if (%s) {\n", genExpr(2).c_str());
+      {
+        size_t Scope = Vars.size();
+        genStmt(Depth + 1, MaxDepth);
+        Vars.resize(Scope);
+      }
+      if (R.chance(1, 2)) {
+        indent(Depth);
+        Src += "} else {\n";
+        size_t Scope = Vars.size();
+        genStmt(Depth + 1, MaxDepth);
+        Vars.resize(Scope);
+      }
+      indent(Depth);
+      Src += "}\n";
+      return;
+    }
+  }
+
+  std::string genExpr(unsigned Depth) {
+    if (Depth == 0) {
+      switch (R.below(3)) {
+      case 0:
+        return std::to_string(R.range(-9, 9));
+      case 1:
+        return Vars[R.below(Vars.size())];
+      default:
+        return strFormat("g%llu",
+                         static_cast<unsigned long long>(R.below(NumGlobals)));
+      }
+    }
+    switch (R.below(8)) {
+    case 0:
+      return strFormat("(%s + %s)", genExpr(Depth - 1).c_str(),
+                       genExpr(Depth - 1).c_str());
+    case 1:
+      return strFormat("(%s - %s)", genExpr(Depth - 1).c_str(),
+                       genExpr(Depth - 1).c_str());
+    case 2:
+      return strFormat("(%s * %s)", genExpr(Depth - 1).c_str(),
+                       genExpr(Depth - 1).c_str());
+    case 3: // division kept but may trap identically on both sides
+      return strFormat("(%s / (%s * %s + 3))", genExpr(Depth - 1).c_str(),
+                       genExpr(Depth - 1).c_str(), genExpr(Depth - 1).c_str());
+    case 4:
+      return strFormat("(%s %s %s)", genExpr(Depth - 1).c_str(),
+                       R.chance(1, 2) ? "<" : "==",
+                       genExpr(Depth - 1).c_str());
+    case 5:
+      return strFormat("(%s %s %s)", genExpr(Depth - 1).c_str(),
+                       R.chance(1, 2) ? "&&" : "||",
+                       genExpr(Depth - 1).c_str());
+    case 6:
+      if (R.chance(1, 2))
+        return strFormat("prim0(%s)", genExpr(Depth - 1).c_str());
+      return strFormat("prim1(%s, %s)", genExpr(Depth - 1).c_str(),
+                       genExpr(Depth - 1).c_str());
+    default:
+      if (CallHelpers && NumHelpers > 0)
+        return strFormat(
+            "helper%llu(%s, %s)",
+            static_cast<unsigned long long>(R.below(NumHelpers)),
+            genExpr(Depth - 1).c_str(), genExpr(Depth - 1).c_str());
+      return strFormat("arr0[%s %% %u]", genExpr(Depth - 1).c_str(),
+                       ArraySize);
+    }
+  }
+
+  Rng R;
+  std::string Src;
+  std::vector<std::string> Vars;
+  unsigned NextVar = 0;
+  unsigned NumGlobals = 0;
+  unsigned NumHelpers = 0;
+  bool CallHelpers = false;
+  static constexpr unsigned ArraySize = 5;
+};
+
+std::function<PrimHandler()> fuzzPrims(std::uint64_t Seed) {
+  return [Seed]() -> PrimHandler {
+    auto State = std::make_shared<Rng>(Seed);
+    return [State](const std::string &,
+                   const std::vector<std::int64_t> &Args)
+               -> std::optional<std::int64_t> {
+      std::int64_t V = State->range(-20, 20);
+      for (std::int64_t A : Args)
+        V ^= (A & 0xff);
+      return V;
+    };
+  };
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+} // namespace
+
+TEST_P(FuzzTest, CompiledCodeAgreesWithReference) {
+  std::uint64_t Seed = GetParam();
+  for (unsigned Prog = 0; Prog != 20; ++Prog) {
+    ProgramGen Gen(Seed * 1000 + Prog);
+    std::string Src = Gen.generate();
+
+    ParseResult PR = parseModule(strFormat("fuzz_%u", Prog), Src);
+    ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Src;
+    TypeCheckResult TR = typeCheck(PR.Module);
+    ASSERT_TRUE(TR.ok()) << TR.Error << "\n" << Src;
+
+    std::vector<ValidationCase> Cases;
+    Rng ArgsRng(Seed ^ Prog);
+    for (unsigned C = 0; C != 5; ++C)
+      Cases.push_back(
+          {"entry", {ArgsRng.range(-10, 10), ArgsRng.range(-10, 10)}});
+
+    // Generated programs can clobber their own loop counters and run to
+    // the step limit; a modest budget keeps both sides' traces bounded
+    // (divergence is then "both stuck", which counts as agreement).
+    ValidationReport VR = validateTranslation(
+        PR.Module, Cases, fuzzPrims(Seed + Prog), /*MaxSteps=*/100000);
+    EXPECT_TRUE(VR.Ok) << VR.Error << "\nprogram:\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

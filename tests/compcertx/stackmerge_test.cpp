@@ -1,0 +1,104 @@
+//===- tests/compcertx/stackmerge_test.cpp - §5.5 merged stacks tests -----------===//
+
+#include "compcertx/StackMerge.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(StackMergeTest, SingleThreadPushPop) {
+  MergedStackSim Sim(1);
+  Sim.yieldTo(0);
+  std::uint32_t B = Sim.pushFrame(4);
+  EXPECT_EQ(B, 0u);
+  EXPECT_TRUE(Sim.storeTop(1, 42));
+  EXPECT_EQ(Sim.loadTop(1), 42);
+  EXPECT_TRUE(Sim.invariantHolds());
+  Sim.popFrame();
+  EXPECT_TRUE(Sim.invariantHolds());
+}
+
+TEST(StackMergeTest, TwoThreadsInterleavedFrames) {
+  MergedStackSim Sim(2);
+  Sim.yieldTo(0);
+  Sim.pushFrame(2); // block 0, thread 0
+  EXPECT_TRUE(Sim.invariantHolds());
+
+  Sim.yieldTo(1);   // thread 1 lifts a placeholder for block 0
+  EXPECT_EQ(Sim.privateMem(1).nb(), 1u);
+  Sim.pushFrame(3); // block 1, thread 1
+  EXPECT_TRUE(Sim.invariantHolds());
+
+  Sim.yieldTo(0);   // thread 0 lifts a placeholder for block 1
+  EXPECT_EQ(Sim.privateMem(0).nb(), 2u);
+  Sim.pushFrame(2); // block 2, thread 0 again
+  EXPECT_TRUE(Sim.invariantHolds());
+
+  // Loads respect block ownership in the composed memory (axiom Ld).
+  EXPECT_TRUE(Sim.storeTop(0, 7));
+  EXPECT_EQ(Sim.merged().load(MemLoc{2, 0}), 7);
+  EXPECT_FALSE(Sim.privateMem(1).load(MemLoc{2, 0}).has_value());
+}
+
+TEST(StackMergeTest, PopKeepsBlockNumbersAllocated) {
+  MergedStackSim Sim(2);
+  Sim.yieldTo(0);
+  Sim.pushFrame(1);
+  Sim.popFrame();
+  Sim.yieldTo(1);
+  Sim.pushFrame(1); // gets a *fresh* block number (CompCert style)
+  EXPECT_EQ(Sim.merged().nb(), 2u);
+  EXPECT_TRUE(Sim.invariantHolds());
+}
+
+TEST(StackMergeTest, CallReturnDepthMirrorsVm) {
+  // A call chain of depth 5 then full unwind, with yields interleaved.
+  MergedStackSim Sim(2);
+  for (int Round = 0; Round != 2; ++Round) {
+    for (unsigned T = 0; T != 2; ++T) {
+      Sim.yieldTo(T);
+      for (int D = 0; D != 5; ++D) {
+        Sim.pushFrame(D + 1);
+        ASSERT_TRUE(Sim.invariantHolds());
+      }
+      for (int D = 0; D != 5; ++D) {
+        Sim.popFrame();
+        ASSERT_TRUE(Sim.invariantHolds());
+      }
+    }
+  }
+}
+
+class StackMergeRandomTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(StackMergeRandomTest, InvariantHoldsUnderRandomSchedules) {
+  Rng R(GetParam());
+  unsigned Threads = 2 + static_cast<unsigned>(R.below(3));
+  MergedStackSim Sim(Threads);
+  Sim.yieldTo(0);
+  for (int Op = 0; Op != 300; ++Op) {
+    switch (R.below(4)) {
+    case 0:
+      Sim.yieldTo(static_cast<unsigned>(R.below(Threads)));
+      break;
+    case 1:
+      Sim.pushFrame(R.range(1, 6));
+      break;
+    case 2:
+      if (!Sim.frames(Sim.current()).empty())
+        Sim.popFrame();
+      break;
+    default:
+      if (!Sim.frames(Sim.current()).empty())
+        Sim.storeTop(0, R.range(-99, 99));
+      break;
+    }
+    ASSERT_TRUE(Sim.invariantHolds()) << "after op " << Op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackMergeRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));

@@ -1,0 +1,104 @@
+//===- tests/core/event_log_test.cpp - Events, logs, replay -------------------===//
+
+#include "core/Log.h"
+#include "core/Replay.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(EventTest, ToStringShapes) {
+  EXPECT_EQ(Event(1, "FAI_t").toString(), "1.FAI_t");
+  EXPECT_EQ(Event(2, "push", {3, 4}).toString(), "2.push(3, 4)");
+  EXPECT_EQ(Event::sched(5).toString(), "->5");
+}
+
+TEST(EventTest, EqualityAndOrder) {
+  Event A(1, "x", {1});
+  Event B(1, "x", {1});
+  Event C(1, "x", {2});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_TRUE(A < C);
+}
+
+TEST(EventTest, HashDistinguishes) {
+  EXPECT_NE(hashEvent(Event(1, "a")), hashEvent(Event(2, "a")));
+  EXPECT_NE(hashEvent(Event(1, "a")), hashEvent(Event(1, "b")));
+  EXPECT_NE(hashEvent(Event(1, "a", {1})), hashEvent(Event(1, "a", {2})));
+}
+
+TEST(LogTest, CountAndFilter) {
+  Log L = {Event(1, "acq"), Event(2, "acq"), Event(1, "rel")};
+  EXPECT_EQ(logCount(L, 1, "acq"), 1u);
+  EXPECT_EQ(logCountKind(L, "acq"), 2u);
+  EXPECT_EQ(logFilterTid(L, 1).size(), 2u);
+  EXPECT_EQ(logFilterKind(L, "rel").size(), 1u);
+}
+
+TEST(LogTest, ControlFollowsSchedEvents) {
+  Log L;
+  EXPECT_EQ(logControl(L, 9), 9u);
+  logAppend(L, Event::sched(1));
+  logAppend(L, Event(1, "x"));
+  logAppend(L, Event::sched(2));
+  EXPECT_EQ(logControl(L, 9), 2u);
+}
+
+TEST(LogTest, HashIsOrderSensitive) {
+  Log A = {Event(1, "x"), Event(2, "y")};
+  Log B = {Event(2, "y"), Event(1, "x")};
+  EXPECT_NE(hashLog(A), hashLog(B));
+}
+
+namespace {
+
+/// A counter replay: "inc" increments, "dec" decrements, stuck below zero.
+Replayer<int> makeCounterReplayer() {
+  return Replayer<int>(0, [](const int &S, const Event &E) -> std::optional<int> {
+    if (E.Kind == "inc")
+      return S + 1;
+    if (E.Kind == "dec")
+      return S > 0 ? std::optional<int>(S - 1) : std::nullopt;
+    return S;
+  });
+}
+
+} // namespace
+
+TEST(ReplayTest, FoldsEvents) {
+  Replayer<int> R = makeCounterReplayer();
+  Log L = {Event(1, "inc"), Event(2, "inc"), Event(1, "dec")};
+  EXPECT_EQ(R.replay(L), 1);
+}
+
+TEST(ReplayTest, IgnoresUnknownEvents) {
+  Replayer<int> R = makeCounterReplayer();
+  Log L = {Event(1, "inc"), Event(1, "whatever", {3})};
+  EXPECT_EQ(R.replay(L), 1);
+}
+
+TEST(ReplayTest, StuckOnProtocolViolation) {
+  Replayer<int> R = makeCounterReplayer();
+  Log L = {Event(1, "dec")};
+  EXPECT_FALSE(R.replay(L).has_value());
+  EXPECT_FALSE(R.wellFormed(L));
+}
+
+TEST(ReplayTest, ReplayFromResumesAtIndex) {
+  Replayer<int> R = makeCounterReplayer();
+  Log L = {Event(1, "inc"), Event(1, "inc"), Event(1, "inc")};
+  std::optional<int> Mid = R.replayFrom(2, L, 2);
+  EXPECT_EQ(Mid, 3);
+}
+
+TEST(ReplayTest, DeterministicReplay) {
+  // The same log always reconstructs the same state (the property that
+  // justifies representing shared state by the log alone, §7).
+  Replayer<int> R = makeCounterReplayer();
+  Log L;
+  for (int I = 0; I < 50; ++I)
+    logAppend(L, Event(static_cast<ThreadId>(I % 3), I % 2 ? "inc" : "inc"));
+  EXPECT_EQ(R.replay(L), R.replay(L));
+  EXPECT_EQ(R.replay(L), 50);
+}

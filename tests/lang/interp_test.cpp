@@ -1,0 +1,183 @@
+//===- tests/lang/interp_test.cpp - ClightX interpreter tests -------------------===//
+
+#include "lang/Interp.h"
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+ClightModule makeModule(const std::string &Src) {
+  ClightModule M = parseModuleOrDie("m", Src);
+  typeCheckOrDie(M);
+  return M;
+}
+
+PrimHandler noPrims() {
+  return [](const std::string &,
+            const std::vector<std::int64_t> &) -> std::optional<std::int64_t> {
+    return std::nullopt;
+  };
+}
+
+} // namespace
+
+TEST(InterpTest, ArithmeticAndComparisons) {
+  ClightModule M = makeModule(R"(
+    int f(int a, int b) { return (a + b) * 2 - a % b; }
+    int cmp(int a, int b) { return (a < b) + (a <= b) * 10 + (a == b) * 100; }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("f", {5, 3}), 14);
+  EXPECT_EQ(I.call("cmp", {3, 3}), 110);
+  EXPECT_EQ(I.call("cmp", {2, 3}), 11);
+}
+
+TEST(InterpTest, WhileLoopAndLocals) {
+  ClightModule M = makeModule(R"(
+    int sum(int n) {
+      int s = 0;
+      int i = 1;
+      while (i <= n) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("sum", {10}), 55);
+  EXPECT_EQ(I.call("sum", {0}), 0);
+}
+
+TEST(InterpTest, BreakAndContinue) {
+  ClightModule M = makeModule(R"(
+    int f(int n) {
+      int s = 0;
+      int i = 0;
+      while (1) {
+        i = i + 1;
+        if (i > n) { break; }
+        if (i % 2 == 0) { continue; }
+        s = s + i;
+      }
+      return s;
+    }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("f", {6}), 9); // 1 + 3 + 5
+}
+
+TEST(InterpTest, GlobalsPersistAcrossCalls) {
+  ClightModule M = makeModule(R"(
+    int counter = 10;
+    int bump() { counter = counter + 1; return counter; }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("bump", {}), 11);
+  EXPECT_EQ(I.call("bump", {}), 12);
+  EXPECT_EQ(I.globals()[static_cast<size_t>(I.globalAddr("counter"))], 12);
+}
+
+TEST(InterpTest, ArraysWithBoundsChecking) {
+  ClightModule M = makeModule(R"(
+    int a[4];
+    void set(int i, int v) { a[i] = v; }
+    int get(int i) { return a[i]; }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_TRUE(I.call("set", {2, 99}).has_value());
+  EXPECT_EQ(I.call("get", {2}), 99);
+  EXPECT_FALSE(I.call("get", {4}).has_value()); // out of bounds traps
+  EXPECT_NE(I.error().find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpTest, ShortCircuitSkipsPrimCalls) {
+  ClightModule M = makeModule(R"(
+    extern int p();
+    int andf(int x) { return x && p(); }
+    int orf(int x) { return x || p(); }
+  )");
+  unsigned Calls = 0;
+  Interp I(M, [&Calls](const std::string &, const std::vector<std::int64_t> &)
+               -> std::optional<std::int64_t> {
+    ++Calls;
+    return 1;
+  });
+  EXPECT_EQ(I.call("andf", {0}), 0);
+  EXPECT_EQ(Calls, 0u); // RHS skipped
+  EXPECT_EQ(I.call("orf", {5}), 1);
+  EXPECT_EQ(Calls, 0u);
+  EXPECT_EQ(I.call("andf", {1}), 1);
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(InterpTest, PrimTraceRecordsCalls) {
+  ClightModule M = makeModule(R"(
+    extern int p(int x);
+    int f() { return p(1) + p(2); }
+  )");
+  Interp I(M, [](const std::string &, const std::vector<std::int64_t> &Args)
+               -> std::optional<std::int64_t> { return Args[0] * 10; });
+  EXPECT_EQ(I.call("f", {}), 30);
+  ASSERT_EQ(I.trace().size(), 2u);
+  EXPECT_EQ(I.trace()[0].Args, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(I.trace()[1].Ret, 20);
+}
+
+TEST(InterpTest, StuckPrimFailsRun) {
+  ClightModule M = makeModule(R"(
+    extern int p();
+    int f() { return p(); }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_FALSE(I.call("f", {}).has_value());
+  EXPECT_NE(I.error().find("stuck"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroTraps) {
+  ClightModule M = makeModule("int f(int x) { return 1 / x; }");
+  Interp I(M, noPrims());
+  EXPECT_FALSE(I.call("f", {0}).has_value());
+  EXPECT_EQ(I.call("f", {2}), 0);
+}
+
+TEST(InterpTest, InfiniteLoopHitsStepLimit) {
+  ClightModule M = makeModule("void f() { while (1) {} }");
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  Interp I(M, noPrims(), Opts);
+  EXPECT_FALSE(I.call("f", {}).has_value());
+  EXPECT_NE(I.error().find("step limit"), std::string::npos);
+}
+
+TEST(InterpTest, RecursionWorks) {
+  ClightModule M = makeModule(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+  )");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("fib", {10}), 55);
+}
+
+TEST(InterpTest, DeepRecursionTraps) {
+  ClightModule M = makeModule("int f(int n) { return f(n + 1); }");
+  Interp I(M, noPrims());
+  EXPECT_FALSE(I.call("f", {0}).has_value());
+}
+
+TEST(InterpTest, VoidFunctionReturnsZero) {
+  ClightModule M = makeModule("void f() { return; }");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("f", {}), 0);
+}
+
+TEST(InterpTest, UnaryOperators) {
+  ClightModule M = makeModule("int f(int x) { return -x + !x * 10; }");
+  Interp I(M, noPrims());
+  EXPECT_EQ(I.call("f", {5}), -5);
+  EXPECT_EQ(I.call("f", {0}), 10);
+}

@@ -1,0 +1,156 @@
+//===- tests/lang/parser_test.cpp - ClightX parser tests -----------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(ParserTest, ParsesFig3Module) {
+  // The paper's M1 (Fig. 3) parses unchanged.
+  ParseResult R = parseModule("m1", R"(
+    extern uint FAI_t();
+    extern uint get_n();
+    extern void inc_n();
+    extern void hold();
+    void acq() {
+      uint my_t = FAI_t();
+      while (get_n() != my_t) {}
+      hold();
+    }
+    void rel() { inc_n(); }
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Module.Funcs.size(), 6u);
+  const FuncDecl *Acq = R.Module.findFunc("acq");
+  ASSERT_NE(Acq, nullptr);
+  EXPECT_FALSE(Acq->IsExtern);
+  EXPECT_TRUE(R.Module.findFunc("FAI_t")->IsExtern);
+}
+
+TEST(ParserTest, GlobalsWithInitializersAndArrays) {
+  ParseResult R = parseModule("g", R"(
+    int x = 3;
+    int y = -1;
+    int a[4];
+    int h = -1, t = -1;
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Module.Globals.size(), 5u);
+  EXPECT_EQ(R.Module.findGlobal("x")->Init[0], 3);
+  EXPECT_EQ(R.Module.findGlobal("y")->Init[0], -1);
+  EXPECT_EQ(R.Module.findGlobal("a")->Size, 4);
+  EXPECT_EQ(R.Module.findGlobal("t")->Init[0], -1);
+}
+
+TEST(ParserTest, PrecedenceAndAssociativity) {
+  ParseResult R = parseModule("p", "int f() { return 1 + 2 * 3 < 7 && 1; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const FuncDecl *F = R.Module.findFunc("f");
+  const Stmt &Ret = *F->Body->Body[0];
+  ASSERT_EQ(Ret.K, Stmt::Kind::Return);
+  // Top-level operator must be &&.
+  EXPECT_EQ(Ret.A->Op, "&&");
+  EXPECT_EQ(Ret.A->Args[0]->Op, "<");
+  EXPECT_EQ(Ret.A->Args[0]->Args[0]->Op, "+");
+  EXPECT_EQ(Ret.A->Args[0]->Args[0]->Args[1]->Op, "*");
+}
+
+TEST(ParserTest, IfElseAndDanglingElse) {
+  ParseResult R = parseModule("p", R"(
+    int f(int x) {
+      if (x > 0)
+        if (x > 10) return 2;
+        else return 1;
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Stmt &If = *R.Module.findFunc("f")->Body->Body[0];
+  ASSERT_EQ(If.K, Stmt::Kind::If);
+  EXPECT_EQ(If.Else, nullptr); // else binds to the inner if
+  EXPECT_NE(If.Then->Else, nullptr);
+}
+
+TEST(ParserTest, ForLoopDesugarsToWhile) {
+  ParseResult R = parseModule("p", R"(
+    int sum(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + i; }
+      return s;
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The desugared body contains a While somewhere.
+  const FuncDecl *F = R.Module.findFunc("sum");
+  const Stmt &Outer = *F->Body->Body[1];
+  ASSERT_EQ(Outer.K, Stmt::Kind::Block);
+  EXPECT_EQ(Outer.Body[1]->K, Stmt::Kind::While);
+}
+
+TEST(ParserTest, ArrayAssignAndIndexExpr) {
+  ParseResult R = parseModule("p", R"(
+    int a[8];
+    int f(int i) {
+      a[i] = a[i + 1] + 2;
+      return a[0];
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Stmt &S = *R.Module.findFunc("f")->Body->Body[0];
+  EXPECT_EQ(S.K, Stmt::Kind::IndexAssign);
+  EXPECT_EQ(S.Name, "a");
+}
+
+TEST(ParserTest, BreakContinueParse) {
+  ParseResult R = parseModule("p", R"(
+    void f() {
+      while (1) {
+        if (2) { break; }
+        continue;
+      }
+    }
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(ParserTest, VoidParameterList) {
+  ParseResult R = parseModule("p", "int f(void) { return 1; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Module.findFunc("f")->Params.empty());
+}
+
+TEST(ParserTest, ReportsSyntaxErrorWithLine) {
+  ParseResult R = parseModule("p", "int f() {\n return ; ;\n}");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsExternGlobal) {
+  ParseResult R = parseModule("p", "extern int g;");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, LinkModulesDropsSatisfiedExterns) {
+  ClightModule A = parseModuleOrDie("a", R"(
+    extern int helper();
+    int main2() { return helper(); }
+  )");
+  ClightModule B = parseModuleOrDie("b", "int helper() { return 7; }");
+  ClightModule L = linkModules("ab", {&A, &B});
+  const FuncDecl *H = L.findFunc("helper");
+  ASSERT_NE(H, nullptr);
+  EXPECT_FALSE(H->IsExtern);
+  EXPECT_EQ(L.Funcs.size(), 2u);
+}
+
+TEST(ParserTest, LinkModulesKeepsUnresolvedExterns) {
+  ClightModule A = parseModuleOrDie("a", R"(
+    extern int prim();
+    int main2() { return prim(); }
+  )");
+  ClightModule L = linkModules("a2", {&A});
+  const FuncDecl *P = L.findFunc("prim");
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(P->IsExtern);
+}

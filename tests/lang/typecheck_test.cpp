@@ -1,0 +1,127 @@
+//===- tests/lang/typecheck_test.cpp - ClightX semantic analysis tests ---------===//
+
+#include "lang/TypeCheck.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+TypeCheckResult checkSrc(const std::string &Src) {
+  ParseResult R = parseModule("m", Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return typeCheck(R.Module);
+}
+
+} // namespace
+
+TEST(TypeCheckTest, ResolvesLocalsAndParams) {
+  ParseResult R = parseModule("m", R"(
+    int f(int a, int b) {
+      int c = a + b;
+      return c;
+    }
+  )");
+  ASSERT_TRUE(R.ok());
+  ASSERT_TRUE(typeCheck(R.Module).ok());
+  const FuncDecl *F = R.Module.findFunc("f");
+  EXPECT_EQ(F->NumSlots, 3);
+  const Stmt &Decl = *F->Body->Body[0];
+  EXPECT_EQ(Decl.LocalSlot, 2); // after params a=0, b=1
+}
+
+TEST(TypeCheckTest, ShadowingInNestedScopes) {
+  TypeCheckResult R = checkSrc(R"(
+    int f(int x) {
+      int y = x;
+      { int x = 2; y = y + x; }
+      return y;
+    }
+  )");
+  EXPECT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(TypeCheckTest, RedeclarationInSameScopeFails) {
+  TypeCheckResult R = checkSrc("int f() { int x = 1; int x = 2; return x; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("redeclaration"), std::string::npos);
+}
+
+TEST(TypeCheckTest, UndeclaredVariableFails) {
+  TypeCheckResult R = checkSrc("int f() { return nope; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(TypeCheckTest, UndeclaredFunctionFails) {
+  TypeCheckResult R = checkSrc("int f() { return g(); }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(TypeCheckTest, ArityMismatchFails) {
+  TypeCheckResult R = checkSrc(R"(
+    int g(int a) { return a; }
+    int f() { return g(1, 2); }
+  )");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("arguments"), std::string::npos);
+}
+
+TEST(TypeCheckTest, VoidValueUseFails) {
+  TypeCheckResult R = checkSrc(R"(
+    void g() { return; }
+    int f() { return g(); }
+  )");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("void"), std::string::npos);
+}
+
+TEST(TypeCheckTest, VoidCallAsStatementIsFine) {
+  TypeCheckResult R = checkSrc(R"(
+    void g() { return; }
+    int f() { g(); return 0; }
+  )");
+  EXPECT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(TypeCheckTest, ArrayUsedAsScalarFails) {
+  TypeCheckResult R = checkSrc(R"(
+    int a[3];
+    int f() { return a; }
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(TypeCheckTest, ScalarAssignToArrayFails) {
+  TypeCheckResult R = checkSrc(R"(
+    int a[3];
+    void f() { a = 1; }
+  )");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(TypeCheckTest, BreakOutsideLoopFails) {
+  TypeCheckResult R = checkSrc("void f() { break; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(TypeCheckTest, DuplicateFunctionFails) {
+  TypeCheckResult R = checkSrc("int f() { return 1; } int f() { return 2; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(TypeCheckTest, ExternMarksCalleeExtern) {
+  ParseResult R = parseModule("m", R"(
+    extern int prim(int x);
+    int g(int x) { return x; }
+    int f() { return prim(1) + g(2); }
+  )");
+  ASSERT_TRUE(R.ok());
+  ASSERT_TRUE(typeCheck(R.Module).ok());
+  const Stmt &Ret = *R.Module.findFunc("f")->Body->Body[0];
+  const Expr &Sum = *Ret.A;
+  EXPECT_TRUE(Sum.Args[0]->CalleeExtern);
+  EXPECT_FALSE(Sum.Args[1]->CalleeExtern);
+}

@@ -1,0 +1,182 @@
+//===- tests/lasm/vm_test.cpp - LAsm VM tests ----------------------------------===//
+
+#include "lasm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+/// Hand-assembles a one-function program.
+AsmProgramPtr makeProgram(std::vector<Instr> Code, unsigned Params = 0,
+                          unsigned Slots = 0,
+                          std::vector<AsmGlobal> Globals = {}) {
+  auto P = std::make_shared<AsmProgram>();
+  P->Name = "test";
+  AsmFunc F;
+  F.Name = "main";
+  F.NumParams = Params;
+  F.NumSlots = Slots < Params ? Params : Slots;
+  F.Code = std::move(Code);
+  P->Funcs.push_back(std::move(F));
+  std::int32_t Addr = 0;
+  for (AsmGlobal &G : Globals) {
+    G.Addr = Addr;
+    Addr += G.Size;
+    P->Globals.push_back(G);
+  }
+  P->Linked = true;
+  return P;
+}
+
+std::optional<std::int64_t> runMain(AsmProgramPtr P,
+                                    std::vector<std::int64_t> Args = {}) {
+  Vm M(P);
+  M.start("main", std::move(Args));
+  std::vector<std::int64_t> Globals = P->initialGlobals();
+  Vm::Status St = M.run(Globals, 1u << 16);
+  if (St != Vm::Status::Done)
+    return std::nullopt;
+  return M.result();
+}
+
+} // namespace
+
+TEST(VmTest, PushRet) {
+  auto P = makeProgram({Instr::push(42), Instr(Opcode::Ret)});
+  EXPECT_EQ(runMain(P), 42);
+}
+
+TEST(VmTest, Arithmetic) {
+  // (7 - 2) * 3 = 15
+  auto P = makeProgram({Instr::push(7), Instr::push(2), Instr(Opcode::Sub),
+                        Instr::push(3), Instr(Opcode::Mul),
+                        Instr(Opcode::Ret)});
+  EXPECT_EQ(runMain(P), 15);
+}
+
+TEST(VmTest, DivisionByZeroTraps) {
+  auto P = makeProgram({Instr::push(1), Instr::push(0), Instr(Opcode::Div),
+                        Instr(Opcode::Ret)});
+  Vm M(P);
+  M.start("main", {});
+  std::vector<std::int64_t> Globals;
+  EXPECT_EQ(M.run(Globals, 100), Vm::Status::Error);
+  EXPECT_NE(M.error().find("division"), std::string::npos);
+}
+
+TEST(VmTest, LocalsAndParams) {
+  // main(a): local = a + 1; return local * 2
+  auto P = makeProgram({Instr(Opcode::LoadL, 0), Instr::push(1),
+                        Instr(Opcode::Add), Instr(Opcode::StoreL, 1),
+                        Instr(Opcode::LoadL, 1), Instr::push(2),
+                        Instr(Opcode::Mul), Instr(Opcode::Ret)},
+                       /*Params=*/1, /*Slots=*/2);
+  EXPECT_EQ(runMain(P, {20}), 42);
+}
+
+TEST(VmTest, GlobalsLoadStore) {
+  AsmGlobal G;
+  G.Name = "g";
+  G.Size = 1;
+  G.Init = {7};
+  auto P = makeProgram({Instr(Opcode::LoadG, 0), Instr::push(1),
+                        Instr(Opcode::Add), Instr(Opcode::StoreG, 0),
+                        Instr(Opcode::LoadG, 0), Instr(Opcode::Ret)},
+                       0, 0, {G});
+  EXPECT_EQ(runMain(P), 8);
+}
+
+TEST(VmTest, IndexedGlobalBoundsCheck) {
+  AsmGlobal G;
+  G.Name = "a";
+  G.Size = 3;
+  G.Init = {0, 0, 0};
+  // a[5] with declared size 3 must trap.
+  Instr Bad(Opcode::LoadGI, 0, /*Imm=size*/ 3);
+  auto P = makeProgram({Instr::push(5), Bad, Instr(Opcode::Ret)}, 0, 0, {G});
+  Vm M(P);
+  M.start("main", {});
+  std::vector<std::int64_t> Globals = P->initialGlobals();
+  EXPECT_EQ(M.run(Globals, 100), Vm::Status::Error);
+}
+
+TEST(VmTest, JumpsImplementLoops) {
+  // sum 1..n with a Jz loop. slots: 0=n, 1=acc, 2=i
+  std::vector<Instr> Code = {
+      Instr::push(0), Instr(Opcode::StoreL, 1),   // acc = 0
+      Instr::push(1), Instr(Opcode::StoreL, 2),   // i = 1
+      // loop head (4): i <= n ?
+      Instr(Opcode::LoadL, 2), Instr(Opcode::LoadL, 0), Instr(Opcode::Le),
+      Instr(Opcode::Jz, 16),
+      Instr(Opcode::LoadL, 1), Instr(Opcode::LoadL, 2), Instr(Opcode::Add),
+      Instr(Opcode::StoreL, 1),
+      Instr(Opcode::LoadL, 2), Instr::push(1), Instr(Opcode::Add),
+      // 15: i = i + 1... wait index
+      Instr(Opcode::StoreL, 2),
+      // 16 is here only if the count matches; recompute: entries 0..15
+  };
+  Code.push_back(Instr(Opcode::Jmp, 4));          // 16 -> fix Jz target
+  Code.push_back(Instr(Opcode::LoadL, 1));        // 17
+  Code.push_back(Instr(Opcode::Ret));             // 18
+  Code[7] = Instr(Opcode::Jz, 17);
+  auto P = makeProgram(Code, 1, 3);
+  EXPECT_EQ(runMain(P, {10}), 55);
+}
+
+TEST(VmTest, PrimPausesAndResumes) {
+  auto P = makeProgram({Instr::push(5), Instr::withSym(Opcode::Prim, "p", 1),
+                        Instr::push(1), Instr(Opcode::Add),
+                        Instr(Opcode::Ret)});
+  Vm M(P);
+  M.start("main", {});
+  std::vector<std::int64_t> Globals;
+  ASSERT_EQ(M.run(Globals, 100), Vm::Status::AtPrim);
+  EXPECT_EQ(M.primName(), "p");
+  EXPECT_EQ(M.primArgs(), (std::vector<std::int64_t>{5}));
+  M.resumePrim(100);
+  ASSERT_EQ(M.run(Globals, 100), Vm::Status::Done);
+  EXPECT_EQ(M.result(), 101);
+}
+
+TEST(VmTest, CopyableMidExecution) {
+  auto P = makeProgram({Instr::push(5), Instr::withSym(Opcode::Prim, "p", 1),
+                        Instr(Opcode::Ret)});
+  Vm M(P);
+  M.start("main", {});
+  std::vector<std::int64_t> Globals;
+  ASSERT_EQ(M.run(Globals, 100), Vm::Status::AtPrim);
+
+  Vm Copy = M; // snapshot at the query point
+  M.resumePrim(1);
+  ASSERT_EQ(M.run(Globals, 100), Vm::Status::Done);
+  EXPECT_EQ(M.result(), 1);
+
+  Copy.resumePrim(2);
+  ASSERT_EQ(Copy.run(Globals, 100), Vm::Status::Done);
+  EXPECT_EQ(Copy.result(), 2);
+}
+
+TEST(VmTest, BudgetExhaustionTraps) {
+  auto P = makeProgram({Instr(Opcode::Jmp, 0)});
+  Vm M(P);
+  M.start("main", {});
+  std::vector<std::int64_t> Globals;
+  EXPECT_EQ(M.run(Globals, 100), Vm::Status::Error);
+  EXPECT_NE(M.error().find("budget"), std::string::npos);
+}
+
+TEST(VmTest, StackUnderflowTraps) {
+  auto P = makeProgram({Instr(Opcode::Add), Instr(Opcode::Ret)});
+  Vm M(P);
+  M.start("main", {});
+  std::vector<std::int64_t> Globals;
+  EXPECT_EQ(M.run(Globals, 100), Vm::Status::Error);
+}
+
+TEST(VmTest, DisassembleRoundTripNames) {
+  EXPECT_STREQ(opcodeName(Opcode::Push), "push");
+  Instr I = Instr::withSym(Opcode::Prim, "acq", 2);
+  EXPECT_EQ(I.toString(), "prim acq/2");
+}

@@ -1,0 +1,156 @@
+//===- tests/machine/explorer_test.cpp - Schedule enumeration tests -------------===//
+
+#include "machine/Explorer.h"
+
+#include "compcertx/Linker.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "machine/CpuLocal.h"
+#include "machine/Soundness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+/// Client: each CPU performs K shared ticks and returns the accumulated
+/// tick values.
+MachineConfigPtr makeTickConfig(unsigned Cpus, unsigned Ticks) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int tick();
+      int t_main(int k) {
+        int acc = 0;
+        int i = 0;
+        while (i < k) {
+          acc = acc * 10 + tick();
+          i = i + 1;
+        }
+        return acc;
+      }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto L = makeInterface("Ltick");
+  L->addShared("tick", makeFetchIncPrim("tick"));
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "tick";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("tick.lasm", {&Client});
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{
+                             {"t_main", {static_cast<std::int64_t>(Ticks)}}});
+  return Cfg;
+}
+
+} // namespace
+
+TEST(ExplorerTest, EnumeratesAllInterleavings) {
+  // 2 CPUs x 2 ticks: C(4,2) = 6 interleavings, each a distinct outcome.
+  ExploreOptions Opts;
+  ExploreResult Res = exploreMachine(makeTickConfig(2, 2), Opts);
+  ASSERT_TRUE(Res.Ok) << Res.Violation;
+  EXPECT_TRUE(Res.Complete);
+  EXPECT_EQ(Res.SchedulesExplored, 6u);
+  EXPECT_EQ(Res.Outcomes.size(), 6u);
+  // Every outcome log has exactly 4 tick events.
+  for (const Outcome &O : Res.Outcomes)
+    EXPECT_EQ(O.FinalLog.size(), 4u);
+}
+
+TEST(ExplorerTest, ThreeCpusCountMatchesMultinomial) {
+  // 3 CPUs x 1 tick each: 3! = 6 schedules.
+  ExploreOptions Opts;
+  ExploreResult Res = exploreMachine(makeTickConfig(3, 1), Opts);
+  ASSERT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.SchedulesExplored, 6u);
+}
+
+TEST(ExplorerTest, FairnessBoundPrunesRuns) {
+  ExploreOptions Strict;
+  Strict.FairnessBound = 1;
+  ExploreResult A = exploreMachine(makeTickConfig(2, 3), Strict);
+  ExploreOptions Loose;
+  Loose.FairnessBound = 8;
+  ExploreResult B = exploreMachine(makeTickConfig(2, 3), Loose);
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_LT(A.SchedulesExplored, B.SchedulesExplored);
+}
+
+TEST(ExplorerTest, InvariantViolationIsReported) {
+  ExploreOptions Opts;
+  Opts.Invariant = [](const MultiCoreMachine &M) -> std::string {
+    if (logCountKind(M.log(), "tick") >= 3)
+      return "too many ticks";
+    return "";
+  };
+  ExploreResult Res = exploreMachine(makeTickConfig(2, 2), Opts);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Violation.find("too many ticks"), std::string::npos);
+}
+
+TEST(ExplorerTest, ScheduleBudgetMarksIncomplete) {
+  ExploreOptions Opts;
+  Opts.MaxSchedules = 2;
+  ExploreResult Res = exploreMachine(makeTickConfig(2, 2), Opts);
+  EXPECT_TRUE(Res.Ok);
+  EXPECT_FALSE(Res.Complete);
+}
+
+TEST(ExplorerTest, CorpusCollected) {
+  ExploreOptions Opts;
+  Opts.CollectCorpus = true;
+  ExploreResult Res = exploreMachine(makeTickConfig(2, 1), Opts);
+  ASSERT_TRUE(Res.Ok);
+  EXPECT_FALSE(Res.Corpus.empty());
+}
+
+TEST(ExplorerTest, RunScheduleFollowsPicks) {
+  std::vector<ThreadId> Picks = {2, 2, 1, 1};
+  size_t Next = 0;
+  std::string Error;
+  Outcome O = runSchedule(
+      makeTickConfig(2, 2),
+      [&](const std::vector<ThreadId> &Ready, const Log &) {
+        ThreadId P = Picks[Next++ % Picks.size()];
+        EXPECT_NE(std::find(Ready.begin(), Ready.end(), P), Ready.end());
+        return P;
+      },
+      &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(O.FinalLog.size(), 4u);
+  EXPECT_EQ(O.FinalLog[0].Tid, 2u);
+  EXPECT_EQ(O.FinalLog[2].Tid, 1u);
+  EXPECT_EQ(O.Returns.at(2), std::vector<std::int64_t>{1});  // 0 then 1
+  EXPECT_EQ(O.Returns.at(1), std::vector<std::int64_t>{23}); // 2 then 3
+}
+
+TEST(SoundnessTest, IdenticalMachinesRefineEachOther) {
+  ContextualRefinementReport Rep = checkContextualRefinement(
+      makeTickConfig(2, 1), makeTickConfig(2, 1), EventMap::identity(),
+      ExploreOptions(), ExploreOptions());
+  EXPECT_TRUE(Rep.Holds) << Rep.Counterexample;
+  EXPECT_EQ(Rep.ImplOutcomes, Rep.SpecOutcomes);
+}
+
+TEST(SoundnessTest, SmallerWorkloadDoesNotRefineLarger) {
+  ContextualRefinementReport Rep = checkContextualRefinement(
+      makeTickConfig(2, 2), makeTickConfig(2, 1), EventMap::identity(),
+      ExploreOptions(), ExploreOptions());
+  EXPECT_FALSE(Rep.Holds);
+  EXPECT_FALSE(Rep.Counterexample.empty());
+}
+
+TEST(SoundnessTest, CertificateCarriesEvidence) {
+  ContextualRefinementReport Rep = checkContextualRefinement(
+      makeTickConfig(2, 1), makeTickConfig(2, 1), EventMap::identity(),
+      ExploreOptions(), ExploreOptions());
+  CertPtr C = makeMachineCertificate("Soundness", "L[D]", "P", "L[D]",
+                                     EventMap::identity(), Rep);
+  EXPECT_TRUE(C->Valid);
+  EXPECT_EQ(C->Obligations, Rep.ObligationsChecked);
+  EXPECT_GT(C->Runs, 0u);
+}

@@ -1,0 +1,149 @@
+//===- tests/machine/hardware_test.cpp - Thm 3.1 multicore linking --------------===//
+
+#include "machine/HardwareMachine.h"
+
+#include "compcertx/Linker.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "machine/CpuLocal.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+/// A client with a little CPU-private computation around shared ticks, so
+/// the hardware machine has many instruction interleavings that all
+/// collapse to the same query-point behaviors.  Kept tiny: instruction-
+/// granularity exploration is exponential in code length.
+MachineConfigPtr makeLinkConfig(unsigned Cpus, unsigned Ticks) {
+  static ClightModule Client1 = [] {
+    ClightModule M = parseModuleOrDie("c1", R"(
+      extern int tick();
+      int scratch = 0;
+      int t_main() {
+        scratch = scratch + 1;   // CPU-private work before the query point
+        return tick() * 10 + scratch;
+      }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  static ClightModule Client2 = [] {
+    ClightModule M = parseModuleOrDie("c2", R"(
+      extern int tick();
+      int t_main() { return tick() * 10 + tick(); }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  const ClightModule *Client = Ticks >= 2 ? &Client2 : &Client1;
+  auto L = makeInterface("Lx86");
+  L->addShared("tick", makeFetchIncPrim("tick"));
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "linkcfg";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("linkcfg.lasm", {Client});
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{{"t_main", {}}});
+  return Cfg;
+}
+
+} // namespace
+
+TEST(HardwareMachineTest, SingleCpuStepsInstructions) {
+  HardwareMachine M(makeLinkConfig(1, 1));
+  ASSERT_TRUE(M.ok());
+  std::uint64_t Steps = 0;
+  while (!M.allIdle()) {
+    std::vector<ThreadId> Ready = M.schedulable();
+    ASSERT_EQ(Ready.size(), 1u);
+    ASSERT_TRUE(M.step(Ready[0])) << M.error();
+    ++Steps;
+  }
+  // Far more hardware cycles than the single query point.
+  EXPECT_GT(Steps, 8u);
+  EXPECT_EQ(M.log().size(), 1u);
+  EXPECT_EQ(M.returns().at(1),
+            std::vector<std::int64_t>{1}); // tick 0 * 10 + scratch 1
+}
+
+TEST(HardwareMachineTest, PreemptionBetweenInstructions) {
+  // Run CPU 1 for a few instruction cycles (it does local work but has
+  // not yet committed its shared tick), then let CPU 2 run to completion:
+  // CPU 2 wins the tick even though CPU 1 started first — hardware
+  // preemption at instruction granularity.
+  HardwareMachine M(makeLinkConfig(2, 1));
+  for (int Cycle = 0; Cycle != 3; ++Cycle)
+    ASSERT_TRUE(M.step(1)) << M.error();
+  EXPECT_TRUE(M.log().empty()); // CPU 1's tick not yet committed
+  while (M.log().empty())
+    ASSERT_TRUE(M.step(2)) << M.error();
+  EXPECT_EQ(M.log()[0].Tid, 2u);
+}
+
+TEST(MulticoreLinkTest, Thm31HoldsTwoCpus) {
+  // Fairness bound 16 exceeds the longest local stretch, so the hardware
+  // sweep is rich enough to check *exactness*: the reduction is lossless.
+  MulticoreLinkReport Rep =
+      checkMulticoreLinking(makeLinkConfig(2, 1), /*FairnessBound=*/16,
+                            /*MaxSchedules=*/1u << 22,
+                            /*CheckExactness=*/true);
+  ASSERT_TRUE(Rep.Holds) << Rep.Counterexample;
+  // The hardware machine explores many more schedules but produces
+  // exactly the layer machine's outcomes.
+  EXPECT_GT(Rep.HardwareSchedules, Rep.LayerSchedules);
+  EXPECT_EQ(Rep.HardwareOutcomes, Rep.LayerOutcomes);
+  EXPECT_EQ(Rep.ObligationsChecked, Rep.HardwareOutcomes);
+}
+
+TEST(MulticoreLinkTest, Thm31HoldsTwoTicks) {
+  MulticoreLinkReport Rep =
+      checkMulticoreLinking(makeLinkConfig(2, 2), /*FairnessBound=*/2);
+  ASSERT_TRUE(Rep.Holds) << Rep.Counterexample;
+  EXPECT_GE(Rep.HardwareOutcomes, 2u);
+}
+
+TEST(MulticoreLinkTest, CertificateRecordsEvidence) {
+  MulticoreLinkReport Rep =
+      checkMulticoreLinking(makeLinkConfig(2, 1), /*FairnessBound=*/2);
+  CertPtr C = makeMulticoreLinkCertificate("linkcfg", Rep);
+  EXPECT_TRUE(C->Valid);
+  EXPECT_EQ(C->Rule, "MulticoreLink");
+  EXPECT_GT(C->Runs, 0u);
+}
+
+TEST(MulticoreLinkTest, SharedLocalMemoryWouldBreakTheTheorem) {
+  // Negative control: if a "private" primitive actually observed shared
+  // state (here: the log length), instruction interleavings become
+  // observable and the hardware machine produces outcomes the layer
+  // machine cannot.  The checker must catch this modeling error.
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int tick();
+      extern int leak();
+      int t_main() { return leak() * 100 + tick(); }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto L = makeInterface("Lleaky");
+  L->addShared("tick", makeFetchIncPrim("tick"));
+  // A *private* primitive that reads the global log: a modeling bug.
+  L->addPrivate("leak", [](const PrimCall &Call)
+                    -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Ret = static_cast<std::int64_t>(Call.L->size());
+    return Res;
+  });
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "leaky";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("leaky.lasm", {&Client});
+  Cfg->Work.emplace(1, std::vector<CpuWorkItem>{{"t_main", {}}});
+  Cfg->Work.emplace(2, std::vector<CpuWorkItem>{{"t_main", {}}});
+
+  MulticoreLinkReport Rep = checkMulticoreLinking(Cfg, /*FairnessBound=*/3);
+  EXPECT_FALSE(Rep.Holds);
+}

@@ -1,0 +1,176 @@
+//===- tests/machine/multicore_test.cpp - Multicore machine tests ---------------===//
+
+#include "machine/MultiCore.h"
+
+#include "compcertx/Linker.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "machine/CpuLocal.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+namespace {
+
+ClightModule makeClient() {
+  ClightModule M = parseModuleOrDie("client", R"(
+    extern int tick();
+    extern int local_work(int x);
+
+    int t_main(int k) {
+      int a = local_work(k);
+      int b = tick();
+      return a * 100 + b;
+    }
+  )");
+  typeCheckOrDie(M);
+  return M;
+}
+
+MachineConfigPtr makeConfig(unsigned Cpus) {
+  static ClightModule Client;
+  Client = makeClient();
+  auto L = makeInterface("Lbase");
+  L->addShared("tick", makeFetchIncPrim("tick"));
+  L->addPrivate("local_work", [](const PrimCall &Call)
+                    -> std::optional<PrimResult> {
+    PrimResult Res;
+    Res.Ret = Call.Args.empty() ? 0 : Call.Args[0] * 2;
+    return Res;
+  });
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "basic";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("basic.lasm", {&Client});
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{
+                             {"t_main", {static_cast<std::int64_t>(C)}}});
+  return Cfg;
+}
+
+} // namespace
+
+TEST(MultiCoreTest, SingleCpuRunsToCompletion) {
+  MultiCoreMachine M(makeConfig(1));
+  ASSERT_TRUE(M.ok()) << M.error();
+  // CPU 1 is parked at the shared tick (local_work ran silently).
+  EXPECT_EQ(M.schedulable(), std::vector<ThreadId>{1});
+  EXPECT_EQ(M.pendingPrim(1), "tick");
+  ASSERT_TRUE(M.step(1));
+  EXPECT_TRUE(M.allIdle());
+  EXPECT_EQ(M.log().size(), 1u);
+  EXPECT_EQ(M.returns().at(1), std::vector<std::int64_t>{200});
+}
+
+TEST(MultiCoreTest, PrivatePrimsEmitNoEvents) {
+  MultiCoreMachine M(makeConfig(1));
+  EXPECT_TRUE(M.log().empty()); // local_work already executed silently
+}
+
+TEST(MultiCoreTest, TwoCpusInterleaveSharedPrims) {
+  MultiCoreMachine M(makeConfig(2));
+  ASSERT_TRUE(M.ok());
+  EXPECT_EQ(M.schedulable().size(), 2u);
+  ASSERT_TRUE(M.step(2)); // CPU 2 ticks first: gets 0
+  ASSERT_TRUE(M.step(1));
+  EXPECT_TRUE(M.allIdle());
+  // CPU 2 ticked first: local_work(2) * 100 + tick 0 = 400; CPU 1 got
+  // tick 1: local_work(1) * 100 + 1 = 201.
+  EXPECT_EQ(M.returns().at(2), std::vector<std::int64_t>{400});
+  EXPECT_EQ(M.returns().at(1), std::vector<std::int64_t>{201});
+}
+
+TEST(MultiCoreTest, ReturnsDependOnScheduleOrder) {
+  MultiCoreMachine A(makeConfig(2));
+  A.step(1);
+  A.step(2);
+  MultiCoreMachine B(makeConfig(2));
+  B.step(2);
+  B.step(1);
+  EXPECT_NE(A.returns(), B.returns());
+}
+
+TEST(MultiCoreTest, CopyIsIndependentSnapshot) {
+  MultiCoreMachine M(makeConfig(2));
+  MultiCoreMachine Snapshot = M;
+  ASSERT_TRUE(M.step(1));
+  EXPECT_EQ(M.log().size(), 1u);
+  EXPECT_TRUE(Snapshot.log().empty());
+  ASSERT_TRUE(Snapshot.step(2));
+  EXPECT_EQ(Snapshot.log()[0].Tid, 2u);
+}
+
+TEST(MultiCoreTest, UnknownPrimFaults) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int nosuch();
+      int t_main() { return nosuch(); }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "bad";
+  Cfg->Layer = makeInterface("Lempty");
+  Cfg->Program = compileAndLink("bad.lasm", {&Client});
+  Cfg->Work.emplace(1, std::vector<CpuWorkItem>{{"t_main", {}}});
+  MultiCoreMachine M(Cfg);
+  EXPECT_FALSE(M.ok());
+  EXPECT_NE(M.error().find("not provided"), std::string::npos);
+}
+
+TEST(MultiCoreTest, StuckSharedPrimFaultsAtStep) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int sticky();
+      int t_main() { return sticky(); }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto L = makeInterface("Lsticky");
+  L->addShared("sticky", [](const PrimCall &) -> std::optional<PrimResult> {
+    return std::nullopt;
+  });
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "sticky";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("sticky.lasm", {&Client});
+  Cfg->Work.emplace(1, std::vector<CpuWorkItem>{{"t_main", {}}});
+  MultiCoreMachine M(Cfg);
+  ASSERT_TRUE(M.ok());
+  EXPECT_FALSE(M.step(1));
+  EXPECT_NE(M.error().find("stuck"), std::string::npos);
+}
+
+TEST(MultiCoreTest, BlockedPrimIsNotSchedulable) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int gate();
+      int t_main() { return gate(); }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto L = makeInterface("Lgate");
+  // gate blocks until some event exists in the log.
+  L->addShared("gate", [](const PrimCall &Call) -> std::optional<PrimResult> {
+    if (Call.L->empty())
+      return PrimResult::blocked();
+    PrimResult Res;
+    Res.Ret = 1;
+    Res.Events.push_back(Event(Call.Tid, "gate"));
+    return Res;
+  });
+  L->addShared("tick", makeFetchIncPrim("tick"));
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "gate";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("gate.lasm", {&Client});
+  Cfg->Work.emplace(1, std::vector<CpuWorkItem>{{"t_main", {}}});
+  MultiCoreMachine M(Cfg);
+  ASSERT_TRUE(M.ok());
+  EXPECT_TRUE(M.schedulable().empty()); // blocked, not schedulable
+  EXPECT_FALSE(M.allIdle());            // ... but not done: a deadlock state
+}

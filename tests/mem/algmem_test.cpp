@@ -1,0 +1,151 @@
+//===- tests/mem/algmem_test.cpp - Fig. 12 algebraic memory model tests --------===//
+
+#include "mem/AlgebraicMemory.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+using namespace ccal::memaxioms;
+
+namespace {
+
+/// Builds a random memory with \p N blocks, each permissioned with
+/// probability PermNum/8 and randomly initialized.
+AlgMem randomMem(Rng &R, unsigned N, unsigned PermNum) {
+  AlgMem M;
+  for (unsigned I = 0; I != N; ++I) {
+    if (R.chance(PermNum, 8)) {
+      std::uint32_t B = M.alloc(0, R.range(1, 4));
+      for (std::int64_t Off = 0; Off < 4; ++Off)
+        M.store(MemLoc{B, Off}, R.range(-100, 100)); // OOB stores ignored
+    } else {
+      M.liftnb(1);
+    }
+  }
+  return M;
+}
+
+/// Builds a *composable pair*: at every index at most one side has
+/// permissions.
+std::pair<AlgMem, AlgMem> composablePair(Rng &R, unsigned N) {
+  AlgMem A, B;
+  for (unsigned I = 0; I != N; ++I) {
+    switch (R.below(3)) {
+    case 0: {
+      std::uint32_t Blk = A.alloc(0, 2);
+      A.store(MemLoc{Blk, 0}, R.range(0, 9));
+      B.liftnb(1);
+      break;
+    }
+    case 1: {
+      A.liftnb(1);
+      std::uint32_t Blk = B.alloc(0, 2);
+      B.store(MemLoc{Blk, 1}, R.range(0, 9));
+      break;
+    }
+    default:
+      A.liftnb(1);
+      B.liftnb(1);
+      break;
+    }
+  }
+  return {std::move(A), std::move(B)};
+}
+
+} // namespace
+
+TEST(AlgMemTest, AllocLoadStoreBasics) {
+  AlgMem M;
+  std::uint32_t B = M.alloc(0, 3);
+  EXPECT_EQ(M.nb(), 1u);
+  EXPECT_TRUE(M.store(MemLoc{B, 2}, 42));
+  EXPECT_EQ(M.load(MemLoc{B, 2}), 42);
+  EXPECT_FALSE(M.store(MemLoc{B, 3}, 1)); // out of bounds
+  EXPECT_FALSE(M.load(MemLoc{B, -1}).has_value());
+  EXPECT_FALSE(M.load(MemLoc{B + 1, 0}).has_value()); // no such block
+}
+
+TEST(AlgMemTest, FreeDropsPermissionsKeepsBlockNumber) {
+  AlgMem M;
+  std::uint32_t B = M.alloc(0, 2);
+  EXPECT_TRUE(M.freeBlock(B));
+  EXPECT_EQ(M.nb(), 1u);
+  EXPECT_FALSE(M.load(MemLoc{B, 0}).has_value());
+  EXPECT_FALSE(M.freeBlock(B)); // already empty
+}
+
+TEST(AlgMemTest, LiftnbAddsPlaceholders) {
+  AlgMem M;
+  M.liftnb(3);
+  EXPECT_EQ(M.nb(), 3u);
+  EXPECT_FALSE(M.load(MemLoc{1, 0}).has_value());
+}
+
+TEST(AlgMemTest, ComposeRejectsDoubleOwnership) {
+  AlgMem A, B;
+  A.alloc(0, 1);
+  B.alloc(0, 1);
+  EXPECT_FALSE(AlgMem::compose(A, B).has_value());
+}
+
+TEST(AlgMemTest, ComposeTakesThePermissionedSide) {
+  AlgMem A, B;
+  std::uint32_t Blk = A.alloc(0, 1);
+  A.store(MemLoc{Blk, 0}, 9);
+  B.liftnb(1);
+  std::optional<AlgMem> M = AlgMem::compose(A, B);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->load(MemLoc{0, 0}), 9);
+}
+
+TEST(AlgMemTest, ComposeWithDifferentLengths) {
+  AlgMem A, B;
+  A.alloc(0, 1);
+  B.liftnb(3);
+  std::optional<AlgMem> M = AlgMem::compose(A, B);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->nb(), 3u); // axiom Nb
+}
+
+// ---- Property sweeps over the seven Fig. 12 axioms. ----
+
+class AlgMemAxiomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgMemAxiomTest, NbAndComm) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    auto [A, B] = composablePair(R, 1 + static_cast<unsigned>(R.below(6)));
+    EXPECT_TRUE(checkNb(A, B));
+    EXPECT_TRUE(checkComm(A, B));
+    // Also on possibly-noncomposable random pairs (vacuous cases).
+    AlgMem X = randomMem(R, 4, 4), Y = randomMem(R, 4, 4);
+    EXPECT_TRUE(checkNb(X, Y));
+    EXPECT_TRUE(checkComm(X, Y));
+  }
+}
+
+TEST_P(AlgMemAxiomTest, LdAndSt) {
+  Rng R(GetParam() + 1000);
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    auto [A, B] = composablePair(R, 1 + static_cast<unsigned>(R.below(6)));
+    MemLoc Loc{static_cast<std::uint32_t>(R.below(7)),
+               static_cast<std::int64_t>(R.below(3))};
+    EXPECT_TRUE(checkLd(A, B, Loc));
+    EXPECT_TRUE(checkSt(A, B, Loc, R.range(-5, 5)));
+  }
+}
+
+TEST_P(AlgMemAxiomTest, AllocAndLifts) {
+  Rng R(GetParam() + 2000);
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    auto [A, B] = composablePair(R, 1 + static_cast<unsigned>(R.below(6)));
+    EXPECT_TRUE(checkAlloc(A, B, 0, R.range(1, 4)));
+    EXPECT_TRUE(checkLiftR(A, B, static_cast<std::uint32_t>(R.below(4))));
+    EXPECT_TRUE(checkLiftL(A, B, static_cast<std::uint32_t>(R.below(4))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgMemAxiomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));

@@ -1,0 +1,87 @@
+//===- tests/objects/localqueue_test.cpp - Local queue refinement tests ---------===//
+
+#include "objects/LocalQueue.h"
+
+#include "lang/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(AbstractLocalQueueTest, FifoWithSetSemantics) {
+  AbstractLocalQueue Q;
+  Q.enQ(3);
+  Q.enQ(5);
+  Q.enQ(3); // duplicate ignored
+  EXPECT_EQ(Q.size(), 2);
+  EXPECT_EQ(Q.deQ(), 3);
+  EXPECT_EQ(Q.deQ(), 5);
+  EXPECT_EQ(Q.deQ(), -1);
+}
+
+TEST(AbstractLocalQueueTest, RemoveFromMiddle) {
+  AbstractLocalQueue Q;
+  Q.enQ(1);
+  Q.enQ(2);
+  Q.enQ(3);
+  Q.rmQ(2);
+  EXPECT_EQ(Q.size(), 2);
+  EXPECT_EQ(Q.deQ(), 1);
+  EXPECT_EQ(Q.deQ(), 3);
+}
+
+TEST(AbstractLocalQueueTest, OutOfRangeIgnored) {
+  AbstractLocalQueue Q;
+  Q.enQ(-1);
+  Q.enQ(LocalQueueCap);
+  EXPECT_EQ(Q.size(), 0);
+}
+
+TEST(LocalQueueModuleTest, BasicSequenceThroughInterpreter) {
+  ClightModule M = makeLocalQueueModule();
+  Interp I(M, [](const std::string &, const std::vector<std::int64_t> &)
+                  -> std::optional<std::int64_t> { return std::nullopt; });
+  ASSERT_TRUE(I.call("q_init", {}).has_value());
+  I.call("enQ", {4});
+  I.call("enQ", {9});
+  EXPECT_EQ(I.call("q_len", {}), 2);
+  EXPECT_EQ(I.call("q_head_val", {}), 4);
+  EXPECT_EQ(I.call("deQ", {}), 4);
+  EXPECT_EQ(I.call("deQ", {}), 9);
+  EXPECT_EQ(I.call("deQ", {}), -1);
+}
+
+TEST(LocalQueueModuleTest, RemoveHeadMiddleTail) {
+  ClightModule M = makeLocalQueueModule();
+  Interp I(M, [](const std::string &, const std::vector<std::int64_t> &)
+                  -> std::optional<std::int64_t> { return std::nullopt; });
+  I.call("q_init", {});
+  for (std::int64_t V : {1, 2, 3, 4})
+    I.call("enQ", {V});
+  I.call("rmQ", {1}); // head
+  I.call("rmQ", {3}); // middle
+  I.call("rmQ", {4}); // tail
+  EXPECT_EQ(I.call("q_len", {}), 1);
+  EXPECT_EQ(I.call("deQ", {}), 2);
+}
+
+class LocalQueueDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalQueueDifferentialTest, InterpreterAgreesWithModel) {
+  std::string Err =
+      runLocalQueueDifferential(GetParam(), /*NumOps=*/400,
+                                /*ThroughVm=*/false);
+  EXPECT_EQ(Err, "");
+}
+
+TEST_P(LocalQueueDifferentialTest, CompiledCodeAgreesWithModel) {
+  std::string Err =
+      runLocalQueueDifferential(GetParam(), /*NumOps=*/400,
+                                /*ThroughVm=*/true);
+  EXPECT_EQ(Err, "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalQueueDifferentialTest,
+                         ::testing::Values(1, 2, 3, 7, 42, 1234, 99999));

@@ -1,0 +1,79 @@
+//===- tests/support/support_test.cpp - Support utilities tests --------------===//
+
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Text.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(TextTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> Parts = {"a", "bb", "", "c"};
+  std::string Joined = strJoin(Parts, ",");
+  EXPECT_EQ(Joined, "a,bb,,c");
+  EXPECT_EQ(strSplit(Joined, ','), Parts);
+}
+
+TEST(TextTest, SplitSingle) {
+  EXPECT_EQ(strSplit("abc", ','), std::vector<std::string>{"abc"});
+}
+
+TEST(TextTest, Trim) {
+  EXPECT_EQ(strTrim("  x y\t\n"), "x y");
+  EXPECT_EQ(strTrim(""), "");
+  EXPECT_EQ(strTrim(" \t "), "");
+}
+
+TEST(TextTest, StartsWith) {
+  EXPECT_TRUE(strStartsWith("foobar", "foo"));
+  EXPECT_FALSE(strStartsWith("fo", "foo"));
+  EXPECT_TRUE(strStartsWith("x", ""));
+}
+
+TEST(TextTest, Format) {
+  EXPECT_EQ(strFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strFormat("%s", ""), "");
+}
+
+TEST(TextTest, IntList) {
+  EXPECT_EQ(intListToString({}), "[]");
+  EXPECT_EQ(intListToString({1, -2, 3}), "[1, -2, 3]");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table T("title");
+  T.addRow({"a", "long-cell"});
+  T.addRow({"longer", "b"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("title"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  // The header separator line exists.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng R(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    std::int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}

@@ -1,0 +1,35 @@
+//===- tests/threads/condvar_test.cpp - Condition variable tests -----------------===//
+
+#include "threads/CondVar.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(CondVarTest, BoundedBufferDeliversInOrder) {
+  MonitorCheck C = checkBoundedBuffer(3);
+  EXPECT_TRUE(C.Ok) << C.Violation;
+  EXPECT_GE(C.SchedulesExplored, 1u);
+}
+
+TEST(CondVarTest, BoundedBufferMoreItems) {
+  MonitorCheck C = checkBoundedBuffer(5);
+  EXPECT_TRUE(C.Ok) << C.Violation;
+}
+
+TEST(CondVarTest, LostWakeupDeadlockIsFound) {
+  // The classic single-CV, wake-one, two-producer bug: the explorer must
+  // expose a deadlock on some schedule (this is the checker *working*, not
+  // a library bug).
+  MonitorCheck C = checkBoundedBufferLostWakeup(3);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.Violation.find("deadlock"), std::string::npos)
+      << C.Violation;
+}
+
+TEST(CondVarTest, ModuleShapes) {
+  ClightModule Cv = makeCondVarModule();
+  EXPECT_NE(Cv.findFunc("cv_wait"), nullptr);
+  EXPECT_NE(Cv.findFunc("cv_signal"), nullptr);
+  EXPECT_TRUE(Cv.findFunc("acq_q")->IsExtern); // monitor lock from below
+}

@@ -1,0 +1,27 @@
+//===- tests/threads/ipc_test.cpp - IPC channel tests ----------------------------===//
+
+#include "threads/Ipc.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(IpcTest, ExactlyOnceInOrderSmall) {
+  MonitorCheck C = checkIpcChannel(2);
+  EXPECT_TRUE(C.Ok) << C.Violation;
+}
+
+TEST(IpcTest, RingOverflowForcesBothBlockingPaths) {
+  // Items > capacity: the sender must block on not-full at least once and
+  // the receiver on not-empty.
+  MonitorCheck C = checkIpcChannel(IpcRingCap + 2);
+  EXPECT_TRUE(C.Ok) << C.Violation;
+}
+
+TEST(IpcTest, ChannelModuleUsesRing) {
+  ClightModule M = makeIpcChannelModule();
+  EXPECT_NE(M.findFunc("send"), nullptr);
+  EXPECT_NE(M.findFunc("recv"), nullptr);
+  EXPECT_NE(M.findGlobal("ring"), nullptr);
+  EXPECT_EQ(M.findGlobal("ring")->Size, IpcRingCap);
+}

@@ -1,0 +1,37 @@
+//===- tests/threads/linking_test.cpp - Thm 5.1 multithreaded linking -----------===//
+
+#include "threads/Linking.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+
+TEST(LinkingTest, TwoWorkersTwoRounds) {
+  LinkingSetup Setup;
+  Setup.NumThreads = 2;
+  Setup.Rounds = 2;
+  LinkingReport Rep = checkMultithreadedLinking(Setup);
+  EXPECT_TRUE(Rep.Refinement.Holds) << Rep.Refinement.Counterexample;
+  EXPECT_TRUE(Rep.Cert->Valid);
+  EXPECT_EQ(Rep.Cert->Rule, "MultithreadLink");
+  // One CPU, non-preemptive: deterministic on both levels.
+  EXPECT_EQ(Rep.Refinement.ImplOutcomes, 1u);
+  EXPECT_EQ(Rep.Refinement.SpecOutcomes, 1u);
+}
+
+TEST(LinkingTest, ThreeWorkers) {
+  LinkingSetup Setup;
+  Setup.NumThreads = 3;
+  Setup.Rounds = 1;
+  LinkingReport Rep = checkMultithreadedLinking(Setup);
+  EXPECT_TRUE(Rep.Refinement.Holds) << Rep.Refinement.Counterexample;
+}
+
+TEST(LinkingTest, ManyRounds) {
+  LinkingSetup Setup;
+  Setup.NumThreads = 2;
+  Setup.Rounds = 5;
+  LinkingReport Rep = checkMultithreadedLinking(Setup);
+  EXPECT_TRUE(Rep.Refinement.Holds) << Rep.Refinement.Counterexample;
+  EXPECT_GT(Rep.Refinement.ObligationsChecked, 0u);
+}
