@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compcertx.dir/bench_compcertx.cpp.o"
+  "CMakeFiles/bench_compcertx.dir/bench_compcertx.cpp.o.d"
+  "bench_compcertx"
+  "bench_compcertx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compcertx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_compcertx.
+# This may be replaced when dependencies are built.

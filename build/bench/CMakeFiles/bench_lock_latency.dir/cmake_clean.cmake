@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_latency.dir/bench_lock_latency.cpp.o"
+  "CMakeFiles/bench_lock_latency.dir/bench_lock_latency.cpp.o.d"
+  "bench_lock_latency"
+  "bench_lock_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

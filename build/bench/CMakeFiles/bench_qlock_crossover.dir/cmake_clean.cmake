@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qlock_crossover.dir/bench_qlock_crossover.cpp.o"
+  "CMakeFiles/bench_qlock_crossover.dir/bench_qlock_crossover.cpp.o.d"
+  "bench_qlock_crossover"
+  "bench_qlock_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qlock_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

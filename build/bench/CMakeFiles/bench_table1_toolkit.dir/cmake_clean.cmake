@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_toolkit.dir/bench_table1_toolkit.cpp.o"
+  "CMakeFiles/bench_table1_toolkit.dir/bench_table1_toolkit.cpp.o.d"
+  "bench_table1_toolkit"
+  "bench_table1_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_link.dir/compile_and_link.cpp.o"
+  "CMakeFiles/compile_and_link.dir/compile_and_link.cpp.o.d"
+  "compile_and_link"
+  "compile_and_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_exchange.dir/lock_exchange.cpp.o"
+  "CMakeFiles/lock_exchange.dir/lock_exchange.cpp.o.d"
+  "lock_exchange"
+  "lock_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

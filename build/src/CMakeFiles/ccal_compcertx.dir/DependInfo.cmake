@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compcertx/CodeGen.cpp" "src/CMakeFiles/ccal_compcertx.dir/compcertx/CodeGen.cpp.o" "gcc" "src/CMakeFiles/ccal_compcertx.dir/compcertx/CodeGen.cpp.o.d"
+  "/root/repo/src/compcertx/Linker.cpp" "src/CMakeFiles/ccal_compcertx.dir/compcertx/Linker.cpp.o" "gcc" "src/CMakeFiles/ccal_compcertx.dir/compcertx/Linker.cpp.o.d"
+  "/root/repo/src/compcertx/Optimize.cpp" "src/CMakeFiles/ccal_compcertx.dir/compcertx/Optimize.cpp.o" "gcc" "src/CMakeFiles/ccal_compcertx.dir/compcertx/Optimize.cpp.o.d"
+  "/root/repo/src/compcertx/StackMerge.cpp" "src/CMakeFiles/ccal_compcertx.dir/compcertx/StackMerge.cpp.o" "gcc" "src/CMakeFiles/ccal_compcertx.dir/compcertx/StackMerge.cpp.o.d"
+  "/root/repo/src/compcertx/Validate.cpp" "src/CMakeFiles/ccal_compcertx.dir/compcertx/Validate.cpp.o" "gcc" "src/CMakeFiles/ccal_compcertx.dir/compcertx/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_compcertx.dir/compcertx/CodeGen.cpp.o"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/CodeGen.cpp.o.d"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/Linker.cpp.o"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/Linker.cpp.o.d"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/Optimize.cpp.o"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/Optimize.cpp.o.d"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/StackMerge.cpp.o"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/StackMerge.cpp.o.d"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/Validate.cpp.o"
+  "CMakeFiles/ccal_compcertx.dir/compcertx/Validate.cpp.o.d"
+  "libccal_compcertx.a"
+  "libccal_compcertx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_compcertx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Calculus.cpp" "src/CMakeFiles/ccal_core.dir/core/Calculus.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Calculus.cpp.o.d"
+  "/root/repo/src/core/Certificate.cpp" "src/CMakeFiles/ccal_core.dir/core/Certificate.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Certificate.cpp.o.d"
+  "/root/repo/src/core/EnvContext.cpp" "src/CMakeFiles/ccal_core.dir/core/EnvContext.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/EnvContext.cpp.o.d"
+  "/root/repo/src/core/Event.cpp" "src/CMakeFiles/ccal_core.dir/core/Event.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Event.cpp.o.d"
+  "/root/repo/src/core/LayerInterface.cpp" "src/CMakeFiles/ccal_core.dir/core/LayerInterface.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/LayerInterface.cpp.o.d"
+  "/root/repo/src/core/Log.cpp" "src/CMakeFiles/ccal_core.dir/core/Log.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Log.cpp.o.d"
+  "/root/repo/src/core/RelyGuarantee.cpp" "src/CMakeFiles/ccal_core.dir/core/RelyGuarantee.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/RelyGuarantee.cpp.o.d"
+  "/root/repo/src/core/Replay.cpp" "src/CMakeFiles/ccal_core.dir/core/Replay.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Replay.cpp.o.d"
+  "/root/repo/src/core/Simulation.cpp" "src/CMakeFiles/ccal_core.dir/core/Simulation.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Simulation.cpp.o.d"
+  "/root/repo/src/core/Strategy.cpp" "src/CMakeFiles/ccal_core.dir/core/Strategy.cpp.o" "gcc" "src/CMakeFiles/ccal_core.dir/core/Strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

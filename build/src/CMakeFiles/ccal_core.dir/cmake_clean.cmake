@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_core.dir/core/Calculus.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Calculus.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/Certificate.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Certificate.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/EnvContext.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/EnvContext.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/Event.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Event.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/LayerInterface.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/LayerInterface.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/Log.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Log.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/RelyGuarantee.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/RelyGuarantee.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/Replay.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Replay.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/Simulation.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Simulation.cpp.o.d"
+  "CMakeFiles/ccal_core.dir/core/Strategy.cpp.o"
+  "CMakeFiles/ccal_core.dir/core/Strategy.cpp.o.d"
+  "libccal_core.a"
+  "libccal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

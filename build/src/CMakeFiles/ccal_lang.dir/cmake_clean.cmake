@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_lang.dir/lang/Ast.cpp.o"
+  "CMakeFiles/ccal_lang.dir/lang/Ast.cpp.o.d"
+  "CMakeFiles/ccal_lang.dir/lang/Interp.cpp.o"
+  "CMakeFiles/ccal_lang.dir/lang/Interp.cpp.o.d"
+  "CMakeFiles/ccal_lang.dir/lang/Lexer.cpp.o"
+  "CMakeFiles/ccal_lang.dir/lang/Lexer.cpp.o.d"
+  "CMakeFiles/ccal_lang.dir/lang/Parser.cpp.o"
+  "CMakeFiles/ccal_lang.dir/lang/Parser.cpp.o.d"
+  "CMakeFiles/ccal_lang.dir/lang/Token.cpp.o"
+  "CMakeFiles/ccal_lang.dir/lang/Token.cpp.o.d"
+  "CMakeFiles/ccal_lang.dir/lang/TypeCheck.cpp.o"
+  "CMakeFiles/ccal_lang.dir/lang/TypeCheck.cpp.o.d"
+  "libccal_lang.a"
+  "libccal_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_lasm.dir/lasm/Instr.cpp.o"
+  "CMakeFiles/ccal_lasm.dir/lasm/Instr.cpp.o.d"
+  "CMakeFiles/ccal_lasm.dir/lasm/Program.cpp.o"
+  "CMakeFiles/ccal_lasm.dir/lasm/Program.cpp.o.d"
+  "CMakeFiles/ccal_lasm.dir/lasm/Vm.cpp.o"
+  "CMakeFiles/ccal_lasm.dir/lasm/Vm.cpp.o.d"
+  "libccal_lasm.a"
+  "libccal_lasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_lasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ccal_lasm.
+# This may be replaced when dependencies are built.

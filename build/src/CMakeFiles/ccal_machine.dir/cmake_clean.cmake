@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_machine.dir/machine/CpuLocal.cpp.o"
+  "CMakeFiles/ccal_machine.dir/machine/CpuLocal.cpp.o.d"
+  "CMakeFiles/ccal_machine.dir/machine/Explorer.cpp.o"
+  "CMakeFiles/ccal_machine.dir/machine/Explorer.cpp.o.d"
+  "CMakeFiles/ccal_machine.dir/machine/HardwareMachine.cpp.o"
+  "CMakeFiles/ccal_machine.dir/machine/HardwareMachine.cpp.o.d"
+  "CMakeFiles/ccal_machine.dir/machine/MultiCore.cpp.o"
+  "CMakeFiles/ccal_machine.dir/machine/MultiCore.cpp.o.d"
+  "CMakeFiles/ccal_machine.dir/machine/Soundness.cpp.o"
+  "CMakeFiles/ccal_machine.dir/machine/Soundness.cpp.o.d"
+  "libccal_machine.a"
+  "libccal_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

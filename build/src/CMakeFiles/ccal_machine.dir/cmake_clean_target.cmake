@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccal_machine.a"
+)

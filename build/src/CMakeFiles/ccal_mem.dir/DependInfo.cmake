@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/AlgebraicMemory.cpp" "src/CMakeFiles/ccal_mem.dir/mem/AlgebraicMemory.cpp.o" "gcc" "src/CMakeFiles/ccal_mem.dir/mem/AlgebraicMemory.cpp.o.d"
+  "/root/repo/src/mem/PushPull.cpp" "src/CMakeFiles/ccal_mem.dir/mem/PushPull.cpp.o" "gcc" "src/CMakeFiles/ccal_mem.dir/mem/PushPull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

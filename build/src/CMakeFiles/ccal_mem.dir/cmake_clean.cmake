@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_mem.dir/mem/AlgebraicMemory.cpp.o"
+  "CMakeFiles/ccal_mem.dir/mem/AlgebraicMemory.cpp.o.d"
+  "CMakeFiles/ccal_mem.dir/mem/PushPull.cpp.o"
+  "CMakeFiles/ccal_mem.dir/mem/PushPull.cpp.o.d"
+  "libccal_mem.a"
+  "libccal_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/Harness.cpp" "src/CMakeFiles/ccal_objects.dir/objects/Harness.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/Harness.cpp.o.d"
+  "/root/repo/src/objects/Linearize.cpp" "src/CMakeFiles/ccal_objects.dir/objects/Linearize.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/Linearize.cpp.o.d"
+  "/root/repo/src/objects/LocalQueue.cpp" "src/CMakeFiles/ccal_objects.dir/objects/LocalQueue.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/LocalQueue.cpp.o.d"
+  "/root/repo/src/objects/McsLock.cpp" "src/CMakeFiles/ccal_objects.dir/objects/McsLock.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/McsLock.cpp.o.d"
+  "/root/repo/src/objects/ObjectSpec.cpp" "src/CMakeFiles/ccal_objects.dir/objects/ObjectSpec.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/ObjectSpec.cpp.o.d"
+  "/root/repo/src/objects/SharedQueue.cpp" "src/CMakeFiles/ccal_objects.dir/objects/SharedQueue.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/SharedQueue.cpp.o.d"
+  "/root/repo/src/objects/TicketLock.cpp" "src/CMakeFiles/ccal_objects.dir/objects/TicketLock.cpp.o" "gcc" "src/CMakeFiles/ccal_objects.dir/objects/TicketLock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_compcertx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

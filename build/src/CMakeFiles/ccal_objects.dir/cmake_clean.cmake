@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_objects.dir/objects/Harness.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/Harness.cpp.o.d"
+  "CMakeFiles/ccal_objects.dir/objects/Linearize.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/Linearize.cpp.o.d"
+  "CMakeFiles/ccal_objects.dir/objects/LocalQueue.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/LocalQueue.cpp.o.d"
+  "CMakeFiles/ccal_objects.dir/objects/McsLock.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/McsLock.cpp.o.d"
+  "CMakeFiles/ccal_objects.dir/objects/ObjectSpec.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/ObjectSpec.cpp.o.d"
+  "CMakeFiles/ccal_objects.dir/objects/SharedQueue.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/SharedQueue.cpp.o.d"
+  "CMakeFiles/ccal_objects.dir/objects/TicketLock.cpp.o"
+  "CMakeFiles/ccal_objects.dir/objects/TicketLock.cpp.o.d"
+  "libccal_objects.a"
+  "libccal_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/GhostLog.cpp" "src/CMakeFiles/ccal_runtime.dir/runtime/GhostLog.cpp.o" "gcc" "src/CMakeFiles/ccal_runtime.dir/runtime/GhostLog.cpp.o.d"
+  "/root/repo/src/runtime/RtMcsLock.cpp" "src/CMakeFiles/ccal_runtime.dir/runtime/RtMcsLock.cpp.o" "gcc" "src/CMakeFiles/ccal_runtime.dir/runtime/RtMcsLock.cpp.o.d"
+  "/root/repo/src/runtime/RtQueuingLock.cpp" "src/CMakeFiles/ccal_runtime.dir/runtime/RtQueuingLock.cpp.o" "gcc" "src/CMakeFiles/ccal_runtime.dir/runtime/RtQueuingLock.cpp.o.d"
+  "/root/repo/src/runtime/RtSharedQueue.cpp" "src/CMakeFiles/ccal_runtime.dir/runtime/RtSharedQueue.cpp.o" "gcc" "src/CMakeFiles/ccal_runtime.dir/runtime/RtSharedQueue.cpp.o.d"
+  "/root/repo/src/runtime/RtTicketLock.cpp" "src/CMakeFiles/ccal_runtime.dir/runtime/RtTicketLock.cpp.o" "gcc" "src/CMakeFiles/ccal_runtime.dir/runtime/RtTicketLock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

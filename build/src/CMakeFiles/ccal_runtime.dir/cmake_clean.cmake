@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_runtime.dir/runtime/GhostLog.cpp.o"
+  "CMakeFiles/ccal_runtime.dir/runtime/GhostLog.cpp.o.d"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtMcsLock.cpp.o"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtMcsLock.cpp.o.d"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtQueuingLock.cpp.o"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtQueuingLock.cpp.o.d"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtSharedQueue.cpp.o"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtSharedQueue.cpp.o.d"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtTicketLock.cpp.o"
+  "CMakeFiles/ccal_runtime.dir/runtime/RtTicketLock.cpp.o.d"
+  "libccal_runtime.a"
+  "libccal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

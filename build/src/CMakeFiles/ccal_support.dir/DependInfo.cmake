@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Check.cpp" "src/CMakeFiles/ccal_support.dir/support/Check.cpp.o" "gcc" "src/CMakeFiles/ccal_support.dir/support/Check.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/ccal_support.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/ccal_support.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/ccal_support.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/ccal_support.dir/support/Table.cpp.o.d"
+  "/root/repo/src/support/Text.cpp" "src/CMakeFiles/ccal_support.dir/support/Text.cpp.o" "gcc" "src/CMakeFiles/ccal_support.dir/support/Text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_support.dir/support/Check.cpp.o"
+  "CMakeFiles/ccal_support.dir/support/Check.cpp.o.d"
+  "CMakeFiles/ccal_support.dir/support/Rng.cpp.o"
+  "CMakeFiles/ccal_support.dir/support/Rng.cpp.o.d"
+  "CMakeFiles/ccal_support.dir/support/Table.cpp.o"
+  "CMakeFiles/ccal_support.dir/support/Table.cpp.o.d"
+  "CMakeFiles/ccal_support.dir/support/Text.cpp.o"
+  "CMakeFiles/ccal_support.dir/support/Text.cpp.o.d"
+  "libccal_support.a"
+  "libccal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

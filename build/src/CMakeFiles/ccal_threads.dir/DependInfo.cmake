@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/CondVar.cpp" "src/CMakeFiles/ccal_threads.dir/threads/CondVar.cpp.o" "gcc" "src/CMakeFiles/ccal_threads.dir/threads/CondVar.cpp.o.d"
+  "/root/repo/src/threads/Ipc.cpp" "src/CMakeFiles/ccal_threads.dir/threads/Ipc.cpp.o" "gcc" "src/CMakeFiles/ccal_threads.dir/threads/Ipc.cpp.o.d"
+  "/root/repo/src/threads/Linking.cpp" "src/CMakeFiles/ccal_threads.dir/threads/Linking.cpp.o" "gcc" "src/CMakeFiles/ccal_threads.dir/threads/Linking.cpp.o.d"
+  "/root/repo/src/threads/QueuingLock.cpp" "src/CMakeFiles/ccal_threads.dir/threads/QueuingLock.cpp.o" "gcc" "src/CMakeFiles/ccal_threads.dir/threads/QueuingLock.cpp.o.d"
+  "/root/repo/src/threads/Sched.cpp" "src/CMakeFiles/ccal_threads.dir/threads/Sched.cpp.o" "gcc" "src/CMakeFiles/ccal_threads.dir/threads/Sched.cpp.o.d"
+  "/root/repo/src/threads/ThreadMachine.cpp" "src/CMakeFiles/ccal_threads.dir/threads/ThreadMachine.cpp.o" "gcc" "src/CMakeFiles/ccal_threads.dir/threads/ThreadMachine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_compcertx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

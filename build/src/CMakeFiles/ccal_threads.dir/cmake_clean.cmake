@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccal_threads.dir/threads/CondVar.cpp.o"
+  "CMakeFiles/ccal_threads.dir/threads/CondVar.cpp.o.d"
+  "CMakeFiles/ccal_threads.dir/threads/Ipc.cpp.o"
+  "CMakeFiles/ccal_threads.dir/threads/Ipc.cpp.o.d"
+  "CMakeFiles/ccal_threads.dir/threads/Linking.cpp.o"
+  "CMakeFiles/ccal_threads.dir/threads/Linking.cpp.o.d"
+  "CMakeFiles/ccal_threads.dir/threads/QueuingLock.cpp.o"
+  "CMakeFiles/ccal_threads.dir/threads/QueuingLock.cpp.o.d"
+  "CMakeFiles/ccal_threads.dir/threads/Sched.cpp.o"
+  "CMakeFiles/ccal_threads.dir/threads/Sched.cpp.o.d"
+  "CMakeFiles/ccal_threads.dir/threads/ThreadMachine.cpp.o"
+  "CMakeFiles/ccal_threads.dir/threads/ThreadMachine.cpp.o.d"
+  "libccal_threads.a"
+  "libccal_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccal_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compcertx_test.dir/compcertx/codegen_test.cpp.o"
+  "CMakeFiles/compcertx_test.dir/compcertx/codegen_test.cpp.o.d"
+  "CMakeFiles/compcertx_test.dir/compcertx/fuzz_test.cpp.o"
+  "CMakeFiles/compcertx_test.dir/compcertx/fuzz_test.cpp.o.d"
+  "CMakeFiles/compcertx_test.dir/compcertx/optimize_test.cpp.o"
+  "CMakeFiles/compcertx_test.dir/compcertx/optimize_test.cpp.o.d"
+  "CMakeFiles/compcertx_test.dir/compcertx/stackmerge_test.cpp.o"
+  "CMakeFiles/compcertx_test.dir/compcertx/stackmerge_test.cpp.o.d"
+  "CMakeFiles/compcertx_test.dir/compcertx/validate_test.cpp.o"
+  "CMakeFiles/compcertx_test.dir/compcertx/validate_test.cpp.o.d"
+  "compcertx_test"
+  "compcertx_test.pdb"
+  "compcertx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compcertx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasm_test.dir/lasm/vm_test.cpp.o"
+  "CMakeFiles/lasm_test.dir/lasm/vm_test.cpp.o.d"
+  "lasm_test"
+  "lasm_test.pdb"
+  "lasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

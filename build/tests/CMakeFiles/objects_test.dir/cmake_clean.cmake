@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objects_test.dir/objects/linearize_test.cpp.o"
+  "CMakeFiles/objects_test.dir/objects/linearize_test.cpp.o.d"
+  "CMakeFiles/objects_test.dir/objects/localqueue_test.cpp.o"
+  "CMakeFiles/objects_test.dir/objects/localqueue_test.cpp.o.d"
+  "CMakeFiles/objects_test.dir/objects/mcslock_test.cpp.o"
+  "CMakeFiles/objects_test.dir/objects/mcslock_test.cpp.o.d"
+  "CMakeFiles/objects_test.dir/objects/sharedqueue_test.cpp.o"
+  "CMakeFiles/objects_test.dir/objects/sharedqueue_test.cpp.o.d"
+  "CMakeFiles/objects_test.dir/objects/ticketlock_test.cpp.o"
+  "CMakeFiles/objects_test.dir/objects/ticketlock_test.cpp.o.d"
+  "objects_test"
+  "objects_test.pdb"
+  "objects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

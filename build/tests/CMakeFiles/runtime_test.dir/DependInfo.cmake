@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/runtime_test.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/runtime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_compcertx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

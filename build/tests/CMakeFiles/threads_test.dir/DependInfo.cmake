@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threads/condvar_test.cpp" "tests/CMakeFiles/threads_test.dir/threads/condvar_test.cpp.o" "gcc" "tests/CMakeFiles/threads_test.dir/threads/condvar_test.cpp.o.d"
+  "/root/repo/tests/threads/ipc_test.cpp" "tests/CMakeFiles/threads_test.dir/threads/ipc_test.cpp.o" "gcc" "tests/CMakeFiles/threads_test.dir/threads/ipc_test.cpp.o.d"
+  "/root/repo/tests/threads/linking_test.cpp" "tests/CMakeFiles/threads_test.dir/threads/linking_test.cpp.o" "gcc" "tests/CMakeFiles/threads_test.dir/threads/linking_test.cpp.o.d"
+  "/root/repo/tests/threads/queuinglock_test.cpp" "tests/CMakeFiles/threads_test.dir/threads/queuinglock_test.cpp.o" "gcc" "tests/CMakeFiles/threads_test.dir/threads/queuinglock_test.cpp.o.d"
+  "/root/repo/tests/threads/threadlocal_test.cpp" "tests/CMakeFiles/threads_test.dir/threads/threadlocal_test.cpp.o" "gcc" "tests/CMakeFiles/threads_test.dir/threads/threadlocal_test.cpp.o.d"
+  "/root/repo/tests/threads/threadmachine_test.cpp" "tests/CMakeFiles/threads_test.dir/threads/threadmachine_test.cpp.o" "gcc" "tests/CMakeFiles/threads_test.dir/threads/threadmachine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccal_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_compcertx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_lasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_test.dir/threads/condvar_test.cpp.o"
+  "CMakeFiles/threads_test.dir/threads/condvar_test.cpp.o.d"
+  "CMakeFiles/threads_test.dir/threads/ipc_test.cpp.o"
+  "CMakeFiles/threads_test.dir/threads/ipc_test.cpp.o.d"
+  "CMakeFiles/threads_test.dir/threads/linking_test.cpp.o"
+  "CMakeFiles/threads_test.dir/threads/linking_test.cpp.o.d"
+  "CMakeFiles/threads_test.dir/threads/queuinglock_test.cpp.o"
+  "CMakeFiles/threads_test.dir/threads/queuinglock_test.cpp.o.d"
+  "CMakeFiles/threads_test.dir/threads/threadlocal_test.cpp.o"
+  "CMakeFiles/threads_test.dir/threads/threadlocal_test.cpp.o.d"
+  "CMakeFiles/threads_test.dir/threads/threadmachine_test.cpp.o"
+  "CMakeFiles/threads_test.dir/threads/threadmachine_test.cpp.o.d"
+  "threads_test"
+  "threads_test.pdb"
+  "threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
