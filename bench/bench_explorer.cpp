@@ -17,6 +17,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 using namespace ccal;
 
 namespace {
@@ -110,6 +114,50 @@ BENCHMARK(fairnessAblation)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+/// Workload for the parallel-scaling runs: 4 CPUs each taking the ticket
+/// lock 3 times, over the *atomic* L1 layer (blocking acq — no spinning,
+/// so the schedule space is finite under any fairness bound; the L0 spin
+/// implementation diverges under consecutive-step fairness with 3+ CPUs).
+MachineConfigPtr makeTicketSpecConfig(unsigned Cpus, unsigned Rounds) {
+  static TicketLockLayers Layers = makeTicketLockLayers();
+  static ClightModule Client = cloneModule(makeTicketClient());
+  static AsmProgramPtr Prog = compileAndLink("tickspec.lasm", {&Client});
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "tickspec";
+  Cfg->Layer = Layers.L1;
+  Cfg->Program = Prog;
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(
+        C, std::vector<CpuWorkItem>(Rounds, CpuWorkItem{"t_main", {}}));
+  return Cfg;
+}
+
+void exploreParallel(benchmark::State &State) {
+  MachineConfigPtr Cfg = makeTicketSpecConfig(4, 2);
+  std::uint64_t Schedules = 0, States = 0;
+  for (auto _ : State) {
+    ExploreOptions Opts;
+    Opts.FairnessBound = 2;
+    Opts.MaxSteps = 4096;
+    Opts.Threads = static_cast<unsigned>(State.range(0));
+    Opts.OnOutcome = [](const Outcome &) { return std::string(); };
+    ExploreResult Res = exploreMachine(Cfg, Opts);
+    benchmark::DoNotOptimize(Res.Ok);
+    Schedules += Res.SchedulesExplored;
+    States += Res.StatesExplored;
+  }
+  State.counters["schedules/s"] = benchmark::Counter(
+      static_cast<double>(Schedules), benchmark::Counter::kIsRate);
+  State.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(States), benchmark::Counter::kIsRate);
+}
+BENCHMARK(exploreParallel)
+    ->Name("Explorer/parallel_scaling")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void strategySim(benchmark::State &State) {
   // The §2 Def 2.1 check under a scripted contended environment.
   std::uint64_t Obligations = 0;
@@ -135,6 +183,72 @@ void strategySim(benchmark::State &State) {
 }
 BENCHMARK(strategySim)->Name("Simulation/def21_atomic");
 
+/// Threads=1..N scaling sweep on the 4-CPU ticket-lock exploration,
+/// written to BENCH_explorer.json before the google-benchmark suite runs.
+/// The speedup column is honest: on a machine with a single hardware
+/// thread the workers serialize and speedup stays ~1, which is why
+/// hardware_threads is part of the record.
+void emitScalingJson() {
+  MachineConfigPtr Cfg = makeTicketSpecConfig(4, 3);
+  unsigned Hw = std::thread::hardware_concurrency();
+  std::vector<unsigned> ThreadCounts = {1, 2, 4};
+  if (Hw > 4)
+    ThreadCounts.push_back(Hw);
+
+  std::FILE *F = std::fopen("BENCH_explorer.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open BENCH_explorer.json\n");
+    return;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"bench\": \"explorer_parallel_scaling\",\n");
+  std::fprintf(F,
+               "  \"workload\": \"ticket lock spec layer, 4 CPUs x 3 "
+               "rounds, FairnessBound=2\",\n");
+  std::fprintf(F, "  \"hardware_threads\": %u,\n", Hw);
+  std::fprintf(F, "  \"runs\": [\n");
+  double Baseline = 0.0;
+  for (size_t I = 0; I != ThreadCounts.size(); ++I) {
+    unsigned T = ThreadCounts[I];
+    ExploreOptions Opts;
+    Opts.FairnessBound = 2;
+    Opts.MaxSteps = 4096;
+    Opts.Threads = T;
+    Opts.OnOutcome = [](const Outcome &) { return std::string(); };
+    auto Start = std::chrono::steady_clock::now();
+    ExploreResult Res = exploreMachine(Cfg, Opts);
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    if (T == 1)
+      Baseline = Secs;
+    std::fprintf(F,
+                 "    {\"threads\": %u, \"seconds\": %.3f, \"schedules\": "
+                 "%llu, \"states\": %llu, \"ok\": %s, \"speedup\": "
+                 "%.2f}%s\n",
+                 T, Secs,
+                 static_cast<unsigned long long>(Res.SchedulesExplored),
+                 static_cast<unsigned long long>(Res.StatesExplored),
+                 Res.Ok ? "true" : "false",
+                 Secs > 0.0 ? Baseline / Secs : 0.0,
+                 I + 1 != ThreadCounts.size() ? "," : "");
+    std::fprintf(stderr,
+                 "explorer scaling: threads=%u %.3fs schedules=%llu\n", T,
+                 Secs,
+                 static_cast<unsigned long long>(Res.SchedulesExplored));
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  emitScalingJson();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -60,9 +60,7 @@ ThreadId ccal::logControl(const Log &L, ThreadId Default) {
 
 std::uint64_t ccal::hashLog(const Log &L) {
   std::uint64_t H = 1469598103934665603ULL;
-  for (const Event &E : L) {
-    H ^= hashEvent(E);
-    H *= 1099511628211ULL;
-  }
-  return H;
+  for (const Event &E : L)
+    H = hashCombine(H, hashEvent(E));
+  return hashCombine(H, L.size());
 }

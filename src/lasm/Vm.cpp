@@ -2,6 +2,7 @@
 
 #include "lasm/Vm.h"
 
+#include "core/Log.h"
 #include "support/Check.h"
 #include "support/Text.h"
 
@@ -320,4 +321,42 @@ void Vm::resumePrim(std::int64_t Ret) {
   Frames.back().Stack.push_back(Ret);
   PrimSym.clear();
   PrimArgVals.clear();
+}
+
+std::uint64_t Vm::stateHash() const {
+  std::uint64_t H = hashMix64(static_cast<std::uint64_t>(St));
+  H = hashCombine(H, static_cast<std::uint64_t>(Result));
+  H = hashCombine(H, PrimSym.size());
+  for (char C : PrimSym)
+    H = hashCombine(H, static_cast<unsigned char>(C));
+  H = hashCombine(H, PrimArgVals.size());
+  for (std::int64_t V : PrimArgVals)
+    H = hashCombine(H, static_cast<std::uint64_t>(V));
+  H = hashCombine(H, Frames.size());
+  for (const Frame &F : Frames) {
+    H = hashCombine(H, static_cast<std::uint64_t>(F.Func));
+    H = hashCombine(H, static_cast<std::uint64_t>(F.PC));
+    H = hashCombine(H, F.Slots.size());
+    for (std::int64_t V : F.Slots)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+    H = hashCombine(H, F.Stack.size());
+    for (std::int64_t V : F.Stack)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+  }
+  return H;
+}
+
+bool Vm::sameState(const Vm &O) const {
+  if (Prog.get() != O.Prog.get() || St != O.St || Result != O.Result ||
+      Err != O.Err || PrimSym != O.PrimSym || PrimArgVals != O.PrimArgVals ||
+      Frames.size() != O.Frames.size())
+    return false;
+  for (size_t I = 0, E = Frames.size(); I != E; ++I) {
+    const Frame &A = Frames[I];
+    const Frame &B = O.Frames[I];
+    if (A.Func != B.Func || A.PC != B.PC || A.Slots != B.Slots ||
+        A.Stack != B.Stack)
+      return false;
+  }
+  return true;
 }

@@ -2,6 +2,10 @@
 
 #include "machine/Explorer.h"
 
+#include "support/Text.h"
+
+#include <algorithm>
+
 using namespace ccal;
 
 ExploreResult ccal::exploreMachine(MachineConfigPtr Cfg,
@@ -16,16 +20,27 @@ Outcome ccal::runSchedule(
         &Pick,
     std::string *Error) {
   MultiCoreMachine M(std::move(Cfg));
+  std::string SchedErr;
   while (M.ok()) {
     std::vector<ThreadId> Ready = M.schedulable();
     if (Ready.empty())
       break;
     ThreadId C = Pick(Ready, M.log());
+    // A pick outside the schedulable set is a bug in the schedule
+    // callback, not in the machine; report it as such instead of letting
+    // it surface as a confusing machine-level error.
+    if (std::find(Ready.begin(), Ready.end(), C) == Ready.end()) {
+      SchedErr = strFormat("schedule callback picked CPU %u which is not "
+                           "schedulable (schedulable: %s)",
+                           C, intListToString({Ready.begin(), Ready.end()})
+                                  .c_str());
+      break;
+    }
     if (!M.step(C))
       break;
   }
   if (Error)
-    *Error = M.error();
+    *Error = !SchedErr.empty() ? SchedErr : M.error();
   Outcome O;
   O.FinalLog = M.log();
   O.Returns = M.returns();

@@ -29,9 +29,15 @@
 
 #include "machine/MultiCore.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
-#include <set>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 namespace ccal {
@@ -71,6 +77,31 @@ template <typename MachineT> struct GenericExploreOptions {
 
   /// Cap on stored outcomes when OnOutcome is not set.
   size_t MaxStoredOutcomes = 1u << 18;
+
+  /// Worker threads sharing the search frontier.  1 (the default) runs the
+  /// exact sequential DFS and produces bit-identical results to the
+  /// single-threaded Explorer; 0 means one worker per hardware thread.
+  /// With more than one worker, Invariant must be safe to call
+  /// concurrently on distinct machine snapshots (log-replay invariants
+  /// are); OnOutcome calls are serialized by the Explorer itself.
+  unsigned Threads = 1;
+
+  /// When true, prune states the search has already visited (snapshot
+  /// hash, with full structural comparison on hash collision — never a
+  /// silent merge).  Sound because a machine snapshot determines the
+  /// entire subtree: a revisit is pruned only when the first visit's
+  /// fairness context was at least as permissive (same last participant,
+  /// no larger consecutive-run count) and its remaining step budget at
+  /// least as large, so every schedule admissible from the revisit was
+  /// already explored from the first visit.  Off by default: pruning
+  /// changes SchedulesExplored/StatesExplored (they then count *distinct*
+  /// states) and resolves log-invisible cycles as termination rather than
+  /// a step-budget divergence report.
+  bool StateCache = false;
+
+  /// Cap on cached snapshots; past it the search stays sound but stops
+  /// remembering new states.
+  size_t MaxStateCache = 1u << 20;
 };
 
 /// Aggregate result over all schedules.
@@ -88,127 +119,420 @@ struct ExploreResult {
   std::uint64_t StatesExplored = 0;
   std::uint64_t InvariantChecks = 0;
   std::uint64_t MaxLogLen = 0;
+  std::uint64_t CacheHits = 0; ///< states pruned by the StateCache
   std::vector<Log> Corpus;
 };
 
 namespace detail {
 
-/// The DFS worker shared by all machine types.
-template <typename MachineT> class GenericDfs {
+/// Detects machines providing snapshotHash()/sameSnapshot(); the
+/// StateCache option silently degrades to no caching without them.
+template <typename M, typename = void>
+struct MachineHasSnapshot : std::false_type {};
+template <typename M>
+struct MachineHasSnapshot<
+    M, std::void_t<decltype(std::declval<const M &>().snapshotHash()),
+                   decltype(std::declval<const M &>().sameSnapshot(
+                       std::declval<const M &>()))>> : std::true_type {};
+
+/// Sound terminal-outcome deduplication.  An earlier version hashed
+/// returns and thread ids by chain-multiplying with no field separators,
+/// so e.g. returns {1:[], 2:[]} and {1:[2]} hashed equal over the same log
+/// and one outcome was silently dropped — an unsoundness in every checker
+/// built on the Explorer.  This version mixes each field through
+/// hashMix64 with length prefixes, and resolves residual 64-bit
+/// collisions by structural comparison instead of merging.
+class OutcomeDeduper {
 public:
-  GenericDfs(const GenericExploreOptions<MachineT> &Opts, ExploreResult &Res)
-      : Opts(Opts), Res(Res) {}
+  static std::uint64_t hash(const Outcome &O) {
+    std::uint64_t H = hashLog(O.FinalLog);
+    H = hashCombine(H, O.Returns.size());
+    for (const auto &[Tid, Rets] : O.Returns) {
+      H = hashCombine(H, Tid);
+      H = hashCombine(H, Rets.size());
+      for (std::int64_t R : Rets)
+        H = hashCombine(H, static_cast<std::uint64_t>(R));
+    }
+    return H;
+  }
 
-  void explore(const MachineT &M, ThreadId LastId, unsigned Consec,
-               std::uint64_t Depth) {
-    if (!Res.Ok)
-      return;
-    if (Res.SchedulesExplored >= Opts.MaxSchedules) {
-      Res.Complete = false;
-      return;
-    }
-    ++Res.StatesExplored;
-    Res.MaxLogLen = std::max(Res.MaxLogLen,
-                             static_cast<std::uint64_t>(M.log().size()));
+  static bool same(const Outcome &A, const Outcome &B) {
+    return A.FinalLog == B.FinalLog && A.Returns == B.Returns;
+  }
 
-    if (Opts.Invariant) {
-      ++Res.InvariantChecks;
-      std::string V = Opts.Invariant(M);
-      if (!V.empty()) {
-        violate(M, "invariant violated: " + V);
-        return;
-      }
-    }
-
-    std::vector<ThreadId> Ready = M.schedulable();
-    if (Ready.empty()) {
-      if (!M.allIdle()) {
-        violate(M, "deadlock: nothing schedulable but work remains");
-        return;
-      }
-      ++Res.SchedulesExplored;
-      recordOutcome(M);
-      return;
-    }
-    if (Depth >= Opts.MaxSteps) {
-      violate(M, "step bound exceeded (divergence under fair schedules?)");
-      return;
-    }
-
-    for (ThreadId C : Ready) {
-      // Fairness: one participant may not run more than FairnessBound
-      // consecutive steps while someone else is waiting.
-      if (Ready.size() > 1 && C == LastId && Consec >= Opts.FairnessBound)
-        continue;
-      MachineT Next = M;
-      if (!Next.step(C)) {
-        violate(Next, Next.error());
-        return;
-      }
-      if (Opts.CollectCorpus && (Depth & 3) == 0 &&
-          Res.Corpus.size() < Opts.MaxCorpus)
-        Res.Corpus.push_back(Next.log());
-      explore(Next, C, C == LastId ? Consec + 1 : 1, Depth + 1);
-      if (!Res.Ok)
-        return;
-    }
+  /// True when \p O was not seen before.
+  bool insert(const Outcome &O) {
+    std::vector<Outcome> &Bucket = Seen[hash(O)];
+    for (const Outcome &Prev : Bucket)
+      if (same(Prev, O))
+        return false;
+    Bucket.push_back(O);
+    return true;
   }
 
 private:
-  void violate(const MachineT &M, const std::string &Msg) {
-    if (!Res.Ok)
-      return;
-    Res.Ok = false;
-    Res.Violation = Msg + "\n  log: " + logToString(M.log());
+  std::unordered_map<std::uint64_t, std::vector<Outcome>> Seen;
+};
+
+/// The search engine shared by all machine types: an explicit-stack DFS
+/// run by a pool of workers over a shared frontier.
+///
+/// Each worker owns a stack of frames; a frame is one machine snapshot
+/// plus the iteration state over its schedulable children, so the top of
+/// the stack advances exactly like the recursive formulation (a child
+/// subtree is fully explored before the next sibling starts).  Work
+/// sharing: when some worker is idle, a busy worker moves the
+/// *shallowest* frame with unvisited children — the largest pending
+/// subtree — into the shared injector deque, where an idle worker picks
+/// it up.  Every node is expanded exactly once, so all counters are
+/// schedule-deterministic; only the order of Outcomes/Corpus depends on
+/// the number of workers.
+///
+/// A single shared first-violation slot plus an atomic stop flag give
+/// early abort: the first worker to find a violation wins, everyone else
+/// drains.  With one worker the engine visits states in exactly the
+/// recursive order and produces bit-identical results to the sequential
+/// Explorer.
+template <typename MachineT> class GenericDfs {
+public:
+  using Options = GenericExploreOptions<MachineT>;
+
+  GenericDfs(const Options &Opts, unsigned Workers)
+      : Opts(Opts), Workers(Workers), Shards(Workers) {}
+
+  ExploreResult run(const MachineT &Root) {
+    ExploreResult Res;
+    if (!Root.ok()) {
+      Res.Ok = false;
+      Res.Violation = Root.error();
+      return Res;
+    }
+    Injector.emplace_back(Root, /*LastId=*/~0u, /*Consec=*/0, /*Depth=*/0);
+    if (Workers == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> Pool;
+      Pool.reserve(Workers);
+      for (unsigned I = 0; I != Workers; ++I)
+        Pool.emplace_back([this, I] { worker(I); });
+      for (std::thread &T : Pool)
+        T.join();
+    }
+    Res.Ok = !Violated;
+    Res.Violation = std::move(Violation);
+    Res.Complete = Complete;
+    Res.SchedulesExplored = Schedules.load();
+    for (const Shard &S : Shards) {
+      Res.StatesExplored += S.States;
+      Res.InvariantChecks += S.InvariantChecks;
+      Res.CacheHits += S.CacheHits;
+      Res.MaxLogLen = std::max(Res.MaxLogLen, S.MaxLogLen);
+    }
+    Res.Outcomes = std::move(Outcomes);
+    Res.Corpus = std::move(Corpus);
+    return Res;
+  }
+
+private:
+  /// One DFS node: a machine snapshot plus sibling-iteration state.
+  struct Frame {
+    MachineT M;
+    ThreadId LastId;
+    unsigned Consec;
+    std::uint64_t Depth;
+    /// The full schedulable set (fairness reads its size even after some
+    /// children have been visited or the frame has been donated).
+    std::vector<ThreadId> Ready;
+    size_t NextChild = 0;
+    bool Expanded = false;
+
+    Frame(MachineT M, ThreadId LastId, unsigned Consec, std::uint64_t Depth)
+        : M(std::move(M)), LastId(LastId), Consec(Consec), Depth(Depth) {}
+  };
+
+  /// Per-worker counters, merged after the join (no hot-path sharing).
+  struct Shard {
+    std::uint64_t States = 0;
+    std::uint64_t InvariantChecks = 0;
+    std::uint64_t MaxLogLen = 0;
+    std::uint64_t CacheHits = 0;
+  };
+
+  struct CacheEntry {
+    MachineT M;
+    ThreadId LastId;
+    unsigned Consec;
+    std::uint64_t Depth;
+
+    CacheEntry(MachineT M, ThreadId LastId, unsigned Consec,
+               std::uint64_t Depth)
+        : M(std::move(M)), LastId(LastId), Consec(Consec), Depth(Depth) {}
+  };
+
+  void worker(unsigned Idx) {
+    Shard &S = Shards[Idx];
+    std::vector<Frame> Stack;
+    while (true) {
+      if (Stop.load(std::memory_order_relaxed))
+        Stack.clear();
+      if (Stack.empty()) {
+        if (!pullWork(Stack))
+          return;
+        continue;
+      }
+      if (Workers > 1 && Hungry.load(std::memory_order_relaxed) > 0)
+        donate(Stack);
+      Frame &Top = Stack.back();
+      if (!Top.Expanded) {
+        if (!expand(Top, S)) {
+          Stack.pop_back();
+          continue;
+        }
+      }
+      if (Top.NextChild >= Top.Ready.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      ThreadId C = Top.Ready[Top.NextChild++];
+      // Fairness: one participant may not run more than FairnessBound
+      // consecutive steps while someone else is waiting.
+      if (Top.Ready.size() > 1 && C == Top.LastId &&
+          Top.Consec >= Opts.FairnessBound)
+        continue;
+      Frame Child(Top.M, C, C == Top.LastId ? Top.Consec + 1 : 1,
+                  Top.Depth + 1);
+      if (!Child.M.step(C)) {
+        violate(Child.M, Child.M.error());
+        continue;
+      }
+      if (Opts.CollectCorpus && (Top.Depth & 3) == 0)
+        pushCorpus(Child.M.log());
+      Stack.push_back(std::move(Child));
+    }
+  }
+
+  /// First visit of a node: budget, cache, invariant, terminal, and depth
+  /// checks.  True when the node has children to iterate.
+  bool expand(Frame &F, Shard &S) {
+    if (Schedules.load(std::memory_order_relaxed) >= Opts.MaxSchedules) {
+      {
+        std::lock_guard<std::mutex> L(ResMu);
+        Complete = false;
+      }
+      stopAll();
+      return false;
+    }
+    ++S.States;
+    S.MaxLogLen =
+        std::max(S.MaxLogLen, static_cast<std::uint64_t>(F.M.log().size()));
+    if (Opts.StateCache && cachedOrRemember(F)) {
+      ++S.CacheHits;
+      return false;
+    }
+    if (Opts.Invariant) {
+      ++S.InvariantChecks;
+      std::string V = Opts.Invariant(F.M);
+      if (!V.empty()) {
+        violate(F.M, "invariant violated: " + V);
+        return false;
+      }
+    }
+    F.Ready = F.M.schedulable();
+    if (F.Ready.empty()) {
+      if (!F.M.allIdle()) {
+        violate(F.M, "deadlock: nothing schedulable but work remains");
+        return false;
+      }
+      Schedules.fetch_add(1, std::memory_order_relaxed);
+      recordOutcome(F.M);
+      return false;
+    }
+    if (F.Depth >= Opts.MaxSteps) {
+      violate(F.M, "step bound exceeded (divergence under fair schedules?)");
+      return false;
+    }
+    F.Expanded = true;
+    return true;
+  }
+
+  /// True when an equivalent-or-more-permissive visit of F's state is
+  /// already cached; otherwise remembers F.  A cached visit covers the
+  /// revisit only when its last participant is the same with no larger
+  /// consecutive-run count (so fairness pruned no schedule the revisit
+  /// would explore) and its depth no larger (so the step budget pruned
+  /// none either).
+  bool cachedOrRemember(const Frame &F) {
+    if constexpr (MachineHasSnapshot<MachineT>::value) {
+      // Consec/Depth stay out of the key: compatibility is an inequality,
+      // so entries differing only there must share a bucket.
+      std::uint64_t H = hashCombine(F.M.snapshotHash(), F.LastId);
+      std::lock_guard<std::mutex> L(CacheMu);
+      std::vector<CacheEntry> &Bucket = Cache[H];
+      for (const CacheEntry &E : Bucket)
+        if (E.LastId == F.LastId && E.Consec <= F.Consec &&
+            E.Depth <= F.Depth && E.M.sameSnapshot(F.M))
+          return true;
+      if (CacheCount < Opts.MaxStateCache) {
+        Bucket.emplace_back(F.M, F.LastId, F.Consec, F.Depth);
+        ++CacheCount;
+      }
+      return false;
+    } else {
+      (void)F;
+      return false;
+    }
   }
 
   void recordOutcome(const MachineT &M) {
     Outcome O;
     O.FinalLog = M.log();
     O.Returns = M.returns();
-    if (Opts.CollectCorpus && Res.Corpus.size() < Opts.MaxCorpus)
-      Res.Corpus.push_back(O.FinalLog);
-    // Deduplicate by hash of log + returns.
-    std::uint64_t H = hashLog(O.FinalLog);
-    for (const auto &[Tid, Rets] : O.Returns) {
-      H = H * 1099511628211ULL + Tid;
-      for (std::int64_t R : Rets)
-        H = H * 1099511628211ULL + static_cast<std::uint64_t>(R);
+    bool DoStop = false;
+    {
+      std::lock_guard<std::mutex> L(ResMu);
+      if (Opts.CollectCorpus && Corpus.size() < Opts.MaxCorpus)
+        Corpus.push_back(O.FinalLog);
+      if (!Dedup.insert(O))
+        return;
+      if (Opts.OnOutcome) {
+        // Serialized under ResMu so callbacks need no locking of their
+        // own.
+        std::string V = Opts.OnOutcome(O);
+        if (!V.empty()) {
+          if (!Violated) {
+            Violated = true;
+            Violation = V + "\n  log: " + logToString(M.log());
+          }
+          DoStop = true;
+        }
+      } else if (Outcomes.size() < Opts.MaxStoredOutcomes) {
+        Outcomes.push_back(std::move(O));
+      } else {
+        Complete = false; // stored set truncated
+      }
     }
-    if (!Seen.insert(H).second)
-      return;
-    if (Opts.OnOutcome) {
-      std::string V = Opts.OnOutcome(O);
-      if (!V.empty())
-        violate(M, V);
-      return;
-    }
-    if (Res.Outcomes.size() < Opts.MaxStoredOutcomes)
-      Res.Outcomes.push_back(std::move(O));
-    else
-      Res.Complete = false; // stored set truncated
+    if (DoStop)
+      stopAll();
   }
 
-  const GenericExploreOptions<MachineT> &Opts;
-  ExploreResult &Res;
-  std::set<std::uint64_t> Seen;
+  void violate(const MachineT &M, const std::string &Msg) {
+    std::string Full = Msg + "\n  log: " + logToString(M.log());
+    {
+      std::lock_guard<std::mutex> L(ResMu);
+      if (!Violated) {
+        Violated = true;
+        Violation = std::move(Full);
+      }
+    }
+    stopAll();
+  }
+
+  void stopAll() {
+    Stop.store(true, std::memory_order_relaxed);
+    QCv.notify_all();
+  }
+
+  void pushCorpus(const Log &L) {
+    std::lock_guard<std::mutex> G(ResMu);
+    if (Corpus.size() < Opts.MaxCorpus)
+      Corpus.push_back(L);
+  }
+
+  /// Blocks until a frame is available or the search is over; false means
+  /// the worker should exit.
+  bool pullWork(std::vector<Frame> &Stack) {
+    std::unique_lock<std::mutex> L(QMu);
+    ++Idle;
+    Hungry.store(Idle, std::memory_order_relaxed);
+    while (true) {
+      if (Finished)
+        return false;
+      if (!Injector.empty() && !Stop.load(std::memory_order_relaxed)) {
+        Stack.push_back(std::move(Injector.front()));
+        Injector.pop_front();
+        --Idle;
+        Hungry.store(Idle, std::memory_order_relaxed);
+        return true;
+      }
+      if (Stop.load(std::memory_order_relaxed) || Idle == Workers) {
+        // Nothing left anywhere and nobody can produce more (or we are
+        // aborting): wake everyone up to exit.
+        Finished = true;
+        QCv.notify_all();
+        return false;
+      }
+      QCv.wait(L);
+    }
+  }
+
+  /// Moves the shallowest frame with unvisited children into the shared
+  /// injector for an idle worker; the donor keeps the rest of its stack.
+  void donate(std::vector<Frame> &Stack) {
+    for (Frame &F : Stack) {
+      if (!F.Expanded || F.NextChild >= F.Ready.size())
+        continue;
+      Frame Rest(F.M, F.LastId, F.Consec, F.Depth);
+      Rest.Ready = F.Ready;
+      Rest.NextChild = F.NextChild;
+      Rest.Expanded = true;
+      F.NextChild = F.Ready.size();
+      {
+        std::lock_guard<std::mutex> L(QMu);
+        Injector.push_back(std::move(Rest));
+      }
+      QCv.notify_one();
+      return;
+    }
+  }
+
+  const Options &Opts;
+  const unsigned Workers;
+
+  // Work sharing.
+  std::mutex QMu;
+  std::condition_variable QCv;
+  std::deque<Frame> Injector;      ///< guarded by QMu
+  unsigned Idle = 0;               ///< guarded by QMu
+  bool Finished = false;           ///< guarded by QMu
+  std::atomic<unsigned> Hungry{0}; ///< lock-free mirror of Idle
+
+  // Early abort + schedule budget.
+  std::atomic<bool> Stop{false};
+  std::atomic<std::uint64_t> Schedules{0};
+
+  // Shared result slots (first violation wins).
+  std::mutex ResMu;
+  bool Violated = false;         ///< guarded by ResMu
+  std::string Violation;         ///< guarded by ResMu
+  bool Complete = true;          ///< guarded by ResMu
+  OutcomeDeduper Dedup;          ///< guarded by ResMu
+  std::vector<Outcome> Outcomes; ///< guarded by ResMu
+  std::vector<Log> Corpus;       ///< guarded by ResMu
+
+  // State-dedup cache.
+  std::mutex CacheMu;
+  std::unordered_map<std::uint64_t, std::vector<CacheEntry>>
+      Cache;             ///< guarded by CacheMu
+  size_t CacheCount = 0; ///< guarded by CacheMu
+
+  std::vector<Shard> Shards;
 };
 
 } // namespace detail
 
-/// Explores every schedule reachable from \p Root.
+/// Explores every schedule reachable from \p Root, on Opts.Threads
+/// workers.
 template <typename MachineT>
 ExploreResult exploreGeneric(const MachineT &Root,
                              const GenericExploreOptions<MachineT> &Opts) {
-  ExploreResult Res;
-  if (!Root.ok()) {
-    Res.Ok = false;
-    Res.Violation = Root.error();
-    return Res;
+  unsigned Workers = Opts.Threads;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
   }
-  detail::GenericDfs<MachineT> D(Opts, Res);
-  D.explore(Root, /*LastId=*/~0u, /*Consec=*/0, /*Depth=*/0);
-  return Res;
+  detail::GenericDfs<MachineT> D(Opts, Workers);
+  return D.run(Root);
 }
 
 /// Options alias for the multicore machine (the common case).

@@ -131,6 +131,42 @@ HardwareMachine::returns() const {
   return Out;
 }
 
+std::uint64_t HardwareMachine::snapshotHash() const {
+  std::uint64_t H = hashLog(GlobalLog);
+  H = hashCombine(H, Cpus.size());
+  for (const auto &[Id, C] : Cpus) {
+    H = hashCombine(H, Id);
+    H = hashCombine(H, C.Machine.stateHash());
+    H = hashCombine(H, C.Globals.size());
+    for (std::int64_t V : C.Globals)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+    H = hashCombine(H, C.NextWork);
+    H = hashCombine(H, static_cast<std::uint64_t>(C.Active));
+    H = hashCombine(H, static_cast<std::uint64_t>(C.AtPrim));
+    H = hashCombine(H, static_cast<std::uint64_t>(C.Done));
+    H = hashCombine(H, C.Returns.size());
+    for (std::int64_t V : C.Returns)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+  }
+  return H;
+}
+
+bool HardwareMachine::sameSnapshot(const HardwareMachine &O) const {
+  if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
+      GlobalLog != O.GlobalLog || Cpus.size() != O.Cpus.size())
+    return false;
+  auto It = O.Cpus.begin();
+  for (const auto &[Id, C] : Cpus) {
+    const auto &[OId, OC] = *It++;
+    if (Id != OId || C.NextWork != OC.NextWork || C.Active != OC.Active ||
+        C.AtPrim != OC.AtPrim || C.Done != OC.Done ||
+        C.Returns != OC.Returns || C.Globals != OC.Globals ||
+        !C.Machine.sameState(OC.Machine))
+      return false;
+  }
+  return true;
+}
+
 namespace {
 
 std::string outcomeKeyOf(const Outcome &O) {

@@ -51,6 +51,11 @@ public:
   const Log &log() const { return GlobalLog; }
   std::map<ThreadId, std::vector<std::int64_t>> returns() const;
 
+  /// Structural snapshot hash / equality for the Explorer's state-dedup
+  /// cache (see MultiCoreMachine::snapshotHash).
+  std::uint64_t snapshotHash() const;
+  bool sameSnapshot(const HardwareMachine &O) const;
+
 private:
   struct Cpu {
     Vm Machine;

@@ -179,3 +179,37 @@ MultiCoreMachine::cpuMemory(ThreadId C) const {
   CCAL_CHECK(It != Cpus.end(), "unknown CPU");
   return It->second.Globals;
 }
+
+std::uint64_t MultiCoreMachine::snapshotHash() const {
+  std::uint64_t H = hashLog(GlobalLog);
+  H = hashCombine(H, Cpus.size());
+  for (const auto &[Id, C] : Cpus) {
+    H = hashCombine(H, Id);
+    H = hashCombine(H, C.Machine.stateHash());
+    H = hashCombine(H, C.Globals.size());
+    for (std::int64_t V : C.Globals)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+    H = hashCombine(H, C.NextWork);
+    H = hashCombine(H, static_cast<std::uint64_t>(C.Active));
+    H = hashCombine(H, static_cast<std::uint64_t>(C.Phase));
+    H = hashCombine(H, C.Returns.size());
+    for (std::int64_t V : C.Returns)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+  }
+  return H;
+}
+
+bool MultiCoreMachine::sameSnapshot(const MultiCoreMachine &O) const {
+  if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
+      GlobalLog != O.GlobalLog || Cpus.size() != O.Cpus.size())
+    return false;
+  auto It = O.Cpus.begin();
+  for (const auto &[Id, C] : Cpus) {
+    const auto &[OId, OC] = *It++;
+    if (Id != OId || C.Phase != OC.Phase || C.NextWork != OC.NextWork ||
+        C.Active != OC.Active || C.Returns != OC.Returns ||
+        C.Globals != OC.Globals || !C.Machine.sameState(OC.Machine))
+      return false;
+  }
+  return true;
+}

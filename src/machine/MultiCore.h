@@ -91,6 +91,18 @@ public:
   /// Total shared-primitive steps executed so far.
   std::uint64_t stepsTaken() const { return StepsTaken; }
 
+  /// Structural hash of the full machine snapshot (per-CPU VM states,
+  /// local memories, workload progress, the global log) for the Explorer's
+  /// state-dedup cache.  The cumulative step counter is excluded: it never
+  /// influences transitions, so two snapshots differing only in it have
+  /// identical futures.
+  std::uint64_t snapshotHash() const;
+
+  /// Exact structural equality of two snapshots (same config, same
+  /// per-CPU states, same log); resolves snapshotHash collisions instead
+  /// of merging distinct states silently.
+  bool sameSnapshot(const MultiCoreMachine &O) const;
+
 private:
   enum class CpuPhase {
     Idle,     ///< workload finished

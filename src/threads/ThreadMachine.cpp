@@ -256,6 +256,49 @@ ThreadedMachine::cpuMemory(ThreadId Cpu) const {
   return It->second;
 }
 
+std::uint64_t ThreadedMachine::snapshotHash() const {
+  std::uint64_t H = hashLog(GlobalLog);
+  H = hashCombine(H, Threads.size());
+  for (const auto &[Tid, T] : Threads) {
+    H = hashCombine(H, Tid);
+    H = hashCombine(H, T.Machine.stateHash());
+    H = hashCombine(H, T.Cpu);
+    H = hashCombine(H, T.NextWork);
+    H = hashCombine(H, static_cast<std::uint64_t>(T.Active));
+    H = hashCombine(H, static_cast<std::uint64_t>(T.Parked));
+    H = hashCombine(H, static_cast<std::uint64_t>(T.NeedsRun));
+    H = hashCombine(H, static_cast<std::uint64_t>(T.Exited));
+    H = hashCombine(H, T.Returns.size());
+    for (std::int64_t V : T.Returns)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+  }
+  H = hashCombine(H, CpuMem.size());
+  for (const auto &[Cpu, Mem] : CpuMem) {
+    H = hashCombine(H, Cpu);
+    H = hashCombine(H, Mem.size());
+    for (std::int64_t V : Mem)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+  }
+  return H;
+}
+
+bool ThreadedMachine::sameSnapshot(const ThreadedMachine &O) const {
+  if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
+      GlobalLog != O.GlobalLog || CpuMem != O.CpuMem ||
+      Threads.size() != O.Threads.size())
+    return false;
+  auto It = O.Threads.begin();
+  for (const auto &[Tid, T] : Threads) {
+    const auto &[OTid, OT] = *It++;
+    if (Tid != OTid || T.Cpu != OT.Cpu || T.NextWork != OT.NextWork ||
+        T.Active != OT.Active || T.Parked != OT.Parked ||
+        T.NeedsRun != OT.NeedsRun || T.Exited != OT.Exited ||
+        T.Returns != OT.Returns || !T.Machine.sameState(OT.Machine))
+      return false;
+  }
+  return true;
+}
+
 ExploreResult ccal::exploreThreaded(ThreadedConfigPtr Cfg,
                                     const ThreadedExploreOptions &Opts) {
   ThreadedMachine Root(std::move(Cfg));

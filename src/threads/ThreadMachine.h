@@ -36,6 +36,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace ccal {
@@ -104,6 +105,12 @@ public:
   std::map<ThreadId, std::vector<std::int64_t>> returns() const;
 
   const std::vector<std::int64_t> &cpuMemory(ThreadId Cpu) const;
+
+  /// Structural snapshot hash / equality for the Explorer's state-dedup
+  /// cache (see MultiCoreMachine::snapshotHash): per-thread VM states and
+  /// flags, the CPU-local memories, and the global log.
+  std::uint64_t snapshotHash() const;
+  bool sameSnapshot(const ThreadedMachine &O) const;
 
 private:
   struct Thr {

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 using namespace ccal;
 
 namespace {
@@ -153,4 +156,142 @@ TEST(SoundnessTest, CertificateCarriesEvidence) {
   EXPECT_TRUE(C->Valid);
   EXPECT_EQ(C->Obligations, Rep.ObligationsChecked);
   EXPECT_GT(C->Runs, 0u);
+}
+
+namespace {
+
+/// Stable textual key of an outcome, for order-insensitive set comparison
+/// between sequential and parallel explorations.
+std::string outcomeKey(const Outcome &O) {
+  std::string Key = logToString(O.FinalLog);
+  for (const auto &[Tid, Rets] : O.Returns) {
+    Key += "|" + std::to_string(Tid) + ":";
+    for (std::int64_t R : Rets)
+      Key += std::to_string(R) + ",";
+  }
+  return Key;
+}
+
+std::multiset<std::string> outcomeKeys(const ExploreResult &Res) {
+  std::multiset<std::string> Keys;
+  for (const Outcome &O : Res.Outcomes)
+    Keys.insert(outcomeKey(O));
+  return Keys;
+}
+
+/// Client: each CPU performs two silent shared nops.  Because nops emit no
+/// events, different interleavings converge on identical machine
+/// snapshots — the workload the state-dedup cache prunes.
+MachineConfigPtr makeNopConfig(unsigned Cpus) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int nop();
+      int t_main() {
+        nop();
+        nop();
+        return 0;
+      }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto L = makeInterface("Lnop");
+  L->addShared("nop", makeConstPrim(0));
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "nop";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("nop.lasm", {&Client});
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{{"t_main", {}}});
+  return Cfg;
+}
+
+} // namespace
+
+TEST(ExplorerTest, RunScheduleRejectsInvalidPick) {
+  // A pick outside the schedulable set must be reported as a schedule
+  // callback bug, not surface as a machine-level error.
+  std::string Error;
+  runSchedule(
+      makeTickConfig(2, 1),
+      [](const std::vector<ThreadId> &, const Log &) -> ThreadId {
+        return 99;
+      },
+      &Error);
+  ASSERT_FALSE(Error.empty());
+  EXPECT_NE(Error.find("schedule callback"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("99"), std::string::npos) << Error;
+}
+
+TEST(ExplorerTest, OutcomeDedupRetainsCollidingOutcomes) {
+  // Under the old separator-free chain hash these two outcomes collided
+  // (hash(L, {1:[], 2:[]}) == hash(L, {1:[2]})) and the second was
+  // silently dropped.  Both must be retained as distinct.
+  Outcome A;
+  A.Returns[1] = {};
+  A.Returns[2] = {};
+  Outcome B;
+  B.Returns[1] = {2};
+  detail::OutcomeDeduper Dedup;
+  EXPECT_TRUE(Dedup.insert(A));
+  EXPECT_TRUE(Dedup.insert(B));
+  // Genuine duplicates are still deduplicated.
+  EXPECT_FALSE(Dedup.insert(A));
+  EXPECT_FALSE(Dedup.insert(B));
+}
+
+TEST(ExplorerTest, ParallelExplorationMatchesSequential) {
+  MachineConfigPtr Cfg = makeTickConfig(3, 2);
+  ExploreOptions Seq;
+  Seq.Threads = 1;
+  ExploreResult A = exploreMachine(Cfg, Seq);
+  ExploreOptions Par;
+  Par.Threads = 4;
+  ExploreResult B = exploreMachine(Cfg, Par);
+  ASSERT_TRUE(A.Ok) << A.Violation;
+  ASSERT_TRUE(B.Ok) << B.Violation;
+  EXPECT_TRUE(A.Complete);
+  EXPECT_TRUE(B.Complete);
+  // Every node is expanded exactly once regardless of worker count, so
+  // the counters agree; only outcome *order* may differ.
+  EXPECT_EQ(A.SchedulesExplored, B.SchedulesExplored);
+  EXPECT_EQ(A.StatesExplored, B.StatesExplored);
+  EXPECT_EQ(A.InvariantChecks, B.InvariantChecks);
+  EXPECT_EQ(A.MaxLogLen, B.MaxLogLen);
+  EXPECT_EQ(outcomeKeys(A), outcomeKeys(B));
+}
+
+TEST(ExplorerTest, ParallelInvariantViolationReported) {
+  ExploreOptions Opts;
+  Opts.Threads = 4;
+  Opts.Invariant = [](const MultiCoreMachine &M) -> std::string {
+    if (logCountKind(M.log(), "tick") >= 3)
+      return "too many ticks";
+    return "";
+  };
+  ExploreResult Res = exploreMachine(makeTickConfig(2, 2), Opts);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Violation.find("too many ticks"), std::string::npos);
+  EXPECT_NE(Res.Violation.find("log:"), std::string::npos);
+}
+
+TEST(ExplorerTest, StateCachePrunesConvergentStates) {
+  MachineConfigPtr Cfg = makeNopConfig(2);
+  ExploreOptions Plain;
+  ExploreResult A = exploreMachine(Cfg, Plain);
+  ExploreOptions Cached;
+  Cached.StateCache = true;
+  ExploreResult B = exploreMachine(Cfg, Cached);
+  ASSERT_TRUE(A.Ok) << A.Violation;
+  ASSERT_TRUE(B.Ok) << B.Violation;
+  EXPECT_EQ(A.CacheHits, 0u);
+  EXPECT_GT(B.CacheHits, 0u);
+  EXPECT_LT(B.StatesExplored, A.StatesExplored);
+  // Pruning drops revisits, never outcomes.
+  std::set<std::string> KeysA, KeysB;
+  for (const Outcome &O : A.Outcomes)
+    KeysA.insert(outcomeKey(O));
+  for (const Outcome &O : B.Outcomes)
+    KeysB.insert(outcomeKey(O));
+  EXPECT_EQ(KeysA, KeysB);
 }

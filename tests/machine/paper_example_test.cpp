@@ -148,3 +148,40 @@ TEST(PaperExampleTest, ClientReturnValuesFollowCriticalSectionOrder) {
     EXPECT_EQ(O.Returns.at(Second), std::vector<std::int64_t>{11});
   }
 }
+
+TEST(PaperExampleTest, SequentialExplorationMatchesSeedBaseline) {
+  // Regression pin for the Threads=1 determinism guarantee: the explicit
+  // stack engine must reproduce the recursive Explorer's exact traversal.
+  // These numbers (and the first outcome's log) were captured from the
+  // sequential implementation on this §2 configuration.
+  ExploreOptions Opts;
+  Opts.FairnessBound = 2;
+  Opts.MaxSteps = 256;
+  ExploreResult Res = exploreMachine(makeFig3ImplConfig(), Opts);
+  ASSERT_TRUE(Res.Ok) << Res.Violation;
+  EXPECT_TRUE(Res.Complete);
+  EXPECT_EQ(Res.SchedulesExplored, 328u);
+  EXPECT_EQ(Res.StatesExplored, 2533u);
+  EXPECT_EQ(Res.Outcomes.size(), 328u);
+  EXPECT_EQ(Res.MaxLogLen, 21u);
+  ASSERT_FALSE(Res.Outcomes.empty());
+  EXPECT_EQ(logToString(Res.Outcomes[0].FinalLog),
+            "1.FAI_t \xE2\x80\xA2 1.get_n \xE2\x80\xA2 2.FAI_t \xE2\x80\xA2 "
+            "1.hold \xE2\x80\xA2 1.f \xE2\x80\xA2 2.get_n \xE2\x80\xA2 1.g "
+            "\xE2\x80\xA2 1.inc_n \xE2\x80\xA2 2.get_n \xE2\x80\xA2 2.hold "
+            "\xE2\x80\xA2 2.f \xE2\x80\xA2 2.g \xE2\x80\xA2 2.inc_n");
+}
+
+TEST(PaperExampleTest, ParallelExplorationAgreesWithBaseline) {
+  ExploreOptions Opts;
+  Opts.FairnessBound = 2;
+  Opts.MaxSteps = 256;
+  Opts.Threads = 4;
+  ExploreResult Res = exploreMachine(makeFig3ImplConfig(), Opts);
+  ASSERT_TRUE(Res.Ok) << Res.Violation;
+  EXPECT_TRUE(Res.Complete);
+  EXPECT_EQ(Res.SchedulesExplored, 328u);
+  EXPECT_EQ(Res.StatesExplored, 2533u);
+  EXPECT_EQ(Res.Outcomes.size(), 328u);
+  EXPECT_EQ(Res.MaxLogLen, 21u);
+}
