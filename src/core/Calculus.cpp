@@ -31,6 +31,21 @@ static std::vector<ThreadId> sortedFocus(std::vector<ThreadId> F) {
   return F;
 }
 
+/// Coverage of a composed rule: the conjunction over its premises —
+/// composition adds no exploration of its own, so a composed certificate
+/// covers the schedule space exactly when every premise does.  Keeps a
+/// truncated leaf from laundering into a Valid derivation tree.
+static void inheritCoverage(RefinementCertificate &C) {
+  C.CoverageComplete = true;
+  C.Coverage = "inherited from premises";
+  for (const auto &P : C.Premises)
+    if (!P->CoverageComplete) {
+      C.CoverageComplete = false;
+      C.Coverage = "premise coverage incomplete: " + P->Coverage;
+      return;
+    }
+}
+
 CertifiedLayer calculus::empty(LayerPtr L, std::vector<ThreadId> Focus) {
   CCAL_CHECK(L != nullptr, "Empty rule needs an interface");
   CertifiedLayer Out;
@@ -46,6 +61,8 @@ CertifiedLayer calculus::empty(LayerPtr L, std::vector<ThreadId> Focus) {
   C->Module = Out.ModuleName;
   C->Relation = "id";
   C->Valid = true;
+  C->CoverageComplete = true;
+  C->Coverage = "axiomatic (no obligations)";
   Out.Cert = C;
   return Out;
 }
@@ -109,8 +126,9 @@ CertifiedLayer calculus::vcomp(const CertifiedLayer &A,
   C->Overlay = CertifiedLayer::atFocus(Out.Overlay->name(), Out.Focus);
   C->Module = Out.ModuleName;
   C->Relation = Out.Relation;
-  C->Valid = true;
   C->Premises = {A.Cert, B.Cert};
+  inheritCoverage(*C);
+  C->Valid = C->CoverageComplete;
   Out.Cert = C;
   return Out;
 }
@@ -143,8 +161,9 @@ CertifiedLayer calculus::hcomp(const CertifiedLayer &A,
   C->Overlay = CertifiedLayer::atFocus(Out.Overlay->name(), Out.Focus);
   C->Module = Out.ModuleName;
   C->Relation = Out.Relation;
-  C->Valid = true;
   C->Premises = {A.Cert, B.Cert};
+  inheritCoverage(*C);
+  C->Valid = C->CoverageComplete;
   Out.Cert = C;
   return Out;
 }
@@ -177,12 +196,13 @@ CertifiedLayer calculus::wk(LayerPtr NewUnderlay, CertPtr UnderlaySim,
   C->Overlay = CertifiedLayer::atFocus(Out.Overlay->name(), Out.Focus);
   C->Module = Out.ModuleName;
   C->Relation = Out.Relation;
-  C->Valid = true;
   if (UnderlaySim)
     C->Premises.push_back(UnderlaySim);
   C->Premises.push_back(Mid.Cert);
   if (OverlaySim)
     C->Premises.push_back(OverlaySim);
+  inheritCoverage(*C);
+  C->Valid = C->CoverageComplete;
   Out.Cert = C;
   return Out;
 }
@@ -195,6 +215,11 @@ CertPtr calculus::CompatReport::cert(const std::string &Interface) const {
   C->Module = "(guarantees imply relies)";
   C->Relation = "id";
   C->Valid = Holds;
+  // The implication check runs over the whole corpus it is given; the
+  // corpus itself comes from the premise explorations, whose coverage the
+  // composed rule tracks separately.
+  C->CoverageComplete = true;
+  C->Coverage = "corpus-sampled (guarantee => rely)";
   C->Invariants = Details.size();
   C->Runs = LogsChecked;
   for (const ImplicationReport &I : Details)
@@ -265,10 +290,11 @@ CertifiedLayer calculus::pcomp(const CertifiedLayer &A,
   C->Overlay = CertifiedLayer::atFocus(Out.Overlay->name(), Out.Focus);
   C->Module = Out.ModuleName;
   C->Relation = Out.Relation;
-  C->Valid = true;
   C->Premises = {A.Cert, B.Cert,
                  UnderlayCompat.cert(A.Underlay->name()),
                  OverlayCompat.cert(A.Overlay->name())};
+  inheritCoverage(*C);
+  C->Valid = C->CoverageComplete;
   Out.Cert = C;
   return Out;
 }

@@ -14,8 +14,9 @@ std::string RefinementCertificate::statement() const {
 static void renderTree(const RefinementCertificate &C, unsigned Depth,
                        std::string &Out) {
   Out += std::string(Depth * 2, ' ');
-  Out += strFormat("[%s]%s %s  (obligations=%llu, runs=%llu)\n",
+  Out += strFormat("[%s]%s%s %s  (obligations=%llu, runs=%llu)\n",
                    C.Rule.c_str(), C.Valid ? "" : " INVALID",
+                   C.CoverageComplete ? "" : " PARTIAL-COVERAGE",
                    C.statement().c_str(),
                    static_cast<unsigned long long>(C.Obligations),
                    static_cast<unsigned long long>(C.Runs));

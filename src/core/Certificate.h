@@ -38,8 +38,20 @@ struct RefinementCertificate {
   std::string Overlay;
   std::string Relation;
 
-  /// Whether every checked obligation held.
+  /// Whether every checked obligation held.  A certificate is only Valid
+  /// when its evidence also covers the full schedule space it quantifies
+  /// over (CoverageComplete) — a truncated exploration discharges nothing.
   bool Valid = false;
+
+  /// True when every exploration backing this certificate (and, for
+  /// composed rules, every premise) ran to completion rather than being
+  /// cut off by a budget.  Checkers must never produce Valid=true with
+  /// CoverageComplete=false.
+  bool CoverageComplete = false;
+
+  /// Human-readable coverage statement: "exhaustive", or which budget
+  /// truncated which exploration.
+  std::string Coverage;
 
   /// Evidence counters: individual simulation obligations matched, distinct
   /// complete runs (schedules x env choices) explored, total strategy or

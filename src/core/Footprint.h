@@ -1,0 +1,94 @@
+//===- core/Footprint.h - Step footprints for independence -----*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read/write footprints over abstract shared locations, the independence
+/// relation they induce, and canonical (Mazurkiewicz-trace) log forms.
+///
+/// Every shared primitive's observable behavior is a function of the log;
+/// a footprint names which *parts* of that replayed shared state the
+/// primitive reads and writes, as free-form location strings ("tkt.next",
+/// "lock.acq", ...).  Two steps of different participants are independent
+/// iff their footprints do not conflict; independent steps commute, so the
+/// Explorer's partial-order reduction may explore one interleaving of a
+/// commuting pair on behalf of both.
+///
+/// The declared footprint is a contract with three obligations (checked
+/// dynamically by checkPorEquivalence, never assumed):
+///   1. the events a primitive appends and the value it returns depend on
+///      the log only through its Reads;
+///   2. the replayed locations it changes are covered by its Writes —
+///      including whatever a *blocked* primitive's retry condition reads,
+///      so enabledness of one participant cannot change behind a
+///      supposedly-independent step;
+///   3. any Explorer Invariant's order-sensitivity between two event kinds
+///      is covered by a conflict between their kinds' footprints.
+///
+/// An Opaque footprint ("unknown effects") conflicts with everything and
+/// is the default for undeclared primitives: reduction degrades to full
+/// exploration, which is always sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_CORE_FOOTPRINT_H
+#define CCAL_CORE_FOOTPRINT_H
+
+#include "core/Log.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// Declared read/write set of one step over abstract shared locations.
+struct Footprint {
+  /// Sorted, duplicate-free location names (use Footprint::of to build).
+  std::vector<std::string> Reads;
+  std::vector<std::string> Writes;
+
+  /// Unknown effects: conflicts with every non-local footprint.
+  bool Opaque = false;
+
+  /// A default-constructed footprint is *local*: it touches no shared
+  /// location and commutes with everything (a hardware instruction, a
+  /// private primitive).
+  bool local() const { return !Opaque && Reads.empty() && Writes.empty(); }
+
+  static Footprint opaque() {
+    Footprint F;
+    F.Opaque = true;
+    return F;
+  }
+
+  /// Builds a footprint from arbitrary (unsorted, possibly duplicated)
+  /// location lists.
+  static Footprint of(std::vector<std::string> Reads,
+                      std::vector<std::string> Writes);
+};
+
+/// True when the steps behind \p A and \p B do not commute: either one is
+/// opaque (and the other non-local), or a write of one intersects a read
+/// or write of the other.  Local footprints never conflict.
+bool footprintsConflict(const Footprint &A, const Footprint &B);
+
+/// Canonical linearization of the Mazurkiewicz trace of \p L: two events
+/// depend on each other iff they share a participant or their kinds'
+/// footprints (per \p FootOfKind) conflict; the canonical form is the
+/// dependence-respecting order that always picks the ready event with the
+/// smallest (Tid, per-Tid index).  Every linearization of the same trace
+/// canonicalizes to the same log, so deduplicating canonical logs
+/// identifies schedules that differ only in the order of independent
+/// steps — what lets POR report "identical outcome sets" with far fewer
+/// schedules even though every schedule's raw log is distinct.
+Log canonicalizeLog(const Log &L,
+                    const std::function<Footprint(const std::string &Kind)>
+                        &FootOfKind);
+
+} // namespace ccal
+
+#endif // CCAL_CORE_FOOTPRINT_H

@@ -21,6 +21,21 @@ void LayerInterface::addShared(std::string Name, PrimSemantics Sem) {
   addPrim(std::move(P));
 }
 
+void LayerInterface::addShared(std::string Name, PrimSemantics Sem,
+                               Footprint Foot) {
+  Primitive P;
+  P.Name = std::move(Name);
+  P.Shared = true;
+  P.Sem = std::move(Sem);
+  P.Foot = std::move(Foot);
+  addPrim(std::move(P));
+}
+
+Footprint LayerInterface::footprintOf(const std::string &Name) const {
+  const Primitive *P = lookup(Name);
+  return P ? P->Foot : Footprint::opaque();
+}
+
 void LayerInterface::addPrivate(std::string Name, PrimSemantics Sem) {
   Primitive P;
   P.Name = std::move(Name);

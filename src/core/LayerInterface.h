@@ -26,6 +26,7 @@
 #ifndef CCAL_CORE_LAYERINTERFACE_H
 #define CCAL_CORE_LAYERINTERFACE_H
 
+#include "core/Footprint.h"
 #include "core/Log.h"
 #include "core/RelyGuarantee.h"
 
@@ -98,6 +99,13 @@ struct Primitive {
   /// atomic `thread_exit`.
   bool ExitsThread = false;
 
+  /// Declared read/write footprint over abstract shared locations (see
+  /// core/Footprint.h for the contract), consumed by the Explorer's
+  /// partial-order reduction.  Defaults to opaque — undeclared primitives
+  /// conflict with everything, so POR degrades to full exploration rather
+  /// than trusting a footprint nobody wrote.
+  Footprint Foot = Footprint::opaque();
+
   PrimSemantics Sem;
 };
 
@@ -112,14 +120,21 @@ public:
   /// Registers a primitive; the name must be fresh.
   void addPrim(Primitive P);
 
-  /// Convenience: registers a shared primitive.
+  /// Convenience: registers a shared primitive (opaque footprint).
   void addShared(std::string Name, PrimSemantics Sem);
+
+  /// Convenience: registers a shared primitive with a declared footprint.
+  void addShared(std::string Name, PrimSemantics Sem, Footprint Foot);
 
   /// Convenience: registers a private (silent) primitive.
   void addPrivate(std::string Name, PrimSemantics Sem);
 
   /// Looks a primitive up; nullptr when absent.
   const Primitive *lookup(const std::string &Name) const;
+
+  /// Declared footprint of primitive \p Name; opaque when the primitive is
+  /// unknown or undeclared, so callers can treat any event kind uniformly.
+  Footprint footprintOf(const std::string &Name) const;
 
   /// True when the interface provides \p Name.
   bool provides(const std::string &Name) const {

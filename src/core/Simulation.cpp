@@ -65,7 +65,8 @@ public:
 
   bool explore(Node N) {
     if (Report.Runs >= Opts.MaxRuns) {
-      fail(N, "run budget exhausted before exploration completed");
+      Report.Complete = false;
+      fail(N, "run budget exhausted (MaxRuns) before exploration completed");
       return false;
     }
 
@@ -192,7 +193,10 @@ CertPtr ccal::makeFunCertificate(const std::string &Underlay,
   C->Module = Module;
   C->Overlay = Overlay;
   C->Relation = R.name();
-  C->Valid = Report.Holds;
+  C->CoverageComplete = Report.Complete;
+  C->Coverage =
+      Report.Complete ? "exhaustive" : "run budget (MaxRuns) exhausted";
+  C->Valid = Report.Holds && C->CoverageComplete;
   C->Obligations = Report.Obligations;
   C->Runs = Report.Runs;
   C->Moves = Report.Moves;

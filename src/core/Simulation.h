@@ -82,6 +82,12 @@ struct SimOptions {
 /// Outcome of a simulation check.
 struct SimReport {
   bool Holds = false;
+
+  /// False when MaxRuns cut the search off before every environment branch
+  /// was explored (Holds is then false too — a truncated search proves
+  /// nothing); recorded in the certificate's coverage fields.
+  bool Complete = true;
+
   std::uint64_t Runs = 0;        ///< complete runs explored
   std::uint64_t Moves = 0;       ///< implementation moves executed
   std::uint64_t Obligations = 0; ///< matched spec moves

@@ -14,6 +14,12 @@ ExploreResult ccal::exploreMachine(MachineConfigPtr Cfg,
   return exploreGeneric(Root, Opts);
 }
 
+PorEquivalenceReport ccal::checkPorEquivalence(MachineConfigPtr Cfg,
+                                               ExploreOptions Opts) {
+  MultiCoreMachine Root(std::move(Cfg));
+  return checkPorEquivalence(Root, std::move(Opts));
+}
+
 Outcome ccal::runSchedule(
     MachineConfigPtr Cfg,
     const std::function<ThreadId(const std::vector<ThreadId> &, const Log &)>

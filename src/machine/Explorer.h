@@ -22,11 +22,20 @@
 /// copyable and provide ok()/error(), allIdle(), schedulable(), step(),
 /// log(), and returns().
 ///
+/// Machines additionally providing stepFootprint()/eventFootprint() (see
+/// core/Footprint.h) unlock the opt-in partial-order reduction
+/// (GenericExploreOptions::Por): sleep sets over the footprint-conflict
+/// independence relation skip schedules that differ from an explored one
+/// only in the order of commuting steps, and outcomes are recorded with
+/// canonical (Mazurkiewicz-trace) logs so the deduplicated outcome set is
+/// identical to full exploration's.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCAL_MACHINE_EXPLORER_H
 #define CCAL_MACHINE_EXPLORER_H
 
+#include "core/Footprint.h"
 #include "machine/MultiCore.h"
 
 #include <atomic>
@@ -52,12 +61,49 @@ struct Outcome {
 /// inspect the concrete machine.
 template <typename MachineT> struct GenericExploreOptions {
   /// Max consecutive steps of one participant while another is schedulable
-  /// (the paper's "any CPU can be scheduled within m steps").
+  /// (the paper's "any CPU can be scheduled within m steps").  Ignored
+  /// under Por — see there.
   unsigned FairnessBound = 6;
 
   /// Budgets; exceeding MaxSteps along a path is reported as divergence.
   std::uint64_t MaxSchedules = 1u << 22;
   std::uint64_t MaxSteps = 4096;
+
+  /// Partial-order reduction (sleep sets over the machine's declared step
+  /// footprints; Godefroid-style).  Opt-in, and changes the exploration
+  /// regime in three documented ways:
+  ///
+  ///  - FairnessBound is IGNORED.  The consecutive-steps filter is a
+  ///    property of one linearization, not of its Mazurkiewicz trace: the
+  ///    interleaving POR explores on behalf of a skipped one can contain
+  ///    a longer consecutive run and be pruned even though the skipped
+  ///    interleaving would not be, losing outcomes.  Bound spinning
+  ///    workloads with MaxParticipantSteps instead, which is
+  ///    trace-invariant (a per-participant total is the same in every
+  ///    linearization of a trace).
+  ///  - The StateCache is DISABLED.  A cache hit asserts the first visit
+  ///    explored every schedule admissible from the revisit, but under
+  ///    POR the first visit's subtree was itself pruned by *its* sleep
+  ///    set, which the revisit's may not subsume; a sound compatibility
+  ///    test would need the full sleep-set context in every entry.  v1
+  ///    runs POR uncached.
+  ///  - Outcome logs are CANONICALIZED (see canonicalizeLog): every
+  ///    shared step appends a participant-tagged event, so raw final logs
+  ///    are in bijection with schedules and POR would otherwise lose
+  ///    outcomes by construction.  Canonical logs identify exactly the
+  ///    schedules POR deduplicates.
+  ///
+  /// On machines without stepFootprint()/eventFootprint() the reduction
+  /// silently degrades to full exploration (ExploreResult::PorApplied
+  /// reports which happened).  Soundness rests on honest footprints;
+  /// checkPorEquivalence verifies it differentially.
+  bool Por = false;
+
+  /// Cap on the TOTAL steps any one participant takes along a path; 0 is
+  /// unlimited.  Exceeding it prunes silently, like the fairness bound —
+  /// it is the trace-invariant divergence bound to use with Por (and is
+  /// honored without Por too, so differential runs prune identically).
+  std::uint64_t MaxParticipantSteps = 0;
 
   /// Invariant checked after every machine step; a non-empty return is a
   /// violation (used for mutual exclusion, guarantee conditions, ...).
@@ -108,9 +154,20 @@ template <typename MachineT> struct GenericExploreOptions {
 struct ExploreResult {
   bool Ok = true;
 
-  /// False when a budget (MaxSchedules) truncated the search; obligations
-  /// then cover only the explored prefix.
+  /// False when a budget (MaxSchedules, MaxStoredOutcomes) truncated the
+  /// search; obligations then cover only the explored prefix, and no
+  /// checker may report Holds from such a result.
   bool Complete = true;
+
+  /// Which budget truncated the search ("" when Complete).
+  std::string Truncation;
+
+  /// True when the partial-order reduction was actually active (Por
+  /// requested and the machine provides footprints); outcome logs are
+  /// then canonical trace forms rather than raw linearizations.
+  bool PorApplied = false;
+
+  std::uint64_t PorSleepSkips = 0; ///< children skipped via sleep sets
 
   std::string Violation; ///< first violation with its log
 
@@ -123,26 +180,18 @@ struct ExploreResult {
   std::vector<Log> Corpus;
 };
 
-namespace detail {
-
-/// Detects machines providing snapshotHash()/sameSnapshot(); the
-/// StateCache option silently degrades to no caching without them.
-template <typename M, typename = void>
-struct MachineHasSnapshot : std::false_type {};
-template <typename M>
-struct MachineHasSnapshot<
-    M, std::void_t<decltype(std::declval<const M &>().snapshotHash()),
-                   decltype(std::declval<const M &>().sameSnapshot(
-                       std::declval<const M &>()))>> : std::true_type {};
-
-/// Sound terminal-outcome deduplication.  An earlier version hashed
-/// returns and thread ids by chain-multiplying with no field separators,
-/// so e.g. returns {1:[], 2:[]} and {1:[2]} hashed equal over the same log
-/// and one outcome was silently dropped — an unsoundness in every checker
-/// built on the Explorer.  This version mixes each field through
-/// hashMix64 with length prefixes, and resolves residual 64-bit
-/// collisions by structural comparison instead of merging.
-class OutcomeDeduper {
+/// Sound outcome set with structural comparison.  An earlier version
+/// hashed returns and thread ids by chain-multiplying with no field
+/// separators, so e.g. returns {1:[], 2:[]} and {1:[2]} hashed equal over
+/// the same log and one outcome was silently dropped — an unsoundness in
+/// every checker built on the Explorer.  This version mixes each field
+/// through hashMix64 with length prefixes, and resolves residual 64-bit
+/// collisions by structural comparison instead of merging.  It is also
+/// the outcome-matching structure of the refinement checkers, replacing
+/// their former string keys (log text joined with separators that can
+/// occur in the data — ambiguous, and O(log length) per comparison even
+/// on hash-distinguishable outcomes).
+class OutcomeSet {
 public:
   static std::uint64_t hash(const Outcome &O) {
     std::uint64_t H = hashLog(O.FinalLog);
@@ -167,12 +216,53 @@ public:
       if (same(Prev, O))
         return false;
     Bucket.push_back(O);
+    ++Count;
     return true;
   }
 
+  /// True when \p O is in the set.
+  bool contains(const Outcome &O) const {
+    auto It = Seen.find(hash(O));
+    if (It == Seen.end())
+      return false;
+    for (const Outcome &Prev : It->second)
+      if (same(Prev, O))
+        return true;
+    return false;
+  }
+
+  size_t size() const { return Count; }
+
 private:
   std::unordered_map<std::uint64_t, std::vector<Outcome>> Seen;
+  size_t Count = 0;
 };
+
+namespace detail {
+
+/// Detects machines providing snapshotHash()/sameSnapshot(); the
+/// StateCache option silently degrades to no caching without them.
+template <typename M, typename = void>
+struct MachineHasSnapshot : std::false_type {};
+template <typename M>
+struct MachineHasSnapshot<
+    M, std::void_t<decltype(std::declval<const M &>().snapshotHash()),
+                   decltype(std::declval<const M &>().sameSnapshot(
+                       std::declval<const M &>()))>> : std::true_type {};
+
+/// Detects machines providing stepFootprint()/eventFootprint(); the Por
+/// option degrades to full exploration without them.
+template <typename M, typename = void>
+struct MachineHasFootprint : std::false_type {};
+template <typename M>
+struct MachineHasFootprint<
+    M, std::void_t<decltype(std::declval<const M &>().stepFootprint(
+                       std::declval<ThreadId>())),
+                   decltype(std::declval<const M &>().eventFootprint(
+                       std::declval<const Event &>()))>> : std::true_type {};
+
+/// Former name of OutcomeSet, kept for the Explorer's internal use.
+using OutcomeDeduper = OutcomeSet;
 
 /// The search engine shared by all machine types: an explicit-stack DFS
 /// run by a pool of workers over a shared frontier.
@@ -198,7 +288,9 @@ public:
   using Options = GenericExploreOptions<MachineT>;
 
   GenericDfs(const Options &Opts, unsigned Workers)
-      : Opts(Opts), Workers(Workers), Shards(Workers) {}
+      : Opts(Opts), Workers(Workers),
+        PorOn(Opts.Por && MachineHasFootprint<MachineT>::value),
+        Shards(Workers) {}
 
   ExploreResult run(const MachineT &Root) {
     ExploreResult Res;
@@ -221,11 +313,14 @@ public:
     Res.Ok = !Violated;
     Res.Violation = std::move(Violation);
     Res.Complete = Complete;
+    Res.Truncation = std::move(Truncation);
+    Res.PorApplied = PorOn;
     Res.SchedulesExplored = Schedules.load();
     for (const Shard &S : Shards) {
       Res.StatesExplored += S.States;
       Res.InvariantChecks += S.InvariantChecks;
       Res.CacheHits += S.CacheHits;
+      Res.PorSleepSkips += S.PorSkips;
       Res.MaxLogLen = std::max(Res.MaxLogLen, S.MaxLogLen);
     }
     Res.Outcomes = std::move(Outcomes);
@@ -234,6 +329,14 @@ public:
   }
 
 private:
+  /// A sleep-set entry: participant \p Tid's next step (with footprint
+  /// \p Foot) is already covered — a sibling subtree explored it first and
+  /// every continuation interleaving it later commutes into that subtree.
+  struct SleepEntry {
+    ThreadId Tid;
+    Footprint Foot;
+  };
+
   /// One DFS node: a machine snapshot plus sibling-iteration state.
   struct Frame {
     MachineT M;
@@ -246,6 +349,15 @@ private:
     size_t NextChild = 0;
     bool Expanded = false;
 
+    // POR state (filled only when the reduction is on).
+    std::vector<SleepEntry> Sleep;    ///< asleep at this node
+    std::vector<SleepEntry> DoneSibs; ///< children already pushed here
+    std::vector<Footprint> ReadyFoot; ///< footprint per Ready entry
+
+    /// Total steps per participant along the path to this node (kept only
+    /// when MaxParticipantSteps bounds paths).
+    std::map<ThreadId, std::uint64_t> StepTally;
+
     Frame(MachineT M, ThreadId LastId, unsigned Consec, std::uint64_t Depth)
         : M(std::move(M)), LastId(LastId), Consec(Consec), Depth(Depth) {}
   };
@@ -256,6 +368,7 @@ private:
     std::uint64_t InvariantChecks = 0;
     std::uint64_t MaxLogLen = 0;
     std::uint64_t CacheHits = 0;
+    std::uint64_t PorSkips = 0;
   };
 
   struct CacheEntry {
@@ -293,14 +406,41 @@ private:
         Stack.pop_back();
         continue;
       }
-      ThreadId C = Top.Ready[Top.NextChild++];
+      size_t ChildIdx = Top.NextChild++;
+      ThreadId C = Top.Ready[ChildIdx];
+      // Sleep set: C's next step is covered by an explored sibling subtree
+      // every continuation of this one commutes into.
+      if (PorOn && asleep(Top, C)) {
+        ++S.PorSkips;
+        continue;
+      }
       // Fairness: one participant may not run more than FairnessBound
-      // consecutive steps while someone else is waiting.
-      if (Top.Ready.size() > 1 && C == Top.LastId &&
+      // consecutive steps while someone else is waiting.  Skipped under
+      // Por — the filter is linearization-dependent, which breaks the
+      // sleep-set coverage argument (see GenericExploreOptions::Por).
+      if (!Opts.Por && Top.Ready.size() > 1 && C == Top.LastId &&
           Top.Consec >= Opts.FairnessBound)
+        continue;
+      // Trace-invariant divergence bound: a per-participant total is the
+      // same in every linearization, so this prunes whole traces and is
+      // safe alongside the sleep sets.
+      if (Opts.MaxParticipantSteps != 0 &&
+          tallyOf(Top, C) >= Opts.MaxParticipantSteps)
         continue;
       Frame Child(Top.M, C, C == Top.LastId ? Top.Consec + 1 : 1,
                   Top.Depth + 1);
+      if (PorOn) {
+        const Footprint &CF = Top.ReadyFoot[ChildIdx];
+        childSleep(Top, C, CF, Child.Sleep);
+        // Added at push (not pop): coverage only needs this subtree to be
+        // explored *eventually*, and an abort that leaves it unexplored
+        // also reports Complete=false, so nothing unsound is claimed.
+        Top.DoneSibs.push_back(SleepEntry{C, CF});
+      }
+      if (Opts.MaxParticipantSteps != 0) {
+        Child.StepTally = Top.StepTally;
+        ++Child.StepTally[C];
+      }
       if (!Child.M.step(C)) {
         violate(Child.M, Child.M.error());
         continue;
@@ -318,6 +458,9 @@ private:
       {
         std::lock_guard<std::mutex> L(ResMu);
         Complete = false;
+        if (Truncation.empty())
+          Truncation = "MaxSchedules budget (" +
+                       std::to_string(Opts.MaxSchedules) + ") exhausted";
       }
       stopAll();
       return false;
@@ -325,7 +468,10 @@ private:
     ++S.States;
     S.MaxLogLen =
         std::max(S.MaxLogLen, static_cast<std::uint64_t>(F.M.log().size()));
-    if (Opts.StateCache && cachedOrRemember(F)) {
+    // The cache is incompatible with the sleep sets (a hit's coverage
+    // argument would need the first visit's sleep context; see
+    // GenericExploreOptions::Por), so it is bypassed while they are on.
+    if (Opts.StateCache && !PorOn && cachedOrRemember(F)) {
       ++S.CacheHits;
       return false;
     }
@@ -338,6 +484,13 @@ private:
       }
     }
     F.Ready = F.M.schedulable();
+    if constexpr (MachineHasFootprint<MachineT>::value) {
+      if (PorOn) {
+        F.ReadyFoot.reserve(F.Ready.size());
+        for (ThreadId C : F.Ready)
+          F.ReadyFoot.push_back(F.M.stepFootprint(C));
+      }
+    }
     if (F.Ready.empty()) {
       if (!F.M.allIdle()) {
         violate(F.M, "deadlock: nothing schedulable but work remains");
@@ -383,10 +536,45 @@ private:
     }
   }
 
+  /// True when participant \p C's next step is asleep at \p F.
+  bool asleep(const Frame &F, ThreadId C) const {
+    for (const SleepEntry &E : F.Sleep)
+      if (E.Tid == C)
+        return true;
+    return false;
+  }
+
+  std::uint64_t tallyOf(const Frame &F, ThreadId C) const {
+    auto It = F.StepTally.find(C);
+    return It == F.StepTally.end() ? 0 : It->second;
+  }
+
+  /// Sleep set of the child reached by stepping \p C with footprint \p CF:
+  /// the parent's sleeping entries plus its already-pushed siblings, minus
+  /// C itself (it just ran) and minus everything whose footprint conflicts
+  /// with CF (the covering interleaving no longer commutes past C's step).
+  void childSleep(const Frame &F, ThreadId C, const Footprint &CF,
+                  std::vector<SleepEntry> &Out) const {
+    for (const std::vector<SleepEntry> *Src : {&F.Sleep, &F.DoneSibs})
+      for (const SleepEntry &E : *Src)
+        if (E.Tid != C && !footprintsConflict(E.Foot, CF))
+          Out.push_back(E);
+  }
+
   void recordOutcome(const MachineT &M) {
     Outcome O;
     O.FinalLog = M.log();
     O.Returns = M.returns();
+    if constexpr (MachineHasFootprint<MachineT>::value) {
+      // Under POR raw final logs are in bijection with schedules, so the
+      // reduction must deduplicate canonical trace forms instead (see
+      // GenericExploreOptions::Por).
+      if (PorOn)
+        O.FinalLog =
+            canonicalizeLog(O.FinalLog, [&M](const std::string &Kind) {
+              return M.eventFootprint(Event(0, Kind));
+            });
+    }
     bool DoStop = false;
     {
       std::lock_guard<std::mutex> L(ResMu);
@@ -409,6 +597,10 @@ private:
         Outcomes.push_back(std::move(O));
       } else {
         Complete = false; // stored set truncated
+        if (Truncation.empty())
+          Truncation = "MaxStoredOutcomes budget (" +
+                       std::to_string(Opts.MaxStoredOutcomes) +
+                       ") exhausted";
       }
     }
     if (DoStop)
@@ -475,6 +667,10 @@ private:
       Rest.Ready = F.Ready;
       Rest.NextChild = F.NextChild;
       Rest.Expanded = true;
+      Rest.Sleep = F.Sleep;
+      Rest.DoneSibs = F.DoneSibs;
+      Rest.ReadyFoot = F.ReadyFoot;
+      Rest.StepTally = F.StepTally;
       F.NextChild = F.Ready.size();
       {
         std::lock_guard<std::mutex> L(QMu);
@@ -487,6 +683,10 @@ private:
 
   const Options &Opts;
   const unsigned Workers;
+
+  /// The reduction is actually on: requested AND the machine declares
+  /// footprints.
+  const bool PorOn;
 
   // Work sharing.
   std::mutex QMu;
@@ -505,6 +705,7 @@ private:
   bool Violated = false;         ///< guarded by ResMu
   std::string Violation;         ///< guarded by ResMu
   bool Complete = true;          ///< guarded by ResMu
+  std::string Truncation;        ///< guarded by ResMu
   OutcomeDeduper Dedup;          ///< guarded by ResMu
   std::vector<Outcome> Outcomes; ///< guarded by ResMu
   std::vector<Log> Corpus;       ///< guarded by ResMu
@@ -535,12 +736,121 @@ ExploreResult exploreGeneric(const MachineT &Root,
   return D.run(Root);
 }
 
+/// Result of a differential POR-vs-full run (checkPorEquivalence).
+struct PorEquivalenceReport {
+  bool Ok = false;    ///< both explorations ran to completion, no violation
+  bool Match = false; ///< the deduplicated canonical outcome sets agree
+  std::string Detail; ///< failure reason / first diverging outcome
+  std::uint64_t FullSchedules = 0;
+  std::uint64_t PorSchedules = 0;
+  std::uint64_t FullStates = 0;
+  std::uint64_t PorStates = 0;
+  std::uint64_t FullOutcomes = 0; ///< size of the canonicalized full set
+  std::uint64_t PorOutcomes = 0;
+  std::uint64_t SleepSkips = 0;
+};
+
+/// Differential soundness check for the partial-order reduction: explores
+/// \p Root twice from the same options — once in full (Por off, fairness
+/// off, so both runs range over the same trace space) and once reduced —
+/// and compares the deduplicated outcome sets after canonicalizing the
+/// full run's logs the same way the reduced run does.  A mismatch means a
+/// machine's declared footprints under-report a dependence (or a reduction
+/// bug); Match=false with the first diverging outcome in Detail.
+///
+/// Bound divergent workloads with Opts.MaxParticipantSteps/MaxSteps, not
+/// FairnessBound (which this check clears on both sides).
+template <typename MachineT>
+PorEquivalenceReport
+checkPorEquivalence(const MachineT &Root,
+                    GenericExploreOptions<MachineT> Opts) {
+  PorEquivalenceReport R;
+  // Same trace space on both sides: the consecutive-run fairness filter is
+  // linearization-dependent (POR ignores it), so the full run must not
+  // apply it either; divergence is bounded by the trace-invariant knobs.
+  Opts.FairnessBound = ~0u;
+  Opts.OnOutcome = nullptr;
+  Opts.CollectCorpus = false;
+
+  GenericExploreOptions<MachineT> FullOpts = Opts;
+  FullOpts.Por = false;
+  ExploreResult Full = exploreGeneric(Root, FullOpts);
+  R.FullSchedules = Full.SchedulesExplored;
+  R.FullStates = Full.StatesExplored;
+  if (!Full.Ok) {
+    R.Detail = "full exploration violated: " + Full.Violation;
+    return R;
+  }
+  if (!Full.Complete) {
+    R.Detail = "full exploration truncated: " + Full.Truncation;
+    return R;
+  }
+
+  GenericExploreOptions<MachineT> PorOpts = Opts;
+  PorOpts.Por = true;
+  ExploreResult Por = exploreGeneric(Root, PorOpts);
+  R.PorSchedules = Por.SchedulesExplored;
+  R.PorStates = Por.StatesExplored;
+  R.SleepSkips = Por.PorSleepSkips;
+  if (!Por.Ok) {
+    R.Detail = "reduced exploration violated: " + Por.Violation;
+    return R;
+  }
+  if (!Por.Complete) {
+    R.Detail = "reduced exploration truncated: " + Por.Truncation;
+    return R;
+  }
+  R.Ok = true;
+
+  OutcomeSet PorSet;
+  for (const Outcome &O : Por.Outcomes)
+    PorSet.insert(O);
+  R.PorOutcomes = PorSet.size();
+
+  // Canonicalize the full run's raw linearization logs exactly the way the
+  // reduced run recorded its outcomes, then compare both directions.
+  R.Match = true;
+  OutcomeSet FullSet;
+  for (Outcome O : Full.Outcomes) {
+    if constexpr (detail::MachineHasFootprint<MachineT>::value) {
+      if (Por.PorApplied)
+        O.FinalLog =
+            canonicalizeLog(O.FinalLog, [&Root](const std::string &Kind) {
+              return Root.eventFootprint(Event(0, Kind));
+            });
+    }
+    if (!FullSet.insert(O))
+      continue; // several linearizations of one trace
+    if (R.Match && !PorSet.contains(O)) {
+      R.Match = false;
+      R.Detail = "outcome reachable in full exploration is missing under "
+                 "POR (under-reported footprint?)\n  canonical log: " +
+                 logToString(O.FinalLog);
+    }
+  }
+  R.FullOutcomes = FullSet.size();
+  if (R.Match)
+    for (const Outcome &O : Por.Outcomes)
+      if (!FullSet.contains(O)) {
+        R.Match = false;
+        R.Detail = "outcome recorded under POR does not occur in full "
+                   "exploration\n  canonical log: " +
+                   logToString(O.FinalLog);
+        break;
+      }
+  return R;
+}
+
 /// Options alias for the multicore machine (the common case).
 using ExploreOptions = GenericExploreOptions<MultiCoreMachine>;
 
 /// Explores every schedule of the multicore machine described by \p Cfg.
 ExploreResult exploreMachine(MachineConfigPtr Cfg,
                              const ExploreOptions &Opts);
+
+/// checkPorEquivalence on the multicore machine described by \p Cfg.
+PorEquivalenceReport checkPorEquivalence(MachineConfigPtr Cfg,
+                                         ExploreOptions Opts);
 
 /// Runs a single schedule chosen by \p Pick (given the schedulable set and
 /// the log, return the CPU to step); used to replay specific interleavings

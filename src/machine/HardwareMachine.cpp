@@ -123,6 +123,22 @@ bool HardwareMachine::step(ThreadId Id) {
   return true;
 }
 
+Footprint HardwareMachine::stepFootprint(ThreadId Id) const {
+  auto It = Cpus.find(Id);
+  if (It == Cpus.end() || !It->second.AtPrim)
+    return Footprint(); // one instruction: CPU-local only
+  const Primitive *P = Cfg->Layer->lookup(It->second.Machine.primName());
+  if (!P)
+    return Footprint::opaque();
+  if (!P->Shared)
+    return Footprint(); // private primitives touch only local memory
+  return P->Foot;
+}
+
+Footprint HardwareMachine::eventFootprint(const Event &E) const {
+  return Cfg->Layer->footprintOf(E.Kind);
+}
+
 std::map<ThreadId, std::vector<std::int64_t>>
 HardwareMachine::returns() const {
   std::map<ThreadId, std::vector<std::int64_t>> Out;
@@ -167,19 +183,6 @@ bool HardwareMachine::sameSnapshot(const HardwareMachine &O) const {
   return true;
 }
 
-namespace {
-
-std::string outcomeKeyOf(const Outcome &O) {
-  std::string Key = logToString(O.FinalLog);
-  for (const auto &[Tid, Rets] : O.Returns) {
-    Key += strFormat("|%u:", Tid);
-    Key += intListToString(Rets);
-  }
-  return Key;
-}
-
-} // namespace
-
 MulticoreLinkReport ccal::checkMulticoreLinking(MachineConfigPtr Cfg,
                                                 unsigned FairnessBound,
                                                 std::uint64_t MaxSchedules,
@@ -195,22 +198,34 @@ MulticoreLinkReport ccal::checkMulticoreLinking(MachineConfigPtr Cfg,
     Report.Counterexample = "layer machine violation: " + LayerRes.Violation;
     return Report;
   }
-  std::set<std::string> LayerSet;
+  // A capped layer outcome set would make genuine hardware outcomes look
+  // inadmissible; fail closed before comparing.
+  if (!LayerRes.Complete) {
+    Report.Coverage =
+        "layer exploration truncated: " + LayerRes.Truncation;
+    Report.Counterexample =
+        "layer-machine exploration is incomplete (" + LayerRes.Truncation +
+        "): the admitted outcome set may be silently capped; raise the "
+        "truncating budget and re-run";
+    return Report;
+  }
+  Report.LayerComplete = true;
+
+  OutcomeSet LayerSet;
   for (const Outcome &O : LayerRes.Outcomes)
-    LayerSet.insert(outcomeKeyOf(O));
+    LayerSet.insert(O);
 
   // Hardware machine (instruction interleaving): stream and match.
   std::uint64_t HwOutcomes = 0, Obligations = 0;
-  std::set<std::string> HwSet;
+  OutcomeSet HwSet;
   GenericExploreOptions<HardwareMachine> HwOpts;
   HwOpts.FairnessBound = FairnessBound;
   HwOpts.MaxSchedules = MaxSchedules;
   HwOpts.MaxSteps = 65536;
   HwOpts.OnOutcome = [&](const Outcome &O) -> std::string {
     ++HwOutcomes;
-    std::string Key = outcomeKeyOf(O);
-    HwSet.insert(Key);
-    if (!LayerSet.count(Key))
+    HwSet.insert(O);
+    if (!LayerSet.contains(O))
       return strFormat("hardware outcome not admitted by the layer "
                        "machine\n  log: %s",
                        logToString(O.FinalLog).c_str());
@@ -230,15 +245,27 @@ MulticoreLinkReport ccal::checkMulticoreLinking(MachineConfigPtr Cfg,
         "hardware machine violation: " + HwRes.Violation;
     return Report;
   }
-  // Sanity bonus (only meaningful when the hardware exploration was
-  // exhaustive): the reduction loses nothing — every layer outcome is
-  // also a hardware outcome.  An incomplete sweep or a hardware fairness
-  // bound tighter than the layer machine's can legitimately miss layer
-  // outcomes, so this direction is skipped then; Thm 3.1 itself is the
-  // forward inclusion checked above.
-  if (CheckExactness && HwRes.Complete && LayerRes.Complete) {
+  // Thm 3.1 quantifies over every hardware schedule; a truncated sweep
+  // checked only a prefix of them, so it must not report Holds.
+  if (!HwRes.Complete) {
+    Report.Coverage =
+        "hardware exploration truncated: " + HwRes.Truncation;
+    Report.Counterexample =
+        "hardware-machine exploration is incomplete (" + HwRes.Truncation +
+        "): only a prefix of the instruction interleavings was checked; "
+        "raise the truncating budget and re-run";
+    return Report;
+  }
+  Report.HardwareComplete = true;
+  Report.Coverage = "exhaustive";
+  // Sanity bonus: the reduction loses nothing — every layer outcome is
+  // also a hardware outcome.  A hardware fairness bound tighter than the
+  // layer machine's can legitimately miss layer outcomes, so this
+  // direction stays opt-in; Thm 3.1 itself is the forward inclusion
+  // checked above.
+  if (CheckExactness) {
     for (const Outcome &O : LayerRes.Outcomes)
-      if (!HwSet.count(outcomeKeyOf(O))) {
+      if (!HwSet.contains(O)) {
         Report.Counterexample =
             "layer outcome unreachable on hardware\n  log: " +
             logToString(O.FinalLog);
@@ -258,7 +285,9 @@ ccal::makeMulticoreLinkCertificate(const std::string &MachineName,
   C->Module = "(hardware scheduling)";
   C->Overlay = "Lx86[D](" + MachineName + ")";
   C->Relation = "id";
-  C->Valid = Report.Holds;
+  C->CoverageComplete = Report.HardwareComplete && Report.LayerComplete;
+  C->Coverage = Report.Coverage;
+  C->Valid = Report.Holds && C->CoverageComplete;
   C->Obligations = Report.ObligationsChecked;
   C->Runs = Report.HardwareSchedules + Report.LayerSchedules;
   if (!Report.Holds)

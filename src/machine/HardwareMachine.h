@@ -51,6 +51,18 @@ public:
   const Log &log() const { return GlobalLog; }
   std::map<ThreadId, std::vector<std::int64_t>> returns() const;
 
+  /// Declared footprint of CPU \p C's next hardware cycle.  A single
+  /// instruction and a private primitive touch only CPU-local state, so
+  /// they get the local (empty) footprint and commute with every other
+  /// CPU's step — the structural fact behind Thm 3.1's reduction.  A
+  /// pending shared primitive contributes its layer-declared footprint
+  /// (opaque when undeclared).
+  Footprint stepFootprint(ThreadId C) const;
+
+  /// Footprint of a logged event's kind, from the layer declaration (see
+  /// MultiCoreMachine::eventFootprint).
+  Footprint eventFootprint(const Event &E) const;
+
   /// Structural snapshot hash / equality for the Explorer's state-dedup
   /// cache (see MultiCoreMachine::snapshotHash).
   std::uint64_t snapshotHash() const;
@@ -80,7 +92,16 @@ private:
 
 /// Outcome of the Thm 3.1 check.
 struct MulticoreLinkReport {
+  /// True only when the forward inclusion held on an EXHAUSTIVE sweep of
+  /// both machines; truncation never reports Holds.
   bool Holds = false;
+
+  /// Per-side completion flags and a coverage note — see
+  /// ContextualRefinementReport.
+  bool HardwareComplete = false;
+  bool LayerComplete = false;
+  std::string Coverage;
+
   std::uint64_t HardwareSchedules = 0;
   std::uint64_t LayerSchedules = 0;
   std::uint64_t HardwareOutcomes = 0;

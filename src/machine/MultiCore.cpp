@@ -129,6 +129,14 @@ std::string MultiCoreMachine::pendingPrim(ThreadId C) const {
   return It->second.Machine.primName();
 }
 
+Footprint MultiCoreMachine::stepFootprint(ThreadId C) const {
+  return Cfg->Layer->footprintOf(pendingPrim(C));
+}
+
+Footprint MultiCoreMachine::eventFootprint(const Event &E) const {
+  return Cfg->Layer->footprintOf(E.Kind);
+}
+
 bool MultiCoreMachine::step(ThreadId Id) {
   if (!ok())
     return false;

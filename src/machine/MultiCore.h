@@ -88,6 +88,21 @@ public:
   /// Name of the shared primitive CPU \p C is parked at ("" when none).
   std::string pendingPrim(ThreadId C) const;
 
+  /// Declared footprint of CPU \p C's next step — the pending shared
+  /// primitive's footprint (the subsequent local slice touches only
+  /// CPU-private state, so the primitive's declaration covers the whole
+  /// step).  Opaque when the primitive declares none, which makes the
+  /// Explorer's partial-order reduction treat the step as conflicting
+  /// with everything.
+  Footprint stepFootprint(ThreadId C) const;
+
+  /// Footprint governing how a logged event commutes, for canonical trace
+  /// forms: event kinds coincide with primitive names on this machine, so
+  /// this is the emitting primitive's declared footprint (opaque for
+  /// unknown kinds).  Depends only on the immutable config, never on the
+  /// machine state.
+  Footprint eventFootprint(const Event &E) const;
+
   /// Total shared-primitive steps executed so far.
   std::uint64_t stepsTaken() const { return StepsTaken; }
 

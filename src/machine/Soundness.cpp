@@ -4,30 +4,30 @@
 
 #include "support/Text.h"
 
-#include <set>
-
 using namespace ccal;
-
-namespace {
-
-/// Canonical key of an outcome: the (mapped) log plus the client returns.
-std::string outcomeKey(const Log &L,
-                       const std::map<ThreadId, std::vector<std::int64_t>>
-                           &Returns) {
-  std::string Key = logToString(L);
-  for (const auto &[Tid, Rets] : Returns) {
-    Key += strFormat("|%u:", Tid);
-    Key += intListToString(Rets);
-  }
-  return Key;
-}
-
-} // namespace
 
 ContextualRefinementReport ccal::checkContextualRefinement(
     MachineConfigPtr Impl, MachineConfigPtr Spec, const EventMap &R,
     const ExploreOptions &ImplOpts, const ExploreOptions &SpecOpts) {
   ContextualRefinementReport Report;
+
+  // When either side runs under the partial-order reduction, outcome logs
+  // on that side are canonical trace forms; the other side's must be
+  // canonicalized the same way (over the SPEC layer's footprints — both
+  // keys are spec-level logs after R) or nothing would ever match.
+  // Canonicalizing both sides unconditionally in that case keeps the
+  // comparison symmetric; with honest spec footprints logs with equal
+  // canonical forms are observationally equivalent, so this never accepts
+  // an outcome full comparison would reject.
+  LayerPtr SpecLayer = Spec->Layer;
+  const bool Canon = ImplOpts.Por || SpecOpts.Por;
+  auto CanonSpecLog = [&SpecLayer, Canon](Log L) {
+    if (!Canon)
+      return L;
+    return canonicalizeLog(L, [&SpecLayer](const std::string &Kind) {
+      return SpecLayer->footprintOf(Kind);
+    });
+  };
 
   ExploreResult SpecRes = exploreMachine(std::move(Spec), SpecOpts);
   if (!SpecRes.Ok) {
@@ -35,10 +35,27 @@ ContextualRefinementReport ccal::checkContextualRefinement(
         "specification machine violation: " + SpecRes.Violation;
     return Report;
   }
+  // A truncated spec sweep is worse than inconclusive: a capped outcome
+  // set (MaxStoredOutcomes) makes genuinely-refining implementation
+  // outcomes look like counterexamples.  Fail closed before comparing.
+  if (!SpecRes.Complete) {
+    Report.Coverage = "spec exploration truncated: " + SpecRes.Truncation;
+    Report.Counterexample =
+        "specification exploration is incomplete (" + SpecRes.Truncation +
+        "): the spec outcome set may be silently capped, so any mismatch "
+        "below would be a false counterexample and any match proves "
+        "nothing; raise the truncating budget and re-run";
+    return Report;
+  }
+  Report.SpecComplete = true;
 
-  std::set<std::string> SpecSet;
-  for (const Outcome &O : SpecRes.Outcomes)
-    SpecSet.insert(outcomeKey(O.FinalLog, O.Returns));
+  OutcomeSet SpecSet;
+  for (const Outcome &O : SpecRes.Outcomes) {
+    Outcome Key;
+    Key.FinalLog = CanonSpecLog(O.FinalLog);
+    Key.Returns = O.Returns;
+    SpecSet.insert(Key);
+  }
 
   // Stream implementation outcomes through the matcher instead of storing
   // them: large schedule spaces would not fit in memory otherwise.
@@ -48,7 +65,10 @@ ContextualRefinementReport ccal::checkContextualRefinement(
   ImplOptsCorpus.OnOutcome = [&](const Outcome &O) -> std::string {
     ++ImplOutcomes;
     Log Mapped = R.apply(O.FinalLog);
-    if (!SpecSet.count(outcomeKey(Mapped, O.Returns)))
+    Outcome Key;
+    Key.FinalLog = CanonSpecLog(Mapped);
+    Key.Returns = O.Returns;
+    if (!SpecSet.contains(Key))
       return strFormat(
           "no specification behavior matches implementation outcome\n"
           "  impl log:   %s\n  mapped (R): %s",
@@ -69,6 +89,19 @@ ContextualRefinementReport ccal::checkContextualRefinement(
         "implementation machine violation: " + ImplRes.Violation;
     return Report;
   }
+  // Obligations cover only the explored prefix of a truncated sweep; the
+  // refinement statement quantifies over every schedule, so Holds must
+  // stay false.
+  if (!ImplRes.Complete) {
+    Report.Coverage = "impl exploration truncated: " + ImplRes.Truncation;
+    Report.Counterexample =
+        "implementation exploration is incomplete (" + ImplRes.Truncation +
+        "): only a prefix of the schedule space was matched; raise the "
+        "truncating budget and re-run";
+    return Report;
+  }
+  Report.ImplComplete = true;
+  Report.Coverage = "exhaustive";
   Report.Holds = true;
   return Report;
 }
@@ -83,7 +116,12 @@ CertPtr ccal::makeMachineCertificate(
   C->Module = Module;
   C->Overlay = Overlay;
   C->Relation = R.name();
-  C->Valid = Report.Holds;
+  // Belt and braces: the checker already refuses Holds on a truncated
+  // sweep, but a certificate must be impossible to mint Valid from one
+  // even if a future checker forgets.
+  C->CoverageComplete = Report.SpecComplete && Report.ImplComplete;
+  C->Coverage = Report.Coverage;
+  C->Valid = Report.Holds && C->CoverageComplete;
   C->Obligations = Report.ObligationsChecked;
   C->Runs = Report.SchedulesExplored;
   C->Moves = Report.StatesExplored;

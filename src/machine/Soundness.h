@@ -33,7 +33,20 @@ namespace ccal {
 
 /// Outcome of a contextual refinement check between two machines.
 struct ContextualRefinementReport {
+  /// True only when every obligation held AND both explorations were
+  /// exhaustive (SpecComplete && ImplComplete): a truncated sweep covers a
+  /// prefix of the schedule space and discharges nothing.
   bool Holds = false;
+
+  /// Whether each side's exploration ran to completion; when false, the
+  /// Counterexample names the budget that truncated it.
+  bool SpecComplete = false;
+  bool ImplComplete = false;
+
+  /// "exhaustive", or which budget truncated which side — recorded in the
+  /// certificate so partial coverage is auditable.
+  std::string Coverage;
+
   std::uint64_t ImplOutcomes = 0;
   std::uint64_t SpecOutcomes = 0;
   std::uint64_t ObligationsChecked = 0; ///< impl outcomes matched

@@ -66,6 +66,13 @@ void PushPullModel::installPrims(LayerInterface &L) const {
   Replayer<SharedMemState> R = replayer();
   std::map<std::int64_t, Location> Locs = Locations;
 
+  // Both primitives read and write the shared-memory cells (pull takes
+  // ownership and materializes contents, push publishes and releases), so
+  // they all conflict under the Explorer's partial-order reduction — one
+  // coarse location for the whole model, which is exact for the common
+  // single-cell case.
+  Footprint MemFoot = Footprint::of({"pp_mem"}, {"pp_mem"});
+
   // Fig. 8, sigma_pull: append c.pull(b), replay, deliver the contents.
   L.addShared(PullEventKind, [R, Locs](const PrimCall &Call)
                   -> std::optional<PrimResult> {
@@ -90,7 +97,7 @@ void PushPullModel::installPrims(LayerInterface &L) const {
       Res.LocalWrites.emplace_back(Loc.LocalBase + I,
                                    Cell.Contents[static_cast<size_t>(I)]);
     return Res;
-  });
+  }, MemFoot);
 
   // Fig. 8, sigma_push: read the local copy, append c.push(b, vals).
   L.addShared(PushEventKind, [R, Locs](const PrimCall &Call)
@@ -118,5 +125,5 @@ void PushPullModel::installPrims(LayerInterface &L) const {
     PrimResult Res;
     Res.Events.push_back(std::move(E));
     return Res;
-  });
+  }, MemFoot);
 }

@@ -71,8 +71,15 @@ McsLockLayers ccal::makeMcsLockLayers() {
   Replayer<McsState> R = makeMcsReplayer();
 
   auto L0 = makeInterface("L0_mcs");
+  // The MCS queue (tail/busy/next/holder) is one intertwined structure, so
+  // every mutating primitive gets the coarse read+write footprint over the
+  // single location "mcs"; only the two pure reads (get_busy/get_next)
+  // commute with each other.  Coarser than necessary, but sound — and the
+  // lock's realistic contention means there is little to reduce anyway.
+  Footprint McsRw = Footprint::of({"mcs"}, {"mcs"});
+  Footprint McsRd = Footprint::of({"mcs"}, {});
   // mcs_init: busy = 1, next = nil for the caller's node.
-  L0->addShared("mcs_init", makeEventPrim("mcs_init"));
+  L0->addShared("mcs_init", makeEventPrim("mcs_init"), McsRw);
   // mcs_swap_tail: atomically tail <- self, returns the previous tail.
   L0->addShared("mcs_swap_tail",
                 [R](const PrimCall &Call) -> std::optional<PrimResult> {
@@ -84,8 +91,9 @@ McsLockLayers ccal::makeMcsLockLayers() {
                   Res.Events.push_back(
                       Event(Call.Tid, "mcs_swap_tail"));
                   return Res;
-                });
-  L0->addShared("mcs_set_next", makeEventPrim("mcs_set_next"));
+                },
+                McsRw);
+  L0->addShared("mcs_set_next", makeEventPrim("mcs_set_next"), McsRw);
   L0->addShared("mcs_get_busy",
                 [R](const PrimCall &Call) -> std::optional<PrimResult> {
                   std::optional<McsState> S = R.replay(*Call.L);
@@ -96,7 +104,8 @@ McsLockLayers ccal::makeMcsLockLayers() {
                   Res.Ret = It == S->Busy.end() ? 1 : It->second;
                   Res.Events.push_back(Event(Call.Tid, "mcs_get_busy"));
                   return Res;
-                });
+                },
+                McsRd);
   L0->addShared("mcs_get_next",
                 [R](const PrimCall &Call) -> std::optional<PrimResult> {
                   std::optional<McsState> S = R.replay(*Call.L);
@@ -107,7 +116,8 @@ McsLockLayers ccal::makeMcsLockLayers() {
                   Res.Ret = It == S->Next.end() ? -1 : It->second;
                   Res.Events.push_back(Event(Call.Tid, "mcs_get_next"));
                   return Res;
-                });
+                },
+                McsRd);
   // mcs_cas_tail: CAS(tail, self, nil); the success bit is recorded in the
   // event so the relation can treat a successful CAS as the release commit.
   L0->addShared("mcs_cas_tail",
@@ -122,11 +132,12 @@ McsLockLayers ccal::makeMcsLockLayers() {
                   Res.Events.push_back(Event(Call.Tid, "mcs_cas_tail",
                                              {Success ? 1 : 0}));
                   return Res;
-                });
-  L0->addShared("mcs_clear_busy", makeEventPrim("mcs_clear_busy"));
-  L0->addShared("hold", makeEventPrim("hold"));
-  L0->addShared("f", makeFetchIncPrim("f"));
-  L0->addShared("g", makeFetchIncPrim("g"));
+                },
+                McsRw);
+  L0->addShared("mcs_clear_busy", makeEventPrim("mcs_clear_busy"), McsRw);
+  L0->addShared("hold", makeEventPrim("hold"), McsRw);
+  L0->addShared("f", makeFetchIncPrim("f"), Footprint::of({"f"}, {"f"}));
+  L0->addShared("g", makeFetchIncPrim("g"), Footprint::of({"g"}, {"g"}));
   Out.L0 = L0;
 
   Out.M1 = parseModuleOrDie("M1_mcs", R"(
@@ -167,8 +178,8 @@ McsLockLayers ccal::makeMcsLockLayers() {
   // Same atomic overlay as the ticket lock (§6: interchangeable).
   auto L1 = makeInterface("L1");
   addAtomicLock(*L1, "acq", "rel");
-  L1->addShared("f", makeFetchIncPrim("f"));
-  L1->addShared("g", makeFetchIncPrim("g"));
+  L1->addShared("f", makeFetchIncPrim("f"), Footprint::of({"f"}, {"f"}));
+  L1->addShared("g", makeFetchIncPrim("g"), Footprint::of({"g"}, {"g"}));
   Out.L1 = L1;
 
   Out.R1 = EventMap("R1_mcs", [](const Event &E) -> std::optional<Event> {

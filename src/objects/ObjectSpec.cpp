@@ -5,7 +5,7 @@
 using namespace ccal;
 
 void ccal::addAtomicMethod(LayerInterface &L, const std::string &Name,
-                           AtomicSemantics Sem) {
+                           AtomicSemantics Sem, Footprint Foot) {
   L.addShared(Name, [Name, Sem](const PrimCall &Call)
                   -> std::optional<PrimResult> {
     AtomicOutcome O = Sem(Call.Tid, Call.Args, *Call.L);
@@ -22,7 +22,7 @@ void ccal::addAtomicMethod(LayerInterface &L, const std::string &Name,
     }
     }
     return std::nullopt;
-  });
+  }, std::move(Foot));
 }
 
 Replayer<AbstractLockState>
@@ -54,6 +54,11 @@ void ccal::addAtomicLock(LayerInterface &L, const std::string &AcqKind,
                          const std::string &RelKind) {
   Replayer<AbstractLockState> R = makeAbstractLockReplayer(AcqKind, RelKind);
 
+  // Both methods replay the holder and mutate it with their event:
+  // read+write of one abstract location per lock.
+  Footprint LockFoot =
+      Footprint::of({"lock." + AcqKind}, {"lock." + AcqKind});
+
   addAtomicMethod(L, AcqKind,
                   [R](ThreadId Tid, const std::vector<std::int64_t> &,
                       const Log &Prefix) -> AtomicOutcome {
@@ -67,7 +72,8 @@ void ccal::addAtomicLock(LayerInterface &L, const std::string &AcqKind,
                                                : AtomicOutcome::blocked();
                     }
                     return AtomicOutcome::ok(0);
-                  });
+                  },
+                  LockFoot);
 
   addAtomicMethod(L, RelKind,
                   [R](ThreadId Tid, const std::vector<std::int64_t> &,
@@ -76,5 +82,6 @@ void ccal::addAtomicLock(LayerInterface &L, const std::string &AcqKind,
                     if (!S || !S->Holder || *S->Holder != Tid)
                       return AtomicOutcome::stuck();
                     return AtomicOutcome::ok(0);
-                  });
+                  },
+                  LockFoot);
 }

@@ -48,9 +48,15 @@ using AtomicSemantics = std::function<AtomicOutcome(
     ThreadId Tid, const std::vector<std::int64_t> &Args, const Log &Prefix)>;
 
 /// Installs an atomic method into interface \p L: a shared primitive
-/// emitting the single event `tid.Name(args)`.
+/// emitting the single event `tid.Name(args)`.  \p Foot declares the
+/// method's footprint for the Explorer's partial-order reduction (see
+/// core/Footprint.h for the contract it must honor — in particular, the
+/// Reads must cover everything the semantics replays from the log,
+/// including its blocking condition); the default opaque footprint is
+/// always sound.
 void addAtomicMethod(LayerInterface &L, const std::string &Name,
-                     AtomicSemantics Sem);
+                     AtomicSemantics Sem,
+                     Footprint Foot = Footprint::opaque());
 
 /// Abstract lock state replayed from atomic `AcqKind`/`RelKind` events —
 /// shared by the ticket and MCS lock specifications ("both share the same
@@ -66,7 +72,10 @@ Replayer<AbstractLockState> makeAbstractLockReplayer(std::string AcqKind,
                                                      std::string RelKind);
 
 /// Installs blocking atomic `acq`/`rel` methods over the abstract lock
-/// replayer into \p L.
+/// replayer into \p L.  Both methods read and write the single abstract
+/// location `lock.<AcqKind>` (acq's blocking condition reads the holder,
+/// its event writes it; rel likewise), so two operations on the same lock
+/// never commute while operations on distinct locks always do.
 void addAtomicLock(LayerInterface &L, const std::string &AcqKind,
                    const std::string &RelKind);
 

@@ -127,8 +127,12 @@ SharedQueueSetup ccal::makeSharedQueueSetup(unsigned Producers,
   auto Under = makeInterface("L1_lock_pp");
   addAtomicLock(*Under, "acq", "rel");
   Mem.installPrims(*Under);
-  Under->addShared("deq_done", makeEventPrim("deq_done"));
-  Under->addShared("enq_done", makeEventPrim("enq_done"));
+  // The commit markers ARE the queue operations after R, so their mutual
+  // order is observable and they must never commute with one another.
+  Under->addShared("deq_done", makeEventPrim("deq_done"),
+                   Footprint::of({"sq"}, {"sq"}));
+  Under->addShared("enq_done", makeEventPrim("enq_done"),
+                   Footprint::of({"sq"}, {"sq"}));
   Out.Underlay = Under;
 
   // Overlay: atomic enQ/deQ over the abstract queue replay.
@@ -142,7 +146,8 @@ SharedQueueSetup ccal::makeSharedQueueSetup(unsigned Producers,
                       return AtomicOutcome::stuck();
                     return AtomicOutcome::ok(
                         S->Items.empty() ? -1 : S->Items.front());
-                  });
+                  },
+                  Footprint::of({"sq"}, {"sq"}));
   addAtomicMethod(*Over, "enQ",
                   [QR](ThreadId, const std::vector<std::int64_t> &Args,
                        const Log &Prefix) -> AtomicOutcome {
@@ -151,7 +156,8 @@ SharedQueueSetup ccal::makeSharedQueueSetup(unsigned Producers,
                     if (!QR.replay(Prefix))
                       return AtomicOutcome::stuck();
                     return AtomicOutcome::ok(0);
-                  });
+                  },
+                  Footprint::of({"sq"}, {"sq"}));
   Out.Overlay = Over;
 
   // R: commit markers become the atomic events; lock and memory-model

@@ -65,16 +65,25 @@ TicketLockLayers ccal::makeTicketLockLayers() {
   TicketLockLayers Out;
 
   // --- L0: the x86 atomic primitives (Fig. 3's "Methods provided by L0").
+  // Footprints over the abstract ticket-lock state: FAI_t owns the ticket
+  // counter; get_n reads the now-serving counter that inc_n bumps; hold
+  // additionally reads the ticket counter because the FIFO invariant
+  // (checkTicketFifo) is sensitive to the FAI_t/hold order.
   auto L0 = makeInterface("L0");
-  L0->addShared("FAI_t", makeFetchIncPrim("FAI_t"));
-  L0->addShared("get_n", makeReadCounterPrim("get_n", "inc_n"));
-  L0->addShared("inc_n", makeEventPrim("inc_n"));
-  L0->addShared("hold", makeEventPrim("hold"));
+  L0->addShared("FAI_t", makeFetchIncPrim("FAI_t"),
+                Footprint::of({"tkt.next"}, {"tkt.next"}));
+  L0->addShared("get_n", makeReadCounterPrim("get_n", "inc_n"),
+                Footprint::of({"tkt.serving"}, {}));
+  L0->addShared("inc_n", makeEventPrim("inc_n"),
+                Footprint::of({"tkt.holder"},
+                              {"tkt.serving", "tkt.holder"}));
+  L0->addShared("hold", makeEventPrim("hold"),
+                Footprint::of({"tkt.next", "tkt.holder"}, {"tkt.holder"}));
   // Pass-through critical-section work: f and g return how many times each
   // has run before (a log-replayed counter), so client return values are
   // schedule-sensitive and the refinement compares them meaningfully.
-  L0->addShared("f", makeFetchIncPrim("f"));
-  L0->addShared("g", makeFetchIncPrim("g"));
+  L0->addShared("f", makeFetchIncPrim("f"), Footprint::of({"f"}, {"f"}));
+  L0->addShared("g", makeFetchIncPrim("g"), Footprint::of({"g"}, {"g"}));
   Out.L0 = L0;
 
   // --- M1: Fig. 3's module, verbatim ClightX.
@@ -97,8 +106,8 @@ TicketLockLayers ccal::makeTicketLockLayers() {
   // --- L1: the atomic interface (blocking acq, protocol-checked rel).
   auto L1 = makeInterface("L1");
   addAtomicLock(*L1, "acq", "rel");
-  L1->addShared("f", makeFetchIncPrim("f"));
-  L1->addShared("g", makeFetchIncPrim("g"));
+  L1->addShared("f", makeFetchIncPrim("f"), Footprint::of({"f"}, {"f"}));
+  L1->addShared("g", makeFetchIncPrim("g"), Footprint::of({"g"}, {"g"}));
   // Rely/guarantee conditions (§2): every participant guarantees that it
   // releases a held lock, i.e. the log never shows it acquiring twice
   // without a release in between — expressed as the abstract lock replay

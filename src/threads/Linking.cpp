@@ -124,7 +124,10 @@ LinkingReport ccal::checkMultithreadedLinking(const LinkingSetup &Setup) {
   C->Module = "M_sched (+) M_local_queue";
   C->Overlay = "Lhtd[0][Tc]";
   C->Relation = "Rbtd";
-  C->Valid = Out.Refinement.Holds;
+  C->CoverageComplete =
+      Out.Refinement.SpecComplete && Out.Refinement.ImplComplete;
+  C->Coverage = Out.Refinement.Coverage;
+  C->Valid = Out.Refinement.Holds && C->CoverageComplete;
   C->Obligations = Out.Refinement.ObligationsChecked;
   C->Runs = Out.Refinement.SchedulesExplored;
   C->Moves = Out.Refinement.StatesExplored;

@@ -261,7 +261,9 @@ QueuingLockOutcome ccal::certifyQueuingLock(unsigned Cpus,
   C->Module = "queuing_lock";
   C->Overlay = Setup.Overlay->name();
   C->Relation = Setup.RImpl.name();
-  C->Valid = Out.Report.Holds;
+  C->CoverageComplete = Out.Report.SpecComplete && Out.Report.ImplComplete;
+  C->Coverage = Out.Report.Coverage;
+  C->Valid = Out.Report.Holds && C->CoverageComplete;
   C->Obligations = Out.Report.ObligationsChecked;
   C->Runs = Out.Report.SchedulesExplored;
   C->Moves = Out.Report.StatesExplored;

@@ -317,31 +317,41 @@ ThreadedRefinementReport ccal::checkThreadedRefinement(
         "specification machine violation: " + SpecRes.Violation;
     return Report;
   }
-  auto Key = [](const Log &L,
-                const std::map<ThreadId, std::vector<std::int64_t>> &Rets) {
-    std::string K = logToString(L);
-    for (const auto &[Tid, Vals] : Rets) {
-      K += strFormat("|%u:", Tid);
-      K += intListToString(Vals);
-    }
-    return K;
-  };
+  // A truncated (e.g. MaxStoredOutcomes-capped) spec outcome set would
+  // turn refining implementation outcomes into false counterexamples;
+  // fail closed before comparing anything.
+  if (!SpecRes.Complete) {
+    Report.Coverage = "spec exploration truncated: " + SpecRes.Truncation;
+    Report.Counterexample =
+        "specification exploration is incomplete (" + SpecRes.Truncation +
+        "): the spec outcome set may be silently capped; raise the "
+        "truncating budget and re-run";
+    return Report;
+  }
+  Report.SpecComplete = true;
 
-  std::set<std::string> SpecSet;
-  for (const Outcome &O : SpecRes.Outcomes)
-    SpecSet.insert(Key(RSpec.apply(O.FinalLog), O.Returns));
+  OutcomeSet SpecSet;
+  for (const Outcome &O : SpecRes.Outcomes) {
+    Outcome Key;
+    Key.FinalLog = RSpec.apply(O.FinalLog);
+    Key.Returns = O.Returns;
+    SpecSet.insert(Key);
+  }
 
   // Stream implementation outcomes through the matcher (memory-bounded).
   std::uint64_t ImplOutcomes = 0, Obligations = 0;
   ThreadedExploreOptions ImplStream = ImplOpts;
   ImplStream.OnOutcome = [&](const Outcome &O) -> std::string {
     ++ImplOutcomes;
-    Log Mapped = RImpl.apply(O.FinalLog);
-    if (!SpecSet.count(Key(Mapped, O.Returns)))
+    Outcome Key;
+    Key.FinalLog = RImpl.apply(O.FinalLog);
+    Key.Returns = O.Returns;
+    if (!SpecSet.contains(Key))
       return strFormat(
           "no specification behavior matches implementation outcome\n"
           "  impl log:   %s\n  mapped (R): %s",
-          logToString(O.FinalLog).c_str(), logToString(Mapped).c_str());
+          logToString(O.FinalLog).c_str(),
+          logToString(Key.FinalLog).c_str());
     ++Obligations;
     return "";
   };
@@ -357,6 +367,16 @@ ThreadedRefinementReport ccal::checkThreadedRefinement(
         "implementation machine violation: " + ImplRes.Violation;
     return Report;
   }
+  if (!ImplRes.Complete) {
+    Report.Coverage = "impl exploration truncated: " + ImplRes.Truncation;
+    Report.Counterexample =
+        "implementation exploration is incomplete (" + ImplRes.Truncation +
+        "): only a prefix of the schedule space was matched; raise the "
+        "truncating budget and re-run";
+    return Report;
+  }
+  Report.ImplComplete = true;
+  Report.Coverage = "exhaustive";
   Report.Holds = true;
   return Report;
 }

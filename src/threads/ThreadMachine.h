@@ -106,6 +106,22 @@ public:
 
   const std::vector<std::int64_t> &cpuMemory(ThreadId Cpu) const;
 
+  /// Step footprint for the Explorer's partial-order reduction: opaque
+  /// for every thread in v1.  Any threaded step may interact with the
+  /// scheduler replay through settle() — the machine itself appends
+  /// `texit`/`resched` events and re-dispatches threads as a side effect
+  /// of the step — so no layer-declared primitive footprint covers a
+  /// step's full log effect here.  Opaque footprints make POR explore the
+  /// complete schedule space (sound, no reduction); refining this needs
+  /// footprints on the scheduling replay itself and is future work.
+  Footprint stepFootprint(ThreadId) const { return Footprint::opaque(); }
+
+  /// Event footprint matching stepFootprint: opaque, so canonical trace
+  /// forms degenerate to the identity on this machine.
+  Footprint eventFootprint(const Event &) const {
+    return Footprint::opaque();
+  }
+
   /// Structural snapshot hash / equality for the Explorer's state-dedup
   /// cache (see MultiCoreMachine::snapshotHash): per-thread VM states and
   /// flags, the CPU-local memories, and the global log.
@@ -148,7 +164,16 @@ ExploreResult exploreThreaded(ThreadedConfigPtr Cfg,
 
 /// Outcome of a threaded refinement check.
 struct ThreadedRefinementReport {
+  /// True only when every obligation held AND both explorations were
+  /// exhaustive; a truncated sweep never reports Holds.
   bool Holds = false;
+
+  /// Per-side completion flags and a coverage note ("exhaustive", or which
+  /// budget truncated which side) — see ContextualRefinementReport.
+  bool SpecComplete = false;
+  bool ImplComplete = false;
+  std::string Coverage;
+
   std::uint64_t ImplOutcomes = 0;
   std::uint64_t SpecOutcomes = 0;
   std::uint64_t ObligationsChecked = 0;

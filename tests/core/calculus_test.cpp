@@ -146,10 +146,14 @@ TEST(CalculusTest, WeakeningComposesRelations) {
   PreCert->Rule = "InterfaceSim";
   PreCert->Relation = "Rpre";
   PreCert->Valid = true;
+  PreCert->CoverageComplete = true;
+  PreCert->Coverage = "exhaustive";
   auto PostCert = std::make_shared<RefinementCertificate>();
   PostCert->Rule = "InterfaceSim";
   PostCert->Relation = "Rpost";
   PostCert->Valid = true;
+  PostCert->CoverageComplete = true;
+  PostCert->Coverage = "exhaustive";
 
   CertifiedLayer W = wk(makeNamedLayer("L1"), PreCert, Mid, PostCert,
                         makeNamedLayer("L2"));
