@@ -15,6 +15,7 @@
 #include "machine/CpuLocal.h"
 #include "machine/Explorer.h"
 #include "objects/TicketLock.h"
+#include "obs/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -221,10 +222,15 @@ void strategySim(benchmark::State &State) {
 }
 BENCHMARK(strategySim)->Name("Simulation/def21_atomic");
 
-/// One row of the POR-off/POR-on ablation.
+/// One row of the POR-off/POR-on ablation, with the obs-registry view of
+/// the same run alongside the report's own numbers (the two must agree —
+/// PorTest asserts it; the bench records both so divergence is visible).
 struct PorAblationRow {
   std::string Workload;
   PorEquivalenceReport R;
+  std::uint64_t RegSleepSkips = 0;
+  std::uint64_t RegCacheHits = 0;
+  std::uint64_t RegSteals = 0;
 };
 
 /// Runs checkPorEquivalence (full exploration vs sleep-set reduction,
@@ -235,11 +241,26 @@ struct PorAblationRow {
 /// honest row).
 std::vector<PorAblationRow> runPorAblation() {
   std::vector<PorAblationRow> Rows;
+  // Sourcing the POR-prune/cache-hit/steal columns from the metrics
+  // registry (rather than copying the report fields) keeps the registry
+  // honest: a publishing bug shows up as a bench-row mismatch.
+  bool WasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  auto RunRow = [&](const std::string &Workload, MachineConfigPtr Cfg,
+                    const ExploreOptions &Opts) {
+    obs::metricsReset();
+    PorAblationRow Row;
+    Row.Workload = Workload;
+    Row.R = checkPorEquivalence(std::move(Cfg), Opts);
+    Row.RegSleepSkips = obs::counterValue("explorer.sleep_skips");
+    Row.RegCacheHits = obs::counterValue("explorer.cache_hits");
+    Row.RegSteals = obs::counterValue("explorer.steals");
+    Rows.push_back(std::move(Row));
+  };
   {
     ExploreOptions Opts;
-    Rows.push_back({"indep-counters, 3 CPUs x 2 disjoint ticks",
-                    checkPorEquivalence(makeIndependentCountersConfig(),
-                                        Opts)});
+    RunRow("indep-counters, 3 CPUs x 2 disjoint ticks",
+           makeIndependentCountersConfig(), Opts);
   }
   {
     // FairnessBound is linearization-dependent and is cleared by the
@@ -248,15 +269,17 @@ std::vector<PorAblationRow> runPorAblation() {
     ExploreOptions Opts;
     Opts.MaxParticipantSteps = 10;
     Opts.MaxSteps = 256;
-    Rows.push_back({"fig3 ticket-lock L0, 2 CPUs, MaxParticipantSteps=10",
-                    checkPorEquivalence(makeFig3Config(), Opts)});
+    RunRow("fig3 ticket-lock L0, 2 CPUs, MaxParticipantSteps=10",
+           makeFig3Config(), Opts);
   }
   {
     ExploreOptions Opts;
     Opts.MaxSteps = 4096;
-    Rows.push_back({"ticket spec layer L1, 3 CPUs x 1 round",
-                    checkPorEquivalence(makeTicketSpecConfig(3, 1), Opts)});
+    RunRow("ticket spec layer L1, 3 CPUs x 1 round",
+           makeTicketSpecConfig(3, 1), Opts);
   }
+  obs::metricsReset();
+  obs::setEnabled(WasEnabled);
   for (const PorAblationRow &Row : Rows)
     std::fprintf(stderr,
                  "por ablation: %-50s full=%llu por=%llu (%.1fx) "
@@ -283,7 +306,9 @@ void emitPorJson(std::FILE *F, const std::vector<PorAblationRow> &Rows) {
         "    {\"workload\": \"%s\", \"schedules_full\": %llu, "
         "\"schedules_por\": %llu, \"reduction\": %.2f, "
         "\"sleep_skips\": %llu, \"outcomes_full\": %llu, "
-        "\"outcomes_por\": %llu, \"match\": %s}%s\n",
+        "\"outcomes_por\": %llu, \"match\": %s, "
+        "\"registry_sleep_skips\": %llu, \"registry_cache_hits\": %llu, "
+        "\"registry_steals\": %llu}%s\n",
         Row.Workload.c_str(),
         static_cast<unsigned long long>(Row.R.FullSchedules),
         static_cast<unsigned long long>(Row.R.PorSchedules),
@@ -295,6 +320,9 @@ void emitPorJson(std::FILE *F, const std::vector<PorAblationRow> &Rows) {
         static_cast<unsigned long long>(Row.R.FullOutcomes),
         static_cast<unsigned long long>(Row.R.PorOutcomes),
         Row.R.Ok && Row.R.Match ? "true" : "false",
+        static_cast<unsigned long long>(Row.RegSleepSkips),
+        static_cast<unsigned long long>(Row.RegCacheHits),
+        static_cast<unsigned long long>(Row.RegSteals),
         I + 1 != Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n");
@@ -324,6 +352,11 @@ void emitScalingJson() {
                "rounds, FairnessBound=2\",\n");
   std::fprintf(F, "  \"hardware_threads\": %u,\n", Hw);
   std::fprintf(F, "  \"runs\": [\n");
+  // Counters in these rows come from the obs registry (metricsReset per
+  // run, counterValue after), not from ExploreResult — the registry is the
+  // artifact under test.
+  bool WasEnabled = obs::enabled();
+  obs::setEnabled(true);
   double Baseline = 0.0;
   for (size_t I = 0; I != ThreadCounts.size(); ++I) {
     unsigned T = ThreadCounts[I];
@@ -332,6 +365,7 @@ void emitScalingJson() {
     Opts.MaxSteps = 4096;
     Opts.Threads = T;
     Opts.OnOutcome = [](const Outcome &) { return std::string(); };
+    obs::metricsReset();
     auto Start = std::chrono::steady_clock::now();
     ExploreResult Res = exploreMachine(Cfg, Opts);
     double Secs = std::chrono::duration<double>(
@@ -339,21 +373,35 @@ void emitScalingJson() {
                       .count();
     if (T == 1)
       Baseline = Secs;
+    std::uint64_t CacheHits = obs::counterValue("explorer.cache_hits");
+    std::uint64_t SleepSkips = obs::counterValue("explorer.sleep_skips");
+    std::uint64_t Steals = obs::counterValue("explorer.steals");
+    std::uint64_t Donations = obs::counterValue("explorer.donations");
     std::fprintf(F,
                  "    {\"threads\": %u, \"seconds\": %.3f, \"schedules\": "
-                 "%llu, \"states\": %llu, \"ok\": %s, \"speedup\": "
-                 "%.2f}%s\n",
+                 "%llu, \"states\": %llu, \"ok\": %s, \"speedup\": %.2f, "
+                 "\"cache_hits\": %llu, \"sleep_skips\": %llu, "
+                 "\"steals\": %llu, \"donations\": %llu}%s\n",
                  T, Secs,
                  static_cast<unsigned long long>(Res.SchedulesExplored),
                  static_cast<unsigned long long>(Res.StatesExplored),
                  Res.Ok ? "true" : "false",
                  Secs > 0.0 ? Baseline / Secs : 0.0,
+                 static_cast<unsigned long long>(CacheHits),
+                 static_cast<unsigned long long>(SleepSkips),
+                 static_cast<unsigned long long>(Steals),
+                 static_cast<unsigned long long>(Donations),
                  I + 1 != ThreadCounts.size() ? "," : "");
     std::fprintf(stderr,
-                 "explorer scaling: threads=%u %.3fs schedules=%llu\n", T,
-                 Secs,
-                 static_cast<unsigned long long>(Res.SchedulesExplored));
+                 "explorer scaling: threads=%u %.3fs schedules=%llu "
+                 "cache_hits=%llu steals=%llu\n",
+                 T, Secs,
+                 static_cast<unsigned long long>(Res.SchedulesExplored),
+                 static_cast<unsigned long long>(CacheHits),
+                 static_cast<unsigned long long>(Steals));
   }
+  obs::metricsReset();
+  obs::setEnabled(WasEnabled);
   std::fprintf(F, "  ],\n");
   emitPorJson(F, runPorAblation());
   std::fprintf(F, "}\n");

@@ -14,10 +14,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "runtime/RtMcsLock.h"
+#include "runtime/RtObserved.h"
 #include "runtime/RtTicketLock.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
 
 using namespace ccal::rt;
 
@@ -63,6 +69,195 @@ void mcsNoGhost(benchmark::State &State) {
 }
 BENCHMARK(mcsNoGhost)->Name("McsLock/ghost_calls_removed");
 
+/// One BENCH_locks.json row: the acquire-latency distribution of one
+/// observed-lock configuration plus the ghost-log contention view.
+struct LockRow {
+  std::string Name;
+  unsigned Threads = 0;
+  ccal::obs::HistogramData Hist;
+  GhostStats Ghost; ///< summed over participating threads (ghost builds)
+};
+
+/// Single-thread latency distribution through the observed wrapper; \p
+/// Ghost regenerates §6's in/out comparison on the histogram too.
+template <bool Ghost> LockRow measureTicket(const std::string &Name,
+                                            std::uint64_t Iters) {
+  threadGhostLog().clear();
+  ObservedTicketLock<Ghost> Lock(Name);
+  for (std::uint64_t I = 0; I != Iters; ++I) {
+    Lock.acquire();
+    Lock.release();
+  }
+  LockRow Row;
+  Row.Name = Name;
+  Row.Threads = 1;
+  Row.Hist = ccal::obs::histData(Name + ".acquire_ns");
+  Row.Ghost = ghostStats(threadGhostLog());
+  threadGhostLog().clear();
+  return Row;
+}
+
+template <bool Ghost> LockRow measureMcs(const std::string &Name,
+                                         std::uint64_t Iters) {
+  threadGhostLog().clear();
+  ObservedMcsLock<Ghost> Lock(Name);
+  for (std::uint64_t I = 0; I != Iters; ++I) {
+    McsNode Node;
+    Lock.acquire(Node);
+    Lock.release(Node);
+  }
+  LockRow Row;
+  Row.Name = Name;
+  Row.Threads = 1;
+  Row.Hist = ccal::obs::histData(Name + ".acquire_ns");
+  Row.Ghost = ghostStats(threadGhostLog());
+  threadGhostLog().clear();
+  return Row;
+}
+
+/// Contended runs: \p Threads workers hammer one lock; contention counts
+/// are reconstructed from each worker's own ghost log and summed.
+LockRow measureTicketContended(const std::string &Name, unsigned Threads,
+                               std::uint64_t ItersPerThread) {
+  ObservedTicketLock<true> Lock(Name);
+  std::vector<GhostStats> PerThread(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      threadGhostLog().clear();
+      for (std::uint64_t I = 0; I != ItersPerThread; ++I) {
+        Lock.acquire();
+        Lock.release();
+      }
+      PerThread[T] = ghostStats(threadGhostLog());
+      threadGhostLog().clear();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  LockRow Row;
+  Row.Name = Name;
+  Row.Threads = Threads;
+  Row.Hist = ccal::obs::histData(Name + ".acquire_ns");
+  for (const GhostStats &S : PerThread) {
+    Row.Ghost.Acquires += S.Acquires;
+    Row.Ghost.Contended += S.Contended;
+    Row.Ghost.SpinObservations += S.SpinObservations;
+  }
+  return Row;
+}
+
+LockRow measureMcsContended(const std::string &Name, unsigned Threads,
+                            std::uint64_t ItersPerThread) {
+  ObservedMcsLock<true> Lock(Name);
+  std::vector<GhostStats> PerThread(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      threadGhostLog().clear();
+      for (std::uint64_t I = 0; I != ItersPerThread; ++I) {
+        McsNode Node;
+        Lock.acquire(Node);
+        Lock.release(Node);
+      }
+      PerThread[T] = ghostStats(threadGhostLog());
+      threadGhostLog().clear();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  LockRow Row;
+  Row.Name = Name;
+  Row.Threads = Threads;
+  Row.Hist = ccal::obs::histData(Name + ".acquire_ns");
+  for (const GhostStats &S : PerThread) {
+    Row.Ghost.Acquires += S.Acquires;
+    Row.Ghost.Contended += S.Contended;
+    Row.Ghost.SpinObservations += S.SpinObservations;
+  }
+  return Row;
+}
+
+/// Writes BENCH_locks.json: per-configuration acquire-latency quantiles
+/// (from the obs histograms the observed wrappers feed) and ghost-derived
+/// contention counts — the registry-backed companion to the cycle-count
+/// benchmarks below.
+void emitLockJson() {
+  bool WasEnabled = ccal::obs::enabled();
+  ccal::obs::setEnabled(true);
+  ccal::obs::metricsReset();
+
+  constexpr std::uint64_t Iters = 50000;
+  constexpr std::uint64_t ContendedIters = 10000;
+  unsigned Hw = std::thread::hardware_concurrency();
+  unsigned ContendedThreads = Hw >= 4 ? 4 : (Hw >= 2 ? 2 : 1);
+
+  std::vector<LockRow> Rows;
+  Rows.push_back(measureTicket<true>("ticket.ghost", Iters));
+  Rows.push_back(measureTicket<false>("ticket.noghost", Iters));
+  Rows.push_back(measureMcs<true>("mcs.ghost", Iters));
+  Rows.push_back(measureMcs<false>("mcs.noghost", Iters));
+  Rows.push_back(measureTicketContended("ticket.contended",
+                                        ContendedThreads, ContendedIters));
+  Rows.push_back(
+      measureMcsContended("mcs.contended", ContendedThreads, ContendedIters));
+
+  std::FILE *F = std::fopen("BENCH_locks.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open BENCH_locks.json\n");
+    ccal::obs::metricsReset();
+    ccal::obs::setEnabled(WasEnabled);
+    return;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"bench\": \"lock_acquire_latency\",\n");
+  std::fprintf(F, "  \"hardware_threads\": %u,\n", Hw);
+  std::fprintf(F, "  \"locks\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const LockRow &Row = Rows[I];
+    double MeanNs = Row.Hist.Count
+                        ? static_cast<double>(Row.Hist.Sum) /
+                              static_cast<double>(Row.Hist.Count)
+                        : 0.0;
+    std::fprintf(
+        F,
+        "    {\"name\": \"%s\", \"threads\": %u, \"acquires\": %llu, "
+        "\"mean_ns\": %.1f, \"p50_ns\": %llu, \"p90_ns\": %llu, "
+        "\"p99_ns\": %llu, \"max_ns\": %llu, "
+        "\"ghost_acquires\": %llu, \"ghost_contended\": %llu, "
+        "\"ghost_spin_observations\": %llu}%s\n",
+        Row.Name.c_str(), Row.Threads,
+        static_cast<unsigned long long>(Row.Hist.Count), MeanNs,
+        static_cast<unsigned long long>(Row.Hist.quantile(0.5)),
+        static_cast<unsigned long long>(Row.Hist.quantile(0.9)),
+        static_cast<unsigned long long>(Row.Hist.quantile(0.99)),
+        static_cast<unsigned long long>(Row.Hist.Max),
+        static_cast<unsigned long long>(Row.Ghost.Acquires),
+        static_cast<unsigned long long>(Row.Ghost.Contended),
+        static_cast<unsigned long long>(Row.Ghost.SpinObservations),
+        I + 1 != Rows.size() ? "," : "");
+    std::fprintf(stderr,
+                 "lock latency: %-16s threads=%u p50=%lluns p99=%lluns "
+                 "contended=%llu/%llu\n",
+                 Row.Name.c_str(), Row.Threads,
+                 static_cast<unsigned long long>(Row.Hist.quantile(0.5)),
+                 static_cast<unsigned long long>(Row.Hist.quantile(0.99)),
+                 static_cast<unsigned long long>(Row.Ghost.Contended),
+                 static_cast<unsigned long long>(Row.Ghost.Acquires));
+  }
+  std::fprintf(F, "  ]\n");
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+  ccal::obs::metricsReset();
+  ccal::obs::setEnabled(WasEnabled);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  emitLockJson();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

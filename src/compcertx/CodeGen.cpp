@@ -2,6 +2,7 @@
 
 #include "compcertx/CodeGen.h"
 
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 using namespace ccal;
@@ -229,6 +230,7 @@ private:
 } // namespace
 
 AsmProgram ccal::compileModule(const ClightModule &M) {
+  obs::Span CgSpan("compcertx.codegen", "compcertx");
   AsmProgram Out;
   Out.Name = M.Name;
   Out.Linked = false;

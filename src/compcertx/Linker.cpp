@@ -3,6 +3,7 @@
 #include "compcertx/Linker.h"
 
 #include "compcertx/CodeGen.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 #include <map>
@@ -12,6 +13,7 @@ using namespace ccal;
 AsmProgramPtr
 ccal::linkPrograms(std::string Name,
                    const std::vector<const AsmProgram *> &Mods) {
+  obs::Span LinkSpan("compcertx.link", "compcertx");
   auto Out = std::make_shared<AsmProgram>();
   Out->Name = std::move(Name);
 

@@ -2,6 +2,8 @@
 
 #include "compcertx/Optimize.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 
 #include <optional>
@@ -202,6 +204,7 @@ OptimizeStats ccal::optimizeFunction(AsmFunc &F) {
 }
 
 OptimizeStats ccal::optimizeProgram(AsmProgram &P) {
+  obs::Span OptSpan("compcertx.optimize", "compcertx");
   OptimizeStats Total;
   for (AsmFunc &F : P.Funcs) {
     OptimizeStats S = optimizeFunction(F);
@@ -211,6 +214,13 @@ OptimizeStats ccal::optimizeProgram(AsmProgram &P) {
     Total.ConstBranches += S.ConstBranches;
     Total.JumpThreads += S.JumpThreads;
     Total.Passes += S.Passes;
+  }
+  if (obs::enabled()) {
+    obs::counterAdd("compcertx.opt.folded", Total.Folded);
+    obs::counterAdd("compcertx.opt.dead_pushes", Total.DeadPushes);
+    obs::counterAdd("compcertx.opt.fused_compares", Total.FusedCompares);
+    obs::counterAdd("compcertx.opt.const_branches", Total.ConstBranches);
+    obs::counterAdd("compcertx.opt.jump_threads", Total.JumpThreads);
   }
   return Total;
 }

@@ -3,6 +3,8 @@
 #include "compcertx/Validate.h"
 
 #include "compcertx/Linker.h"
+#include "compcertx/Optimize.h"
+#include "obs/Trace.h"
 #include "support/Text.h"
 
 using namespace ccal;
@@ -49,20 +51,30 @@ ValidationReport
 ccal::validateTranslation(const ClightModule &Src,
                           const std::vector<ValidationCase> &Cases,
                           const std::function<PrimHandler()> &MakePrims,
-                          std::uint64_t MaxSteps) {
+                          const ValidationOptions &Opts) {
+  obs::Span ValidateSpan("compcertx.validate", "compcertx");
   ValidationReport Report;
   AsmProgramPtr Compiled = compileAndLink(Src.Name + ".lasm", {&Src});
+
+  // The optimized program is a third, independent execution of the same
+  // source: AsmProgram is a plain value, so copy then rewrite in place.
+  AsmProgramPtr Optimized;
+  if (Opts.CheckOptimized) {
+    auto Copy = std::make_shared<AsmProgram>(*Compiled);
+    Report.OptimizerRewrites = optimizeProgram(*Copy).total();
+    Optimized = std::move(Copy);
+  }
 
   for (const ValidationCase &Case : Cases) {
     ++Report.CasesChecked;
 
     InterpOptions RefOpts;
-    RefOpts.MaxSteps = MaxSteps;
+    RefOpts.MaxSteps = Opts.MaxSteps;
     Interp Ref(Src, MakePrims(), RefOpts);
     std::optional<std::int64_t> RefRet = Ref.call(Case.Fn, Case.Args);
 
-    VmRun Compiled2 =
-        runVmSequential(Compiled, Case.Fn, Case.Args, MakePrims(), MaxSteps);
+    VmRun Compiled2 = runVmSequential(Compiled, Case.Fn, Case.Args,
+                                      MakePrims(), Opts.MaxSteps);
 
     auto Mismatch = [&](const std::string &What) {
       Report.Ok = false;
@@ -78,25 +90,67 @@ ccal::validateTranslation(const ClightModule &Src,
           Compiled2.Ret ? "ok" : Compiled2.Error.c_str()));
       return Report;
     }
-    if (!RefRet) {
-      // Both went wrong; the compiler preserved the error behavior.
+    bool AllStuck = !RefRet;
+    if (RefRet) {
+      if (*RefRet != *Compiled2.Ret) {
+        Mismatch(strFormat("result mismatch: interp %lld vs vm %lld",
+                           static_cast<long long>(*RefRet),
+                           static_cast<long long>(*Compiled2.Ret)));
+        return Report;
+      }
+      if (Ref.trace() != Compiled2.Trace) {
+        Mismatch("primitive trace mismatch");
+        return Report;
+      }
+      if (Ref.globals() != Compiled2.Globals) {
+        Mismatch("final global memory mismatch");
+        return Report;
+      }
+    }
+
+    if (Opts.CheckOptimized) {
+      VmRun Opt = runVmSequential(Optimized, Case.Fn, Case.Args, MakePrims(),
+                                  Opts.MaxSteps);
+      if (RefRet.has_value() != Opt.Ret.has_value()) {
+        Mismatch(strFormat(
+            "optimized code diverges on stuckness (interp: %s / opt vm: %s)",
+            RefRet ? "ok" : Ref.error().c_str(),
+            Opt.Ret ? "ok" : Opt.Error.c_str()));
+        return Report;
+      }
+      if (RefRet) {
+        if (*RefRet != *Opt.Ret) {
+          Mismatch(strFormat(
+              "optimizer changed the result: interp %lld vs opt vm %lld",
+              static_cast<long long>(*RefRet),
+              static_cast<long long>(*Opt.Ret)));
+          return Report;
+        }
+        if (Ref.trace() != Opt.Trace) {
+          Mismatch("optimizer changed the primitive trace");
+          return Report;
+        }
+        if (Ref.globals() != Opt.Globals) {
+          Mismatch("optimizer changed the final global memory");
+          return Report;
+        }
+      }
+    }
+
+    if (AllStuck)
+      // Every execution went wrong; the compiler (and, when checked, the
+      // optimizer) preserved the error behavior.
       ++Report.BothStuck;
-      continue;
-    }
-    if (*RefRet != *Compiled2.Ret) {
-      Mismatch(strFormat("result mismatch: interp %lld vs vm %lld",
-                         static_cast<long long>(*RefRet),
-                         static_cast<long long>(*Compiled2.Ret)));
-      return Report;
-    }
-    if (Ref.trace() != Compiled2.Trace) {
-      Mismatch("primitive trace mismatch");
-      return Report;
-    }
-    if (Ref.globals() != Compiled2.Globals) {
-      Mismatch("final global memory mismatch");
-      return Report;
-    }
   }
   return Report;
+}
+
+ValidationReport
+ccal::validateTranslation(const ClightModule &Src,
+                          const std::vector<ValidationCase> &Cases,
+                          const std::function<PrimHandler()> &MakePrims,
+                          std::uint64_t MaxSteps) {
+  ValidationOptions Opts;
+  Opts.MaxSteps = MaxSteps;
+  return validateTranslation(Src, Cases, MakePrims, Opts);
 }

@@ -49,6 +49,17 @@ struct ValidationCase {
   std::vector<std::int64_t> Args;
 };
 
+/// Knobs for validateTranslation.
+struct ValidationOptions {
+  std::uint64_t MaxSteps = 1u << 22;
+
+  /// Three-way differential: additionally run the Optimize-pass output and
+  /// require it to agree with the interpreter and the unoptimized LAsm on
+  /// result, primitive trace, and final memory (CompCert proves its
+  /// optimizations; this validates ours per run).
+  bool CheckOptimized = false;
+};
+
 /// Result of validating a compilation.
 struct ValidationReport {
   bool Ok = true;
@@ -58,12 +69,24 @@ struct ValidationReport {
   /// Both executions diverged/trapped identically on this many cases; such
   /// cases count as agreeing (the compiler must preserve going wrong).
   std::uint64_t BothStuck = 0;
+
+  /// Rewrites the optimizer performed on the program under test (0 when
+  /// CheckOptimized is off) — fuzz coverage of the optimizer is only as
+  /// good as this stays non-trivial across the corpus.
+  std::uint64_t OptimizerRewrites = 0;
 };
 
 /// Validates that the compiled-and-linked form of \p Src agrees with the
 /// reference interpreter on every case.  \p MakePrims builds a fresh
-/// deterministic primitive handler per execution so that both sides see
+/// deterministic primitive handler per execution so that all sides see
 /// identical primitive behavior.
+ValidationReport
+validateTranslation(const ClightModule &Src,
+                    const std::vector<ValidationCase> &Cases,
+                    const std::function<PrimHandler()> &MakePrims,
+                    const ValidationOptions &Opts);
+
+/// Back-compat form: two-way (interpreter vs unoptimized LAsm) only.
 ValidationReport
 validateTranslation(const ClightModule &Src,
                     const std::vector<ValidationCase> &Cases,

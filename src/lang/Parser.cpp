@@ -3,6 +3,7 @@
 #include "lang/Parser.h"
 
 #include "lang/Lexer.h"
+#include "obs/Trace.h"
 #include "support/Check.h"
 #include "support/Text.h"
 
@@ -467,6 +468,7 @@ private:
 
 ParseResult ccal::parseModule(const std::string &ModuleName,
                               const std::string &Source) {
+  obs::Span ParseSpan("compcertx.parse", "compcertx");
   ParseResult Out;
   LexResult Lexed = lex(Source);
   if (!Lexed.ok()) {

@@ -2,6 +2,7 @@
 
 #include "lang/TypeCheck.h"
 
+#include "obs/Trace.h"
 #include "support/Check.h"
 #include "support/Text.h"
 
@@ -212,6 +213,7 @@ private:
 } // namespace
 
 TypeCheckResult ccal::typeCheck(ClightModule &M) {
+  obs::Span TcSpan("compcertx.typecheck", "compcertx");
   // Reject duplicate definitions up front.
   for (size_t I = 0; I != M.Funcs.size(); ++I)
     for (size_t J = I + 1; J != M.Funcs.size(); ++J)

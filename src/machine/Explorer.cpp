@@ -8,6 +8,36 @@
 
 using namespace ccal;
 
+void ccal::detail::publishExploreMetrics(const ExploreResult &Res) {
+  obs::counterAdd("explorer.runs", 1);
+  obs::counterAdd("explorer.schedules_explored", Res.SchedulesExplored);
+  obs::counterAdd("explorer.states_explored", Res.StatesExplored);
+  obs::counterAdd("explorer.invariant_checks", Res.InvariantChecks);
+  obs::counterAdd("explorer.cache_hits", Res.CacheHits);
+  obs::counterAdd("explorer.sleep_skips", Res.PorSleepSkips);
+  obs::counterAdd("explorer.steals", Res.Steals);
+  obs::counterAdd("explorer.donations", Res.Donations);
+  if (Res.PorApplied)
+    obs::counterAdd("explorer.por_runs", 1);
+  if (!Res.Complete) {
+    obs::counterAdd("explorer.truncated_runs", 1);
+    obs::traceInstant("explorer.truncation: " + Res.Truncation, "explorer");
+  }
+  if (!Res.Ok)
+    obs::counterAdd("explorer.violations", 1);
+  // Per-worker balance as gauges (last run wins — the sweep benches read
+  // them between runs).
+  obs::gaugeSet("explorer.workers",
+                static_cast<std::int64_t>(Res.WorkerStates.size()));
+  for (size_t I = 0; I != Res.WorkerStates.size(); ++I) {
+    std::string W = "explorer.worker." + std::to_string(I);
+    obs::gaugeSet(W + ".states",
+                  static_cast<std::int64_t>(Res.WorkerStates[I]));
+    obs::gaugeSet(W + ".max_stack",
+                  static_cast<std::int64_t>(Res.WorkerMaxStack[I]));
+  }
+}
+
 ExploreResult ccal::exploreMachine(MachineConfigPtr Cfg,
                                    const ExploreOptions &Opts) {
   MultiCoreMachine Root(std::move(Cfg));

@@ -37,6 +37,8 @@
 
 #include "core/Footprint.h"
 #include "machine/MultiCore.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -148,6 +150,17 @@ template <typename MachineT> struct GenericExploreOptions {
   /// Cap on cached snapshots; past it the search stays sound but stops
   /// remembering new states.
   size_t MaxStateCache = 1u << 20;
+
+  /// Publish this run's aggregate counters (schedules, states, sleep-set
+  /// prunes, cache hits, steals, per-worker balance) into the obs metrics
+  /// registry and record an "explorer.explore" span.  Setting this
+  /// force-enables the observability layer (obs::setEnabled) for the
+  /// process, like the CCAL_TRACE environment toggle; when neither is on,
+  /// instrumentation costs one relaxed atomic load per exploration.  The
+  /// counters are published once at the end of the run from the
+  /// per-worker shards the search keeps anyway, so the DFS hot loop is
+  /// untouched either way.
+  bool Metrics = false;
 };
 
 /// Aggregate result over all schedules.
@@ -177,6 +190,19 @@ struct ExploreResult {
   std::uint64_t InvariantChecks = 0;
   std::uint64_t MaxLogLen = 0;
   std::uint64_t CacheHits = 0; ///< states pruned by the StateCache
+
+  /// Work-sharing telemetry: frames a busy worker moved into the shared
+  /// injector (Donations) and frames workers picked up from it beyond the
+  /// root (Steals).  Both are 0 on single-threaded runs.
+  std::uint64_t Donations = 0;
+  std::uint64_t Steals = 0;
+
+  /// States expanded by each worker (index = worker id) — the per-worker
+  /// balance bench_explorer reports; WorkerMaxStack is the deepest DFS
+  /// stack each worker held (its peak queue depth).
+  std::vector<std::uint64_t> WorkerStates;
+  std::vector<std::uint64_t> WorkerMaxStack;
+
   std::vector<Log> Corpus;
 };
 
@@ -316,13 +342,20 @@ public:
     Res.Truncation = std::move(Truncation);
     Res.PorApplied = PorOn;
     Res.SchedulesExplored = Schedules.load();
+    std::uint64_t Pulls = 0;
     for (const Shard &S : Shards) {
       Res.StatesExplored += S.States;
       Res.InvariantChecks += S.InvariantChecks;
       Res.CacheHits += S.CacheHits;
       Res.PorSleepSkips += S.PorSkips;
+      Res.Donations += S.Donations;
+      Pulls += S.Pulls;
+      Res.WorkerStates.push_back(S.States);
+      Res.WorkerMaxStack.push_back(S.MaxStack);
       Res.MaxLogLen = std::max(Res.MaxLogLen, S.MaxLogLen);
     }
+    // The root frame's pull is a seed, not a steal.
+    Res.Steals = Pulls > 0 ? Pulls - 1 : 0;
     Res.Outcomes = std::move(Outcomes);
     Res.Corpus = std::move(Corpus);
     return Res;
@@ -369,6 +402,9 @@ private:
     std::uint64_t MaxLogLen = 0;
     std::uint64_t CacheHits = 0;
     std::uint64_t PorSkips = 0;
+    std::uint64_t Pulls = 0;     ///< frames taken from the injector
+    std::uint64_t Donations = 0; ///< frames moved into the injector
+    std::uint64_t MaxStack = 0;  ///< deepest DFS stack held
   };
 
   struct CacheEntry {
@@ -391,10 +427,12 @@ private:
       if (Stack.empty()) {
         if (!pullWork(Stack))
           return;
+        ++S.Pulls;
         continue;
       }
-      if (Workers > 1 && Hungry.load(std::memory_order_relaxed) > 0)
-        donate(Stack);
+      if (Workers > 1 && Hungry.load(std::memory_order_relaxed) > 0 &&
+          donate(Stack))
+        ++S.Donations;
       Frame &Top = Stack.back();
       if (!Top.Expanded) {
         if (!expand(Top, S)) {
@@ -448,6 +486,8 @@ private:
       if (Opts.CollectCorpus && (Top.Depth & 3) == 0)
         pushCorpus(Child.M.log());
       Stack.push_back(std::move(Child));
+      S.MaxStack = std::max(S.MaxStack,
+                            static_cast<std::uint64_t>(Stack.size()));
     }
   }
 
@@ -659,7 +699,8 @@ private:
 
   /// Moves the shallowest frame with unvisited children into the shared
   /// injector for an idle worker; the donor keeps the rest of its stack.
-  void donate(std::vector<Frame> &Stack) {
+  /// True when a frame was donated.
+  bool donate(std::vector<Frame> &Stack) {
     for (Frame &F : Stack) {
       if (!F.Expanded || F.NextChild >= F.Ready.size())
         continue;
@@ -677,8 +718,9 @@ private:
         Injector.push_back(std::move(Rest));
       }
       QCv.notify_one();
-      return;
+      return true;
     }
+    return false;
   }
 
   const Options &Opts;
@@ -719,6 +761,11 @@ private:
   std::vector<Shard> Shards;
 };
 
+/// Publishes one run's aggregate counters into the obs metrics registry
+/// (no-op while the registry is disabled); defined in Explorer.cpp so the
+/// template below stays header-only.
+void publishExploreMetrics(const ExploreResult &Res);
+
 } // namespace detail
 
 /// Explores every schedule reachable from \p Root, on Opts.Threads
@@ -726,6 +773,9 @@ private:
 template <typename MachineT>
 ExploreResult exploreGeneric(const MachineT &Root,
                              const GenericExploreOptions<MachineT> &Opts) {
+  if (Opts.Metrics)
+    obs::setEnabled(true);
+  obs::Span ExploreSpan("explorer.explore", "explorer");
   unsigned Workers = Opts.Threads;
   if (Workers == 0) {
     Workers = std::thread::hardware_concurrency();
@@ -733,7 +783,10 @@ ExploreResult exploreGeneric(const MachineT &Root,
       Workers = 1;
   }
   detail::GenericDfs<MachineT> D(Opts, Workers);
-  return D.run(Root);
+  ExploreResult Res = D.run(Root);
+  if (obs::enabled())
+    detail::publishExploreMetrics(Res);
+  return Res;
 }
 
 /// Result of a differential POR-vs-full run (checkPorEquivalence).

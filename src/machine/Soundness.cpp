@@ -2,11 +2,37 @@
 
 #include "machine/Soundness.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Text.h"
 
 using namespace ccal;
 
-ContextualRefinementReport ccal::checkContextualRefinement(
+namespace {
+
+/// Publishes one refinement check's aggregates; the Explorer has already
+/// published the per-exploration counters underneath.
+void publishRefinementMetrics(const ContextualRefinementReport &Report) {
+  if (!obs::enabled())
+    return;
+  obs::counterAdd("refine.checks", 1);
+  obs::counterAdd("refine.obligations_discharged",
+                  Report.ObligationsChecked);
+  obs::counterAdd("refine.impl_outcomes", Report.ImplOutcomes);
+  obs::counterAdd("refine.spec_outcomes", Report.SpecOutcomes);
+  if (Report.Holds)
+    obs::counterAdd("refine.holds", 1);
+  if (!Report.SpecComplete || !Report.ImplComplete) {
+    obs::counterAdd("refine.truncated", 1);
+    obs::traceInstant("refine.truncation: " + Report.Coverage, "refine");
+  }
+}
+
+} // namespace
+
+namespace {
+
+ContextualRefinementReport checkContextualRefinementImpl(
     MachineConfigPtr Impl, MachineConfigPtr Spec, const EventMap &R,
     const ExploreOptions &ImplOpts, const ExploreOptions &SpecOpts) {
   ContextualRefinementReport Report;
@@ -29,7 +55,10 @@ ContextualRefinementReport ccal::checkContextualRefinement(
     });
   };
 
-  ExploreResult SpecRes = exploreMachine(std::move(Spec), SpecOpts);
+  ExploreResult SpecRes = [&] {
+    obs::Span SpecSpan("refine.spec_explore", "refine");
+    return exploreMachine(std::move(Spec), SpecOpts);
+  }();
   if (!SpecRes.Ok) {
     Report.Counterexample =
         "specification machine violation: " + SpecRes.Violation;
@@ -76,7 +105,10 @@ ContextualRefinementReport ccal::checkContextualRefinement(
     ++Obligations;
     return "";
   };
-  ExploreResult ImplRes = exploreMachine(std::move(Impl), ImplOptsCorpus);
+  ExploreResult ImplRes = [&] {
+    obs::Span ImplSpan("refine.impl_explore", "refine");
+    return exploreMachine(std::move(Impl), ImplOptsCorpus);
+  }();
   Report.ImplOutcomes = ImplOutcomes;
   Report.SpecOutcomes = SpecRes.Outcomes.size();
   Report.SchedulesExplored =
@@ -103,6 +135,18 @@ ContextualRefinementReport ccal::checkContextualRefinement(
   Report.ImplComplete = true;
   Report.Coverage = "exhaustive";
   Report.Holds = true;
+  return Report;
+}
+
+} // namespace
+
+ContextualRefinementReport ccal::checkContextualRefinement(
+    MachineConfigPtr Impl, MachineConfigPtr Spec, const EventMap &R,
+    const ExploreOptions &ImplOpts, const ExploreOptions &SpecOpts) {
+  obs::Span CheckSpan("refine.check", "refine");
+  ContextualRefinementReport Report = checkContextualRefinementImpl(
+      std::move(Impl), std::move(Spec), R, ImplOpts, SpecOpts);
+  publishRefinementMetrics(Report);
   return Report;
 }
 

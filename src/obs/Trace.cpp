@@ -1,0 +1,193 @@
+//===- obs/Trace.cpp - Span traces in Chrome trace_event form ---------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+using namespace ccal;
+using namespace ccal::obs;
+
+namespace {
+
+struct TraceBuffer {
+  std::mutex Mu;
+  std::vector<TraceEvent> Events;
+};
+
+TraceBuffer &buffer() {
+  // Leaked on purpose: the CCAL_TRACE exit dump runs from an atexit hook,
+  // which would otherwise race static destruction of this buffer.
+  static TraceBuffer *B = new TraceBuffer;
+  return *B;
+}
+
+/// Small stable per-thread ids (Chrome renders one lane per tid).
+std::uint64_t threadLane() {
+  static std::atomic<std::uint64_t> NextLane{1};
+  thread_local std::uint64_t Lane = NextLane.fetch_add(1);
+  return Lane;
+}
+
+void record(TraceEvent E) {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> L(B.Mu);
+  B.Events.push_back(std::move(E));
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// CCAL_TRACE=<path> (any value other than "", "0", "1") dumps the trace
+/// there at exit.
+struct ExitDump {
+  std::string Path;
+  ExitDump() {
+    const char *V = std::getenv("CCAL_TRACE");
+    if (V && V[0] != '\0' && std::string(V) != "0" && std::string(V) != "1")
+      Path = V;
+    if (!Path.empty())
+      std::atexit([] {
+        if (traceEventCount() != 0)
+          writeChromeTrace(traceFilePath());
+      });
+  }
+};
+
+// Leaked on purpose: the atexit hook above runs after static destructors
+// (it is registered inside the constructor, so a by-value static's own
+// destructor would be registered later and destroy Path first).
+ExitDump &exitDumper() {
+  static ExitDump *D = new ExitDump;
+  return *D;
+}
+ExitDump &ExitDumperInit = exitDumper(); // force construction before main
+
+} // namespace
+
+Span::Span(const char *Name, const char *Cat)
+    : Name(Name), Cat(Cat), StartNs(0) {
+  if (enabled()) {
+    StartNs = nowNs();
+    if (StartNs == 0)
+      StartNs = 1;
+  }
+}
+
+Span::~Span() {
+  if (StartNs == 0)
+    return;
+  std::uint64_t End = nowNs();
+  timerRecordNs(Name, End - StartNs);
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ph = 'X';
+  E.TsNs = StartNs;
+  E.DurNs = End - StartNs;
+  E.Tid = threadLane();
+  record(std::move(E));
+}
+
+void obs::traceInstant(const std::string &Name, const char *Cat) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ph = 'i';
+  E.TsNs = nowNs();
+  E.Tid = threadLane();
+  record(std::move(E));
+}
+
+std::size_t obs::traceEventCount() {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> L(B.Mu);
+  return B.Events.size();
+}
+
+std::vector<TraceEvent> obs::traceEvents() {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> L(B.Mu);
+  return B.Events;
+}
+
+void obs::traceReset() {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> L(B.Mu);
+  B.Events.clear();
+}
+
+std::string obs::chromeTraceJson() {
+  std::vector<TraceEvent> Events = traceEvents();
+  std::string Out = "{\"traceEvents\": [";
+  for (std::size_t I = 0; I != Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    char Buf[160];
+    // Chrome's ts/dur are microseconds (floats allowed).
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"ph\": \"%c\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %llu",
+                  E.Ph, static_cast<double>(E.TsNs) / 1000.0,
+                  static_cast<double>(E.DurNs) / 1000.0,
+                  static_cast<unsigned long long>(E.Tid));
+    Out += I == 0 ? "\n" : ",\n";
+    Out += "  {\"name\": \"" + jsonEscape(E.Name) + "\", \"cat\": \"" +
+           jsonEscape(E.Cat) + "\", " + Buf;
+    if (E.Ph == 'i')
+      Out += ", \"s\": \"t\"";
+    Out += "}";
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool obs::writeChromeTrace(const std::string &Path) {
+  // An empty buffer writes nothing: a disabled run must leave no file
+  // behind (a tested property), and an accidental overwrite of a real
+  // trace with an empty one helps nobody.
+  if (traceEventCount() == 0)
+    return false;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Json = chromeTraceJson();
+  bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+std::string obs::traceFilePath() { return exitDumper().Path; }

@@ -1,0 +1,93 @@
+//===- obs/Trace.h - Span traces in Chrome trace_event form ----*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Span-based tracing.  A Span is an RAII scope that records one complete
+/// ("ph":"X") event — name, category, microsecond start and duration,
+/// thread id — into a process-wide buffer; instants record "ph":"i"
+/// marks.  The buffer exports as Chrome `trace_event` JSON
+/// (chrome://tracing, Perfetto, speedscope all load it) so a compilation
+/// or exploration run can be inspected pass by pass.
+///
+/// The CompCertX pipeline annotates parse → typecheck → codegen →
+/// optimize → link → validate; the Explorer annotates each exploration;
+/// the refinement checkers annotate their spec and impl sweeps.  A Span
+/// also feeds the timer metric of the same name, so one annotation yields
+/// both the trace and the aggregate.
+///
+/// Enablement follows obs::enabled() (see obs/Metrics.h).  When
+/// `CCAL_TRACE` names a file (any value other than "" / "0" / "1"), the
+/// buffer is flushed there at process exit; `CCAL_TRACE=1` enables
+/// recording without the exit dump.  Disabled mode writes no file and
+/// buffers nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_OBS_TRACE_H
+#define CCAL_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+namespace obs {
+
+/// One buffered trace event.
+struct TraceEvent {
+  std::string Name;
+  std::string Cat;
+  char Ph = 'X';        ///< 'X' = complete span, 'i' = instant
+  std::uint64_t TsNs = 0;  ///< start, ns since process start
+  std::uint64_t DurNs = 0; ///< span duration ('X' only)
+  std::uint64_t Tid = 0;   ///< small stable id per OS thread
+};
+
+/// RAII span: records a complete event (and the same-named timer metric)
+/// for the enclosed scope.  No-op when disabled at construction.
+class Span {
+public:
+  Span(const char *Name, const char *Cat);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  const char *Cat;
+  std::uint64_t StartNs; ///< 0 = disabled at construction
+};
+
+/// Records an instant event.
+void traceInstant(const std::string &Name, const char *Cat);
+
+/// Number of buffered events (0 while disabled).
+std::size_t traceEventCount();
+
+/// Copies the buffered events (tests inspect them).
+std::vector<TraceEvent> traceEvents();
+
+/// Drops all buffered events.
+void traceReset();
+
+/// The buffer as Chrome trace_event JSON:
+/// {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":us,"dur":us,
+///  "pid":1,"tid":n}, ...], "displayTimeUnit":"ms"}.
+std::string chromeTraceJson();
+
+/// Writes chromeTraceJson() to \p Path; false on I/O failure or when the
+/// buffer is empty (no file is created — disabled runs leave no trace).
+bool writeChromeTrace(const std::string &Path);
+
+/// The file CCAL_TRACE asked the exit hook to write ("" when none).
+std::string traceFilePath();
+
+} // namespace obs
+} // namespace ccal
+
+#endif // CCAL_OBS_TRACE_H

@@ -1,0 +1,265 @@
+//===- support/Json.cpp - Minimal JSON parser -------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace ccal;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    if (!parseValue(R.Value)) {
+      R.Error = "offset " + std::to_string(Pos) + ": " + Err;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = "offset " + std::to_string(Pos) + ": trailing garbage";
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t P = Pos;
+    for (const char *C = Lit; *C; ++C, ++P)
+      if (P >= Text.size() || Text[P] != *C)
+        return false;
+    Pos = P;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.StrVal);
+    case 't':
+      if (!literal("true"))
+        return fail("bad literal");
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = true;
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("bad literal");
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = false;
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return fail("bad literal");
+      Out.K = JsonValue::Kind::Null;
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Fields[Key] = std::move(V);
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("bad escape");
+        char E = Text[Pos];
+        switch (E) {
+        case '"':
+        case '\\':
+        case '/':
+          Out += E;
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 >= Text.size())
+            return fail("bad \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I != 4; ++I) {
+            char H = Text[Pos + 1 + static_cast<std::size_t>(I)];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          Pos += 4;
+          // UTF-8 encode the BMP code point (surrogates passed through
+          // as-is — trace/bench output never emits them).
+          if (V < 0x80) {
+            Out += static_cast<char>(V);
+          } else if (V < 0x800) {
+            Out += static_cast<char>(0xC0 | (V >> 6));
+            Out += static_cast<char>(0x80 | (V & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (V >> 12));
+            Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (V & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+        }
+        ++Pos;
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      Out += C;
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    std::size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    Out.K = JsonValue::Kind::Number;
+    Out.NumVal = std::strtod(Num.c_str(), &End);
+    if (End == nullptr || *End != '\0')
+      return fail("malformed number");
+    return true;
+  }
+
+  const std::string &Text;
+  std::size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+JsonParseResult ccal::parseJson(const std::string &Text) {
+  return Parser(Text).run();
+}

@@ -1,0 +1,68 @@
+//===- support/Json.h - Minimal JSON parser --------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser, enough to validate the files
+/// this repository emits (BENCH_*.json, Chrome trace_event dumps) inside
+/// its own tests — the schema checks must not depend on a JSON library
+/// the container may not have.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SUPPORT_JSON_H
+#define CCAL_SUPPORT_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccal {
+
+/// One parsed JSON value (a tree; object keys are unique, last wins).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+
+  bool BoolVal = false;
+  double NumVal = 0.0;
+  std::string StrVal;
+  std::vector<JsonValue> Items;                ///< arrays
+  std::map<std::string, JsonValue> Fields;     ///< objects
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Field \p Name of an object, or null when absent / not an object.
+  const JsonValue *field(const std::string &Name) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Fields.find(Name);
+    return It == Fields.end() ? nullptr : &It->second;
+  }
+};
+
+/// Result of a parse: either a value or a position-tagged error.
+struct JsonParseResult {
+  bool Ok = false;
+  JsonValue Value;
+  std::string Error; ///< "offset N: message" when !Ok
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+JsonParseResult parseJson(const std::string &Text);
+
+} // namespace ccal
+
+#endif // CCAL_SUPPORT_JSON_H

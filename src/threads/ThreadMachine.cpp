@@ -305,13 +305,18 @@ ExploreResult ccal::exploreThreaded(ThreadedConfigPtr Cfg,
   return exploreGeneric(Root, Opts);
 }
 
-ThreadedRefinementReport ccal::checkThreadedRefinement(
+namespace {
+
+ThreadedRefinementReport checkThreadedRefinementImpl(
     ThreadedConfigPtr Impl, ThreadedConfigPtr Spec, const EventMap &RImpl,
     const EventMap &RSpec, const ThreadedExploreOptions &ImplOpts,
     const ThreadedExploreOptions &SpecOpts) {
   ThreadedRefinementReport Report;
 
-  ExploreResult SpecRes = exploreThreaded(std::move(Spec), SpecOpts);
+  ExploreResult SpecRes = [&] {
+    obs::Span SpecSpan("refine.spec_explore", "refine");
+    return exploreThreaded(std::move(Spec), SpecOpts);
+  }();
   if (!SpecRes.Ok) {
     Report.Counterexample =
         "specification machine violation: " + SpecRes.Violation;
@@ -355,7 +360,10 @@ ThreadedRefinementReport ccal::checkThreadedRefinement(
     ++Obligations;
     return "";
   };
-  ExploreResult ImplRes = exploreThreaded(std::move(Impl), ImplStream);
+  ExploreResult ImplRes = [&] {
+    obs::Span ImplSpan("refine.impl_explore", "refine");
+    return exploreThreaded(std::move(Impl), ImplStream);
+  }();
   Report.ImplOutcomes = ImplOutcomes;
   Report.SpecOutcomes = SpecRes.Outcomes.size();
   Report.SchedulesExplored =
@@ -378,5 +386,30 @@ ThreadedRefinementReport ccal::checkThreadedRefinement(
   Report.ImplComplete = true;
   Report.Coverage = "exhaustive";
   Report.Holds = true;
+  return Report;
+}
+
+} // namespace
+
+ThreadedRefinementReport ccal::checkThreadedRefinement(
+    ThreadedConfigPtr Impl, ThreadedConfigPtr Spec, const EventMap &RImpl,
+    const EventMap &RSpec, const ThreadedExploreOptions &ImplOpts,
+    const ThreadedExploreOptions &SpecOpts) {
+  obs::Span CheckSpan("refine.threaded_check", "refine");
+  ThreadedRefinementReport Report = checkThreadedRefinementImpl(
+      std::move(Impl), std::move(Spec), RImpl, RSpec, ImplOpts, SpecOpts);
+  if (obs::enabled()) {
+    obs::counterAdd("refine.threaded_checks", 1);
+    obs::counterAdd("refine.obligations_discharged",
+                    Report.ObligationsChecked);
+    obs::counterAdd("refine.impl_outcomes", Report.ImplOutcomes);
+    obs::counterAdd("refine.spec_outcomes", Report.SpecOutcomes);
+    if (Report.Holds)
+      obs::counterAdd("refine.holds", 1);
+    if (!Report.SpecComplete || !Report.ImplComplete) {
+      obs::counterAdd("refine.truncated", 1);
+      obs::traceInstant("refine.truncation: " + Report.Coverage, "refine");
+    }
+  }
   return Report;
 }

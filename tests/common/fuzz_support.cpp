@@ -1,0 +1,102 @@
+//===- tests/common/fuzz_support.cpp - Fuzz failure dump & replay ------------===//
+
+#include "tests/common/fuzz_support.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ccal {
+namespace test {
+
+namespace {
+std::string &replayPathStorage() {
+  static std::string Path;
+  return Path;
+}
+} // namespace
+
+const std::string &fuzzReplayPath() { return replayPathStorage(); }
+
+void setFuzzReplayPath(std::string Path) {
+  replayPathStorage() = std::move(Path);
+}
+
+std::string dumpFailure(const std::string &Kind, std::uint64_t Seed,
+                        const std::string &Body) {
+  std::string Path =
+      "ccal_fuzz_" + Kind + "_seed" + std::to_string(Seed) + ".txt";
+  std::ofstream Out(Path);
+  if (!Out)
+    return "";
+  Out << "// ccal-fuzz-dump kind=" << Kind << " seed=" << Seed << "\n";
+  Out << Body;
+  Out.close();
+  std::fprintf(stderr,
+               "ccal-fuzz: failing input dumped to %s — replay with "
+               "--ccal-fuzz-replay=%s\n",
+               Path.c_str(), Path.c_str());
+  return Path;
+}
+
+bool readFuzzDump(const std::string &Path, FuzzDump &Out,
+                  std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open dump file '" + Path + "'";
+    return false;
+  }
+  std::string Header;
+  if (!std::getline(In, Header)) {
+    Error = "dump file '" + Path + "' is empty";
+    return false;
+  }
+  const std::string Magic = "// ccal-fuzz-dump ";
+  if (Header.compare(0, Magic.size(), Magic) != 0) {
+    Error = "dump file '" + Path + "' has no ccal-fuzz-dump header";
+    return false;
+  }
+  Out.Kind.clear();
+  Out.Seed = 0;
+  std::istringstream Fields(Header.substr(Magic.size()));
+  std::string Field;
+  while (Fields >> Field) {
+    auto Eq = Field.find('=');
+    if (Eq == std::string::npos)
+      continue;
+    std::string Key = Field.substr(0, Eq), Val = Field.substr(Eq + 1);
+    if (Key == "kind")
+      Out.Kind = Val;
+    else if (Key == "seed")
+      Out.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+  }
+  if (Out.Kind.empty()) {
+    Error = "dump file '" + Path + "' header lacks kind=";
+    return false;
+  }
+  std::ostringstream Body;
+  Body << In.rdbuf();
+  Out.Body = Body.str();
+  return true;
+}
+
+std::vector<std::string> corpusFiles(const std::string &Dir,
+                                     const std::string &Kind) {
+  std::vector<std::string> Paths;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file())
+      continue;
+    FuzzDump D;
+    std::string Err;
+    if (readFuzzDump(Entry.path().string(), D, Err) && D.Kind == Kind)
+      Paths.push_back(Entry.path().string());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+} // namespace test
+} // namespace ccal

@@ -1,11 +1,19 @@
 //===- tests/compcertx/fuzz_test.cpp - Random-program differential testing ------===//
 //
 // A ClightX program fuzzer: generates random well-typed modules and checks
-// that the reference interpreter and the compiled LAsm code agree on
-// results, primitive traces, and final memory — the per-program form of
-// CompCertX's correctness theorem, swept over program space.
+// that the reference interpreter, the compiled LAsm code, AND the
+// Optimize-pass output of that code agree on results, primitive traces,
+// and final memory — the per-program form of CompCertX's correctness
+// theorem plus translation validation of the optimizer, swept over program
+// space.
 //
-//===----------------------------------------------------------------------===//
+// On failure the generated program is dumped next to the test binary
+// (ccal_fuzz_clightx_seed<N>.txt) and can be replayed with
+// --ccal-fuzz-replay=<file>; past failures live on as the checked-in
+// corpus under tests/corpus/.  CCAL_FUZZ_PROGRAMS scales the per-seed
+// program budget (CI's fuzz job raises it well above the default).
+//
+//===-------------------------------------------------------------------------===//
 
 #include "compcertx/Validate.h"
 
@@ -13,8 +21,11 @@
 #include "lang/TypeCheck.h"
 #include "support/Rng.h"
 #include "support/Text.h"
+#include "tests/common/fuzz_support.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 using namespace ccal;
 
@@ -201,35 +212,114 @@ std::function<PrimHandler()> fuzzPrims(std::uint64_t Seed) {
   };
 }
 
+/// Validates one ClightX source under the deterministic environment derived
+/// from \p Seed — cases, primitive results, and budgets are all functions
+/// of the seed, so a dumped (source, seed) pair replays exactly.
+ValidationReport validateFuzzCase(const std::string &Src,
+                                  std::uint64_t Seed, std::string &Why) {
+  ParseResult PR = parseModule("fuzz", Src);
+  if (!PR.ok()) {
+    Why = "parse error: " + PR.Error;
+    ValidationReport R;
+    R.Ok = false;
+    R.Error = Why;
+    return R;
+  }
+  TypeCheckResult TR = typeCheck(PR.Module);
+  if (!TR.ok()) {
+    Why = "type error: " + TR.Error;
+    ValidationReport R;
+    R.Ok = false;
+    R.Error = Why;
+    return R;
+  }
+
+  std::vector<ValidationCase> Cases;
+  Rng ArgsRng(Seed ^ 0x9e3779b97f4a7c15ull);
+  for (unsigned C = 0; C != 5; ++C)
+    Cases.push_back(
+        {"entry", {ArgsRng.range(-10, 10), ArgsRng.range(-10, 10)}});
+
+  // Generated programs can clobber their own loop counters and run to the
+  // step limit; a modest budget keeps all sides' traces bounded
+  // (divergence is then "all stuck", which counts as agreement).
+  ValidationOptions Opts;
+  Opts.MaxSteps = 100000;
+  Opts.CheckOptimized = true; // three-way: interp vs LAsm vs optimized LAsm
+  ValidationReport VR =
+      validateTranslation(PR.Module, Cases, fuzzPrims(Seed), Opts);
+  Why = VR.Error;
+  return VR;
+}
+
+/// Per-seed program budget; the CI fuzz job raises it via CCAL_FUZZ_PROGRAMS.
+unsigned fuzzProgramBudget() {
+  if (const char *Env = std::getenv("CCAL_FUZZ_PROGRAMS"))
+    if (unsigned N = static_cast<unsigned>(std::strtoul(Env, nullptr, 10)))
+      return N;
+  return 20;
+}
+
 class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 } // namespace
 
-TEST_P(FuzzTest, CompiledCodeAgreesWithReference) {
+TEST_P(FuzzTest, CompiledAndOptimizedCodeAgreeWithReference) {
   std::uint64_t Seed = GetParam();
-  for (unsigned Prog = 0; Prog != 20; ++Prog) {
-    ProgramGen Gen(Seed * 1000 + Prog);
+  const unsigned Budget = fuzzProgramBudget();
+  std::uint64_t Rewrites = 0;
+  for (unsigned Prog = 0; Prog != Budget; ++Prog) {
+    std::uint64_t CaseSeed = Seed * 1000 + Prog;
+    ProgramGen Gen(CaseSeed);
     std::string Src = Gen.generate();
 
-    ParseResult PR = parseModule(strFormat("fuzz_%u", Prog), Src);
-    ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Src;
-    TypeCheckResult TR = typeCheck(PR.Module);
-    ASSERT_TRUE(TR.ok()) << TR.Error << "\n" << Src;
-
-    std::vector<ValidationCase> Cases;
-    Rng ArgsRng(Seed ^ Prog);
-    for (unsigned C = 0; C != 5; ++C)
-      Cases.push_back(
-          {"entry", {ArgsRng.range(-10, 10), ArgsRng.range(-10, 10)}});
-
-    // Generated programs can clobber their own loop counters and run to
-    // the step limit; a modest budget keeps both sides' traces bounded
-    // (divergence is then "both stuck", which counts as agreement).
-    ValidationReport VR = validateTranslation(
-        PR.Module, Cases, fuzzPrims(Seed + Prog), /*MaxSteps=*/100000);
-    EXPECT_TRUE(VR.Ok) << VR.Error << "\nprogram:\n" << Src;
+    std::string Why;
+    ValidationReport VR = validateFuzzCase(Src, CaseSeed, Why);
+    Rewrites += VR.OptimizerRewrites;
+    if (!VR.Ok) {
+      std::string Dump = test::dumpFailure("clightx", CaseSeed, Src);
+      FAIL() << Why << "\nseed: " << CaseSeed << "\ndump: " << Dump
+             << "\nprogram:\n" << Src;
+    }
   }
+  // The differential only exercises the optimizer if it actually rewrote
+  // something across the corpus; a silent no-op optimizer must not pass.
+  EXPECT_GT(Rewrites, 0u) << "optimizer performed no rewrites over "
+                          << Budget << " generated programs";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Replays a dumped failing program when --ccal-fuzz-replay=<file> names a
+/// kind=clightx dump; skipped otherwise.
+TEST(FuzzReplayTest, ReplaysDumpedProgram) {
+  const std::string &Path = test::fuzzReplayPath();
+  if (Path.empty())
+    GTEST_SKIP() << "no --ccal-fuzz-replay=<file> given";
+  test::FuzzDump D;
+  std::string Err;
+  ASSERT_TRUE(test::readFuzzDump(Path, D, Err)) << Err;
+  if (D.Kind != "clightx")
+    GTEST_SKIP() << "dump kind '" << D.Kind << "' is not handled here";
+  std::string Why;
+  ValidationReport VR = validateFuzzCase(D.Body, D.Seed, Why);
+  EXPECT_TRUE(VR.Ok) << Why << "\nprogram:\n" << D.Body;
+}
+
+/// Every checked-in past failure must keep validating — the regression
+/// corpus under tests/corpus/.
+TEST(FuzzCorpusTest, PastFailuresStayFixed) {
+  std::vector<std::string> Files =
+      test::corpusFiles(CCAL_CORPUS_DIR, "clightx");
+  ASSERT_FALSE(Files.empty())
+      << "no clightx corpus entries under " << CCAL_CORPUS_DIR;
+  for (const std::string &Path : Files) {
+    test::FuzzDump D;
+    std::string Err;
+    ASSERT_TRUE(test::readFuzzDump(Path, D, Err)) << Err;
+    std::string Why;
+    ValidationReport VR = validateFuzzCase(D.Body, D.Seed, Why);
+    EXPECT_TRUE(VR.Ok) << Path << ": " << Why << "\nprogram:\n" << D.Body;
+  }
+}
