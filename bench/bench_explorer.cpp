@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/CertStore.h"
 #include "compcertx/Linker.h"
 #include "core/EnvContext.h"
 #include "core/Simulation.h"
@@ -14,6 +15,7 @@
 #include "lang/TypeCheck.h"
 #include "machine/CpuLocal.h"
 #include "machine/Explorer.h"
+#include "machine/Soundness.h"
 #include "objects/TicketLock.h"
 #include "obs/Metrics.h"
 
@@ -21,6 +23,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 using namespace ccal;
@@ -328,6 +331,60 @@ void emitPorJson(std::FILE *F, const std::vector<PorAblationRow> &Rows) {
   std::fprintf(F, "  ]\n");
 }
 
+/// Cold-vs-warm timing of the certificate store on a full contextual
+/// refinement: the cold run explores and persists, the warm run must serve
+/// the identical report from disk.  The hit/miss counters come from the
+/// obs registry so the row doubles as an end-to-end check that a warm run
+/// really is one hit and zero misses.
+void emitCertStoreJson(std::FILE *F) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "ccal_bench_cert_store";
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+
+  auto RunOnce = [&] {
+    auto Start = std::chrono::steady_clock::now();
+    ContextualRefinementReport Rep = checkContextualRefinement(
+        makeTicketSpecConfig(3, 1), makeTicketSpecConfig(3, 1),
+        EventMap::identity(), ExploreOptions(), ExploreOptions());
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    return std::make_pair(Secs, Rep.Holds);
+  };
+
+  bool WasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  obs::metricsReset();
+  cert::setStoreDir(Dir.string());
+  auto [SecsCold, ColdHolds] = RunOnce();
+  auto [SecsWarm, WarmHolds] = RunOnce();
+  std::uint64_t Hits = obs::counterValue("cert.hits");
+  std::uint64_t Misses = obs::counterValue("cert.misses");
+  cert::setStoreDir("");
+  obs::metricsReset();
+  obs::setEnabled(WasEnabled);
+  fs::remove_all(Dir, Ec);
+
+  std::fprintf(F,
+               "  \"cert_store\": {\"workload\": \"ticket spec layer L1, 3 "
+               "CPUs x 1 round, contextual refinement\", \"seconds_cold\": "
+               "%.4f, \"seconds_warm\": %.4f, \"speedup\": %.2f, \"hits\": "
+               "%llu, \"misses\": %llu, \"holds\": %s},\n",
+               SecsCold, SecsWarm,
+               SecsWarm > 0.0 ? SecsCold / SecsWarm : 0.0,
+               static_cast<unsigned long long>(Hits),
+               static_cast<unsigned long long>(Misses),
+               ColdHolds && WarmHolds ? "true" : "false");
+  std::fprintf(stderr,
+               "cert store: cold=%.4fs warm=%.4fs (%.1fx) hits=%llu "
+               "misses=%llu\n",
+               SecsCold, SecsWarm,
+               SecsWarm > 0.0 ? SecsCold / SecsWarm : 0.0,
+               static_cast<unsigned long long>(Hits),
+               static_cast<unsigned long long>(Misses));
+}
+
 /// Threads=1..N scaling sweep on the 4-CPU ticket-lock exploration,
 /// written to BENCH_explorer.json before the google-benchmark suite runs.
 /// The speedup column is honest: on a machine with a single hardware
@@ -403,6 +460,7 @@ void emitScalingJson() {
   obs::metricsReset();
   obs::setEnabled(WasEnabled);
   std::fprintf(F, "  ],\n");
+  emitCertStoreJson(F);
   emitPorJson(F, runPorAblation());
   std::fprintf(F, "}\n");
   std::fclose(F);

@@ -12,14 +12,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/CertStore.h"
 #include "compcertx/CodeGen.h"
 #include "compcertx/Linker.h"
 #include "compcertx/StackMerge.h"
 #include "compcertx/Validate.h"
 #include "lang/Parser.h"
 #include "lang/TypeCheck.h"
+#include "obs/Metrics.h"
 
 #include <cstdio>
+#include <filesystem>
 
 using namespace ccal;
 
@@ -110,6 +113,78 @@ int main() {
               AllHeld ? "yes" : "NO");
   std::printf("    merged memory: %s\n\n", Sim.merged().toString().c_str());
 
-  std::printf("== %s ==\n", VR.Ok && AllHeld ? "pipeline verified" : "FAIL");
-  return VR.Ok && AllHeld ? 0 : 1;
+  // Incremental re-verification through the certificate store: validate
+  // the library and the linked program as separate cached checks, repeat
+  // (both load from disk), then edit only the app — the library's
+  // certificate still hits while the linked program re-validates.
+  std::printf("[5] incremental re-verification (certificate store):\n");
+  namespace fs = std::filesystem;
+  fs::path CacheDir = fs::temp_directory_path() / "ccal_example_cert_store";
+  std::error_code Ec;
+  fs::remove_all(CacheDir, Ec);
+  cert::setStoreDir(CacheDir.string());
+  obs::setEnabled(true);
+  obs::metricsReset();
+
+  auto Stats = [] {
+    return std::make_pair(obs::counterValue("cert.hits"),
+                          obs::counterValue("cert.misses"));
+  };
+  auto Validate = [&](const ClightModule &Src) {
+    ValidationOptions VO;
+    VO.PrimsKey = "prims:clock@100"; // names the opaque handler factory
+    return validateTranslation(Src, Cases, MakePrims, VO);
+  };
+  std::vector<ValidationCase> LibCases = {{"get", {3}}, {"get", {11}}};
+  auto ValidateLib = [&] {
+    ValidationOptions VO;
+    VO.PrimsKey = "prims:clock@100";
+    return validateTranslation(Lib, LibCases, MakePrims, VO);
+  };
+
+  bool Ok5 = Validate(LinkedSrc).Ok && ValidateLib().Ok;
+  auto [H1, M1] = Stats();
+  std::printf("    cold run:  hits=%llu misses=%llu (both checked)\n",
+              static_cast<unsigned long long>(H1),
+              static_cast<unsigned long long>(M1));
+
+  Ok5 = Ok5 && Validate(LinkedSrc).Ok && ValidateLib().Ok;
+  auto [H2, M2] = Stats();
+  std::printf("    warm run:  hits=%llu misses=%llu (both loaded)\n",
+              static_cast<unsigned long long>(H2),
+              static_cast<unsigned long long>(M2));
+
+  // Edit the app only: run() now squares the sum before returning.
+  ClightModule App2 = parseModuleOrDie("app", R"(
+    extern void put(int i, int v);
+    extern int get(int i);
+    extern int now();
+    int run(int n) {
+      int i = 0;
+      while (i < n) { put(i, i * i + now()); i = i + 1; }
+      int s = 0;
+      i = 0;
+      while (i < n) { s = s + get(i); i = i + 1; }
+      return s * s;
+    }
+  )");
+  typeCheckOrDie(App2);
+  ClightModule LinkedSrc2 = linkModules("app+lib.src", {&App2, &Lib});
+  typeCheckOrDie(LinkedSrc2);
+  Ok5 = Ok5 && Validate(LinkedSrc2).Ok && ValidateLib().Ok;
+  auto [H3, M3] = Stats();
+  std::printf("    app edit:  hits=%llu misses=%llu "
+              "(library reused, app re-validated)\n",
+              static_cast<unsigned long long>(H3),
+              static_cast<unsigned long long>(M3));
+
+  bool Incremental = M1 == 2 && H2 == 2 && M2 == M1 && H3 == 3 && M3 == 3;
+  std::printf("    incremental behavior as expected: %s\n\n",
+              Incremental ? "yes" : "NO");
+  cert::setStoreDir("");
+  fs::remove_all(CacheDir, Ec);
+
+  bool AllOk = VR.Ok && AllHeld && Ok5 && Incremental;
+  std::printf("== %s ==\n", AllOk ? "pipeline verified" : "FAIL");
+  return AllOk ? 0 : 1;
 }

@@ -1,0 +1,69 @@
+//===- cert/CertKeys.cpp - Key adders for programs ---------------------------===//
+
+#include "cert/CertKeys.h"
+
+using namespace ccal;
+
+void cert::keyAddExpr(Hasher &H, const Expr &E) {
+  H.u64(static_cast<std::uint64_t>(E.K))
+      .i64(E.IntVal)
+      .str(E.Name)
+      .str(E.Op)
+      .u64(E.Args.size());
+  for (const ExprPtr &A : E.Args)
+    keyAddExpr(H, *A);
+}
+
+void cert::keyAddStmt(Hasher &H, const Stmt &S) {
+  H.u64(static_cast<std::uint64_t>(S.K)).str(S.Name);
+  H.u64(S.Body.size());
+  for (const StmtPtr &B : S.Body)
+    keyAddStmt(H, *B);
+  // Optional children are presence-prefixed so `If(c){a}{}` and
+  // `If(c){}{a}` cannot collide.
+  H.b(S.Cond != nullptr);
+  if (S.Cond)
+    keyAddExpr(H, *S.Cond);
+  H.b(S.A != nullptr);
+  if (S.A)
+    keyAddExpr(H, *S.A);
+  H.b(S.B != nullptr);
+  if (S.B)
+    keyAddExpr(H, *S.B);
+  H.b(S.Then != nullptr);
+  if (S.Then)
+    keyAddStmt(H, *S.Then);
+  H.b(S.Else != nullptr);
+  if (S.Else)
+    keyAddStmt(H, *S.Else);
+}
+
+void cert::keyAddModule(Hasher &H, const ClightModule &M) {
+  H.str(M.Name);
+  H.u64(M.Globals.size());
+  for (const GlobalDecl &G : M.Globals)
+    H.str(G.Name).u64(static_cast<std::uint64_t>(G.Size)).i64s(G.Init);
+  H.u64(M.Funcs.size());
+  for (const FuncDecl &F : M.Funcs) {
+    H.str(F.Name).b(F.IsExtern).b(F.ReturnsVoid).strs(F.Params);
+    H.b(F.Body != nullptr);
+    if (F.Body)
+      keyAddStmt(H, *F.Body);
+  }
+}
+
+void cert::keyAddProgram(Hasher &H, const AsmProgram &P) {
+  H.str(P.Name).b(P.Linked);
+  H.u64(P.Funcs.size());
+  for (const AsmFunc &F : P.Funcs) {
+    H.str(F.Name).u64(F.NumParams).u64(F.NumSlots).u64(F.Code.size());
+    for (const Instr &I : F.Code)
+      H.u64(static_cast<std::uint64_t>(I.Op))
+          .i64(I.Target)
+          .i64(I.Imm)
+          .str(I.Sym);
+  }
+  H.u64(P.Globals.size());
+  for (const AsmGlobal &G : P.Globals)
+    H.str(G.Name).i64(G.Addr).i64(G.Size).i64s(G.Init);
+}

@@ -2,12 +2,49 @@
 
 #include "compcertx/Validate.h"
 
+#include "cert/CertKeys.h"
+#include "cert/CertStore.h"
 #include "compcertx/Linker.h"
 #include "compcertx/Optimize.h"
+#include "core/Certificate.h"
 #include "obs/Trace.h"
 #include "support/Text.h"
 
 using namespace ccal;
+
+namespace {
+
+const char ValidateCheckerVersion[] = "validate-v1";
+
+JsonValue validationToPayload(const ValidationReport &R) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["ok"] = jsonBool(R.Ok);
+  V.Fields["cases_checked"] = jsonUInt(R.CasesChecked);
+  V.Fields["error"] = jsonStr(R.Error);
+  V.Fields["both_stuck"] = jsonUInt(R.BothStuck);
+  V.Fields["optimizer_rewrites"] = jsonUInt(R.OptimizerRewrites);
+  return V;
+}
+
+bool validationFromPayload(const JsonValue &V, ValidationReport &R) {
+  const JsonValue *Ok = V.field("ok");
+  const JsonValue *Cases = V.field("cases_checked");
+  const JsonValue *Err = V.field("error");
+  const JsonValue *Stuck = V.field("both_stuck");
+  const JsonValue *Rw = V.field("optimizer_rewrites");
+  if (!Ok || !Ok->isBool() || !Cases || !Cases->IsInt || !Err ||
+      !Err->isString() || !Stuck || !Stuck->IsInt || !Rw || !Rw->IsInt)
+    return false;
+  R.Ok = Ok->BoolVal;
+  R.CasesChecked = static_cast<std::uint64_t>(Cases->IntVal);
+  R.Error = Err->StrVal;
+  R.BothStuck = static_cast<std::uint64_t>(Stuck->IntVal);
+  R.OptimizerRewrites = static_cast<std::uint64_t>(Rw->IntVal);
+  return true;
+}
+
+} // namespace
 
 VmRun ccal::runVmSequential(const AsmProgramPtr &Prog, const std::string &Fn,
                             std::vector<std::int64_t> Args,
@@ -47,11 +84,13 @@ VmRun ccal::runVmSequential(const AsmProgramPtr &Prog, const std::string &Fn,
   }
 }
 
+namespace {
+
 ValidationReport
-ccal::validateTranslation(const ClightModule &Src,
-                          const std::vector<ValidationCase> &Cases,
-                          const std::function<PrimHandler()> &MakePrims,
-                          const ValidationOptions &Opts) {
+validateTranslationImpl(const ClightModule &Src,
+                        const std::vector<ValidationCase> &Cases,
+                        const std::function<PrimHandler()> &MakePrims,
+                        const ValidationOptions &Opts) {
   obs::Span ValidateSpan("compcertx.validate", "compcertx");
   ValidationReport Report;
   AsmProgramPtr Compiled = compileAndLink(Src.Name + ".lasm", {&Src});
@@ -142,6 +181,67 @@ ccal::validateTranslation(const ClightModule &Src,
       // optimizer) preserved the error behavior.
       ++Report.BothStuck;
   }
+  return Report;
+}
+
+} // namespace
+
+ValidationReport
+ccal::validateTranslation(const ClightModule &Src,
+                          const std::vector<ValidationCase> &Cases,
+                          const std::function<PrimHandler()> &MakePrims,
+                          const ValidationOptions &Opts) {
+  // Load-or-recheck front-end: cacheable only when the caller named the
+  // opaque primitive-handler factory via ValidationOptions::PrimsKey.
+  cert::CertStore *Store = cert::store();
+  if (!Store || Opts.PrimsKey.empty())
+    return validateTranslationImpl(Src, Cases, MakePrims, Opts);
+
+  cert::CertKey Key;
+  Key.Checker = "validate";
+  Key.Version = ValidateCheckerVersion;
+  Key.Desc = strFormat("translation validation: %s (%zu cases)",
+                       Src.Name.c_str(), Cases.size());
+  Hasher H;
+  cert::keyAddModule(H, Src);
+  H.u64(Cases.size());
+  for (const ValidationCase &Case : Cases) {
+    H.str(Case.Fn);
+    H.i64s(Case.Args);
+  }
+  H.u64(Opts.MaxSteps).b(Opts.CheckOptimized).str(Opts.PrimsKey);
+  Key.Hash = H.value();
+
+  ValidationReport Report;
+  Store->getOrCheck(
+      Key,
+      [&](const cert::CertStore::Entry &E) {
+        return validationFromPayload(E.Payload, Report);
+      },
+      [&] {
+        Report = validateTranslationImpl(Src, Cases, MakePrims, Opts);
+        cert::CertStore::Entry Out;
+        auto C = std::make_shared<RefinementCertificate>();
+        C->Rule = "Validate";
+        C->Underlay = Src.Name + ".lasm";
+        C->Module = Src.Name;
+        C->Overlay = Src.Name + " (ClightX reference)";
+        C->Relation = "trace-equality";
+        // Every requested case was executed to a verdict, so coverage is
+        // complete by construction even when the verdict is a mismatch.
+        C->CoverageComplete = true;
+        C->Coverage = strFormat("%llu of %zu cases",
+                                static_cast<unsigned long long>(
+                                    Report.CasesChecked),
+                                Cases.size());
+        C->Valid = Report.Ok;
+        C->Obligations = Report.CasesChecked;
+        if (!Report.Ok)
+          C->Notes.push_back(Report.Error);
+        Out.Cert = std::move(C);
+        Out.Payload = validationToPayload(Report);
+        return Out;
+      });
   return Report;
 }
 

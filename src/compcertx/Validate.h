@@ -58,6 +58,14 @@ struct ValidationOptions {
   /// result, primitive trace, and final memory (CompCert proves its
   /// optimizations; this validates ours per run).
   bool CheckOptimized = false;
+
+  /// Stable name identifying MakePrims' semantics in certificate-store
+  /// keys ("prims:counter-v1", ...).  The handler factory is an opaque
+  /// callable the key cannot hash, so validations are cacheable only when
+  /// the caller names it; the default empty key bypasses the store (fail
+  /// closed).  Everything else — the module AST, the cases, the budgets —
+  /// is hashed structurally.
+  std::string PrimsKey;
 };
 
 /// Result of validating a compilation.

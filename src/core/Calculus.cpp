@@ -2,6 +2,7 @@
 
 #include "core/Calculus.h"
 
+#include "cert/CertStore.h"
 #include "support/Check.h"
 
 #include <algorithm>
@@ -229,17 +230,46 @@ CertPtr calculus::CompatReport::cert(const std::string &Interface) const {
   return C;
 }
 
-calculus::CompatReport
-calculus::checkCompat(const LayerInterface &L,
-                      const std::vector<ThreadId> &FocusA,
-                      const std::vector<ThreadId> &FocusB,
-                      const std::vector<Log> &Corpus) {
-  CompatReport Out;
-  // Fig. 9 Compat premise: A _|_ B.
-  for (ThreadId IdA : FocusA)
-    for (ThreadId IdB : FocusB)
-      CCAL_CHECK(IdA != IdB, "Compat: focus sets must be disjoint");
+namespace {
 
+const char CompatCheckerVersion[] = "compat-v1";
+
+JsonValue compatToPayload(const calculus::CompatReport &R) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["holds"] = jsonBool(R.Holds);
+  V.Fields["logs_checked"] = jsonUInt(R.LogsChecked);
+  std::vector<JsonValue> Details;
+  for (const ImplicationReport &I : R.Details)
+    Details.push_back(cert::implicationToJson(I));
+  V.Fields["details"] = jsonArray(std::move(Details));
+  return V;
+}
+
+bool compatFromPayload(const JsonValue &V, calculus::CompatReport &R) {
+  const JsonValue *Holds = V.field("holds");
+  const JsonValue *Logs = V.field("logs_checked");
+  const JsonValue *Details = V.field("details");
+  if (!Holds || !Holds->isBool() || !Logs || !Logs->IsInt || !Details ||
+      !Details->isArray())
+    return false;
+  R.Holds = Holds->BoolVal;
+  R.LogsChecked = static_cast<std::uint64_t>(Logs->IntVal);
+  R.Details.clear();
+  for (const JsonValue &D : Details->Items) {
+    ImplicationReport I;
+    if (!cert::implicationFromJson(D, I))
+      return false;
+    R.Details.push_back(std::move(I));
+  }
+  return true;
+}
+
+calculus::CompatReport checkCompatImpl(const LayerInterface &L,
+                                       const std::vector<ThreadId> &FocusA,
+                                       const std::vector<ThreadId> &FocusB,
+                                       const std::vector<Log> &Corpus) {
+  calculus::CompatReport Out;
   const RelyGuarantee &RG = L.rg();
   auto CheckDir = [&](const std::vector<ThreadId> &Members) {
     // For every i in Members: G(i) => R(i): what i guarantees satisfies
@@ -256,6 +286,63 @@ calculus::checkCompat(const LayerInterface &L,
   CheckDir(FocusA);
   CheckDir(FocusB);
   return Out;
+}
+
+} // namespace
+
+calculus::CompatReport
+calculus::checkCompat(const LayerInterface &L,
+                      const std::vector<ThreadId> &FocusA,
+                      const std::vector<ThreadId> &FocusB,
+                      const std::vector<Log> &Corpus) {
+  // Fig. 9 Compat premise: A _|_ B.
+  for (ThreadId IdA : FocusA)
+    for (ThreadId IdB : FocusB)
+      CCAL_CHECK(IdA != IdB, "Compat: focus sets must be disjoint");
+
+  // Load-or-recheck front-end.  The corpus is part of the content address
+  // (the check quantifies over exactly those logs), and the rely/guarantee
+  // semantics enter through their invariant names via keyAddLayer — the
+  // store's documented naming contract.  Composed calculus rules (vcomp,
+  // hcomp, pcomp) need no caching of their own: they are pure combinators
+  // over premise certificates, so once the leaf checks (Fun/Soundness/
+  // Compat) cache, editing one layer re-discharges only that layer's
+  // obligations while every other premise loads.
+  cert::CertStore *Store = cert::store();
+  if (!Store)
+    return checkCompatImpl(L, FocusA, FocusB, Corpus);
+
+  cert::CertKey Key;
+  Key.Checker = "compat";
+  Key.Version = CompatCheckerVersion;
+  Key.Desc = "compat over " + L.name();
+  Hasher H;
+  cert::keyAddLayer(H, L);
+  H.u64(FocusA.size());
+  for (ThreadId T : FocusA)
+    H.u64(T);
+  H.u64(FocusB.size());
+  for (ThreadId T : FocusB)
+    H.u64(T);
+  H.u64(Corpus.size());
+  for (const Log &Lg : Corpus)
+    cert::keyAddLog(H, Lg);
+  Key.Hash = H.value();
+
+  CompatReport Report;
+  Store->getOrCheck(
+      Key,
+      [&](const cert::CertStore::Entry &E) {
+        return compatFromPayload(E.Payload, Report);
+      },
+      [&] {
+        Report = checkCompatImpl(L, FocusA, FocusB, Corpus);
+        cert::CertStore::Entry Out;
+        Out.Cert = Report.cert(L.name());
+        Out.Payload = compatToPayload(Report);
+        return Out;
+      });
+  return Report;
 }
 
 CertifiedLayer calculus::pcomp(const CertifiedLayer &A,

@@ -17,6 +17,7 @@
 #define CCAL_CORE_LOG_H
 
 #include "core/Event.h"
+#include "support/Hash.h"
 
 #include <cstdint>
 #include <string>
@@ -53,25 +54,8 @@ Log logFilterKind(const Log &L, const std::string &Kind);
 /// \p L, or \p Default if the log contains none.
 ThreadId logControl(const Log &L, ThreadId Default);
 
-/// Finalizer of splitmix64: a full-avalanche 64-bit mixer.  Used to build
-/// composite hashes whose fields cannot cancel each other out.
-inline std::uint64_t hashMix64(std::uint64_t X) {
-  X += 0x9e3779b97f4a7c15ULL;
-  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
-  return X ^ (X >> 31);
-}
-
-/// Folds \p V into the running hash \p Seed, order-sensitively.  Each value
-/// is avalanched before combining, so adjacent fields act as separated
-/// words rather than a raw multiply-add chain (which lets distinct field
-/// sequences collide, e.g. `[1], [2]` vs `[1, 2]` under plain FNV).
-/// Callers hashing variable-length sequences must also fold the length.
-inline std::uint64_t hashCombine(std::uint64_t Seed, std::uint64_t V) {
-  return (Seed ^ hashMix64(V)) * 1099511628211ULL;
-}
-
 /// Combined hash of all events plus the log length, for dedup tables.
+/// (The underlying mixers hashMix64/hashCombine live in support/Hash.h.)
 std::uint64_t hashLog(const Log &L);
 
 } // namespace ccal

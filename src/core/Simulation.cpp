@@ -2,10 +2,49 @@
 
 #include "core/Simulation.h"
 
+#include "cert/CertStore.h"
 #include "support/Check.h"
 #include "support/Text.h"
 
 using namespace ccal;
+
+namespace {
+
+const char SimCheckerVersion[] = "sim-v1";
+
+JsonValue simToPayload(const SimReport &R) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["holds"] = jsonBool(R.Holds);
+  V.Fields["complete"] = jsonBool(R.Complete);
+  V.Fields["runs"] = jsonUInt(R.Runs);
+  V.Fields["moves"] = jsonUInt(R.Moves);
+  V.Fields["obligations"] = jsonUInt(R.Obligations);
+  V.Fields["counterexample"] = jsonStr(R.Counterexample);
+  return V;
+}
+
+bool simFromPayload(const JsonValue &V, SimReport &R) {
+  const JsonValue *Holds = V.field("holds");
+  const JsonValue *Complete = V.field("complete");
+  const JsonValue *Runs = V.field("runs");
+  const JsonValue *Moves = V.field("moves");
+  const JsonValue *Ob = V.field("obligations");
+  const JsonValue *Cex = V.field("counterexample");
+  if (!Holds || !Holds->isBool() || !Complete || !Complete->isBool() ||
+      !Runs || !Runs->IsInt || !Moves || !Moves->IsInt || !Ob ||
+      !Ob->IsInt || !Cex || !Cex->isString())
+    return false;
+  R.Holds = Holds->BoolVal;
+  R.Complete = Complete->BoolVal;
+  R.Runs = static_cast<std::uint64_t>(Runs->IntVal);
+  R.Moves = static_cast<std::uint64_t>(Moves->IntVal);
+  R.Obligations = static_cast<std::uint64_t>(Ob->IntVal);
+  R.Counterexample = Cex->StrVal;
+  return true;
+}
+
+} // namespace
 
 EventMap EventMap::identity() {
   return EventMap("id", [](const Event &E) { return E; });
@@ -168,11 +207,12 @@ private:
 
 } // namespace
 
-SimReport ccal::checkStrategySimulation(const Strategy &Impl,
-                                        const Strategy &Spec,
-                                        const EventMap &R,
-                                        const EnvModel &Env,
-                                        const SimOptions &Opts) {
+namespace {
+
+SimReport checkStrategySimulationImpl(const Strategy &Impl,
+                                      const Strategy &Spec,
+                                      const EventMap &R, const EnvModel &Env,
+                                      const SimOptions &Opts) {
   SimReport Report;
   SimSearch Search(R, Opts, Report);
   SimSearch::Node Root;
@@ -180,6 +220,50 @@ SimReport ccal::checkStrategySimulation(const Strategy &Impl,
   Root.Spec = Spec.clone();
   Root.Env = Env.clone();
   Report.Holds = Search.explore(std::move(Root));
+  return Report;
+}
+
+} // namespace
+
+SimReport ccal::checkStrategySimulation(const Strategy &Impl,
+                                        const Strategy &Spec,
+                                        const EventMap &R,
+                                        const EnvModel &Env,
+                                        const SimOptions &Opts) {
+  // Load-or-recheck front-end: cacheable only when the caller named the
+  // (opaque) environment model via SimOptions::EnvKey.
+  cert::CertStore *Store = cert::store();
+  if (!Store || Opts.EnvKey.empty())
+    return checkStrategySimulationImpl(Impl, Spec, R, Env, Opts);
+
+  cert::CertKey Key;
+  Key.Checker = "sim";
+  Key.Version = SimCheckerVersion;
+  Key.Desc =
+      Impl.describe() + " <= " + Spec.describe() + " via " + R.name();
+  Hasher H;
+  H.str(Impl.describe())
+      .str(Spec.describe())
+      .str(R.name())
+      .str(Opts.EnvKey)
+      .u64(Opts.MaxMoves)
+      .u64(Opts.MaxRuns);
+  Key.Hash = H.value();
+
+  SimReport Report;
+  Store->getOrCheck(
+      Key,
+      [&](const cert::CertStore::Entry &E) {
+        return simFromPayload(E.Payload, Report);
+      },
+      [&] {
+        Report = checkStrategySimulationImpl(Impl, Spec, R, Env, Opts);
+        cert::CertStore::Entry Out;
+        Out.Cert = makeFunCertificate(Impl.describe(), "(strategy)",
+                                      Spec.describe(), R, Report);
+        Out.Payload = simToPayload(Report);
+        return Out;
+      });
   return Report;
 }
 

@@ -77,6 +77,14 @@ struct SimOptions {
 
   /// Maximum complete runs to explore (guards pathological env models).
   std::uint64_t MaxRuns = 1u << 20;
+
+  /// Stable name identifying the EnvModel's semantics in certificate-store
+  /// keys ("scripted:fig3", "strategy-env:ticket[2]", ...).  EnvModel is
+  /// an opaque decision tree the key cannot hash, so simulation checks are
+  /// cacheable only when the caller names it; an empty EnvKey bypasses the
+  /// store (fail closed).  The strategies and relation enter the key
+  /// through describe()/name() on their own.
+  std::string EnvKey;
 };
 
 /// Outcome of a simulation check.

@@ -44,6 +44,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -110,6 +111,15 @@ template <typename MachineT> struct GenericExploreOptions {
   /// Invariant checked after every machine step; a non-empty return is a
   /// violation (used for mutual exclusion, guarantee conditions, ...).
   std::function<std::string(const MachineT &)> Invariant;
+
+  /// Stable name identifying Invariant's semantics in certificate-store
+  /// keys ("ticket.mutex", ...).  The function itself is opaque, so the
+  /// store can only key what is named: a check whose Invariant is set
+  /// without a name is UNCACHEABLE and bypasses the store (fail closed).
+  /// Renaming the invariant — or keeping the name while changing what it
+  /// checks — is a semantic change; the latter requires clearing the
+  /// cache or bumping the checker version.
+  std::string InvariantName;
 
   /// When true, terminal logs (and sampled intermediate logs) are retained
   /// in ExploreResult::Corpus for compat implication checking, capped at

@@ -189,22 +189,17 @@ MultiCoreMachine::cpuMemory(ThreadId C) const {
 }
 
 std::uint64_t MultiCoreMachine::snapshotHash() const {
-  std::uint64_t H = hashLog(GlobalLog);
-  H = hashCombine(H, Cpus.size());
-  for (const auto &[Id, C] : Cpus) {
-    H = hashCombine(H, Id);
-    H = hashCombine(H, C.Machine.stateHash());
-    H = hashCombine(H, C.Globals.size());
-    for (std::int64_t V : C.Globals)
-      H = hashCombine(H, static_cast<std::uint64_t>(V));
-    H = hashCombine(H, C.NextWork);
-    H = hashCombine(H, static_cast<std::uint64_t>(C.Active));
-    H = hashCombine(H, static_cast<std::uint64_t>(C.Phase));
-    H = hashCombine(H, C.Returns.size());
-    for (std::int64_t V : C.Returns)
-      H = hashCombine(H, static_cast<std::uint64_t>(V));
-  }
-  return H;
+  Hasher H(hashLog(GlobalLog));
+  H.u64(Cpus.size());
+  for (const auto &[Id, C] : Cpus)
+    H.u64(Id)
+        .u64(C.Machine.stateHash())
+        .i64s(C.Globals)
+        .u64(C.NextWork)
+        .u64(static_cast<std::uint64_t>(C.Active))
+        .u64(static_cast<std::uint64_t>(C.Phase))
+        .i64s(C.Returns);
+  return H.value();
 }
 
 bool MultiCoreMachine::sameSnapshot(const MultiCoreMachine &O) const {

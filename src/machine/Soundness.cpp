@@ -2,11 +2,70 @@
 
 #include "machine/Soundness.h"
 
+#include "cert/CertKeys.h"
+#include "cert/CertStore.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Text.h"
 
 using namespace ccal;
+
+namespace {
+
+/// Bump when this checker's semantics change: stored certificates from the
+/// old semantics must miss, not lie.
+const char RefineCheckerVersion[] = "refine-v1";
+
+JsonValue refinementToPayload(const ContextualRefinementReport &R) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["holds"] = jsonBool(R.Holds);
+  V.Fields["spec_complete"] = jsonBool(R.SpecComplete);
+  V.Fields["impl_complete"] = jsonBool(R.ImplComplete);
+  V.Fields["coverage"] = jsonStr(R.Coverage);
+  V.Fields["impl_outcomes"] = jsonUInt(R.ImplOutcomes);
+  V.Fields["spec_outcomes"] = jsonUInt(R.SpecOutcomes);
+  V.Fields["obligations"] = jsonUInt(R.ObligationsChecked);
+  V.Fields["schedules"] = jsonUInt(R.SchedulesExplored);
+  V.Fields["states"] = jsonUInt(R.StatesExplored);
+  V.Fields["counterexample"] = jsonStr(R.Counterexample);
+  V.Fields["corpus"] = cert::logsToJson(R.Corpus);
+  return V;
+}
+
+bool refinementFromPayload(const JsonValue &V,
+                           ContextualRefinementReport &R) {
+  const JsonValue *Holds = V.field("holds");
+  const JsonValue *SpecC = V.field("spec_complete");
+  const JsonValue *ImplC = V.field("impl_complete");
+  const JsonValue *Cov = V.field("coverage");
+  const JsonValue *IO = V.field("impl_outcomes");
+  const JsonValue *SO = V.field("spec_outcomes");
+  const JsonValue *Ob = V.field("obligations");
+  const JsonValue *Sch = V.field("schedules");
+  const JsonValue *St = V.field("states");
+  const JsonValue *Cex = V.field("counterexample");
+  const JsonValue *Corpus = V.field("corpus");
+  if (!Holds || !Holds->isBool() || !SpecC || !SpecC->isBool() || !ImplC ||
+      !ImplC->isBool() || !Cov || !Cov->isString() || !IO || !IO->IsInt ||
+      !SO || !SO->IsInt || !Ob || !Ob->IsInt || !Sch || !Sch->IsInt ||
+      !St || !St->IsInt || !Cex || !Cex->isString() || !Corpus ||
+      !cert::logsFromJson(*Corpus, R.Corpus))
+    return false;
+  R.Holds = Holds->BoolVal;
+  R.SpecComplete = SpecC->BoolVal;
+  R.ImplComplete = ImplC->BoolVal;
+  R.Coverage = Cov->StrVal;
+  R.ImplOutcomes = static_cast<std::uint64_t>(IO->IntVal);
+  R.SpecOutcomes = static_cast<std::uint64_t>(SO->IntVal);
+  R.ObligationsChecked = static_cast<std::uint64_t>(Ob->IntVal);
+  R.SchedulesExplored = static_cast<std::uint64_t>(Sch->IntVal);
+  R.StatesExplored = static_cast<std::uint64_t>(St->IntVal);
+  R.Counterexample = Cex->StrVal;
+  return true;
+}
+
+} // namespace
 
 namespace {
 
@@ -144,9 +203,51 @@ ContextualRefinementReport ccal::checkContextualRefinement(
     MachineConfigPtr Impl, MachineConfigPtr Spec, const EventMap &R,
     const ExploreOptions &ImplOpts, const ExploreOptions &SpecOpts) {
   obs::Span CheckSpan("refine.check", "refine");
-  ContextualRefinementReport Report = checkContextualRefinementImpl(
-      std::move(Impl), std::move(Spec), R, ImplOpts, SpecOpts);
-  publishRefinementMetrics(Report);
+
+  // Load-or-recheck front-end.  Uncacheable checks — store disabled, or
+  // an anonymous invariant the key cannot see — run exactly as before.
+  cert::CertStore *Store = cert::store();
+  if (!Store || !cert::cacheableOptions(ImplOpts) ||
+      !cert::cacheableOptions(SpecOpts)) {
+    ContextualRefinementReport Report = checkContextualRefinementImpl(
+        std::move(Impl), std::move(Spec), R, ImplOpts, SpecOpts);
+    publishRefinementMetrics(Report);
+    return Report;
+  }
+
+  cert::CertKey Key;
+  Key.Checker = "refine";
+  Key.Version = RefineCheckerVersion;
+  Key.Desc = Impl->Name + " refines " + Spec->Name + " via " + R.name();
+  Hasher H;
+  cert::keyAddMachineConfig(H, *Impl);
+  cert::keyAddMachineConfig(H, *Spec);
+  H.str(R.name());
+  cert::keyAddExploreOptions(H, ImplOpts);
+  cert::keyAddExploreOptions(H, SpecOpts);
+  Key.Hash = H.value();
+
+  ContextualRefinementReport Report;
+  bool Hit = Store->getOrCheck(
+      Key,
+      [&](const cert::CertStore::Entry &E) {
+        return refinementFromPayload(E.Payload, Report);
+      },
+      [&] {
+        Report = checkContextualRefinementImpl(Impl, Spec, R, ImplOpts,
+                                               SpecOpts);
+        publishRefinementMetrics(Report);
+        cert::CertStore::Entry Out;
+        Out.Cert = makeMachineCertificate("Soundness", Impl->Layer->name(),
+                                          Impl->Name, Spec->Layer->name(),
+                                          R, Report);
+        Out.Payload = refinementToPayload(Report);
+        return Out;
+      });
+  // A hit re-runs nothing: only the check-happened counter moves, never
+  // the exploration counters (which is what the warm-cache CI asserts).
+  if (Hit && obs::enabled())
+    obs::counterAdd("refine.checks", 1);
   return Report;
 }
 

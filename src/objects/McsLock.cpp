@@ -230,6 +230,7 @@ HarnessOutcome ccal::certifyMcsLock(unsigned NumCpus, unsigned Rounds) {
   H.ImplOpts.FairnessBound = 2;
   H.ImplOpts.MaxSteps = 512;
   H.ImplOpts.Invariant = mcsMutexInvariant;
+  H.ImplOpts.InvariantName = "mcs.mutex";
   H.SpecOpts.FairnessBound = 1u << 20;
   H.SpecOpts.MaxSteps = 512;
   return runObjectHarness(H);

@@ -220,6 +220,7 @@ HarnessOutcome ccal::certifySharedQueue(unsigned Producers,
       return "lock protocol violated";
     return "";
   };
+  ImplOpts.InvariantName = "shared_queue.lock-protocol";
   ExploreOptions SpecOpts;
   SpecOpts.FairnessBound = 1u << 20;
   SpecOpts.MaxSteps = 512;

@@ -194,6 +194,7 @@ ccal::checkTicketStarvationFreedom(unsigned NumCpus,
   Opts.FairnessBound = FairnessBound;
   Opts.MaxSteps = 2048;
   Opts.Invariant = ticketMutexInvariant;
+  Opts.InvariantName = "ticket.mutex";
   Opts.OnOutcome = [&Report](const Outcome &O) -> std::string {
     // Wait of each CPU: #events strictly between its FAI_t and its hold.
     std::map<ThreadId, size_t> FaiAt;
@@ -244,6 +245,7 @@ HarnessOutcome ccal::certifyTicketLock(unsigned NumCpus, unsigned Rounds) {
   H.ImplOpts.FairnessBound = 2;
   H.ImplOpts.MaxSteps = 512;
   H.ImplOpts.Invariant = ticketMutexInvariant;
+  H.ImplOpts.InvariantName = "ticket.mutex";
   // The atomic spec never spins; no fairness pruning on the spec side.
   H.SpecOpts.FairnessBound = 1u << 20;
   H.SpecOpts.MaxSteps = 512;

@@ -3,6 +3,8 @@
 #include "support/Json.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace ccal;
@@ -235,13 +237,17 @@ private:
 
   bool parseNumber(JsonValue &Out) {
     std::size_t Start = Pos;
+    bool Fractional = false;
     if (Pos < Text.size() && Text[Pos] == '-')
       ++Pos;
     while (Pos < Text.size() &&
            (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
             Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '+' || Text[Pos] == '-'))
+            Text[Pos] == '+' || Text[Pos] == '-')) {
+      if (Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E')
+        Fractional = true;
       ++Pos;
+    }
     if (Pos == Start)
       return fail("expected value");
     std::string Num = Text.substr(Start, Pos - Start);
@@ -250,6 +256,17 @@ private:
     Out.NumVal = std::strtod(Num.c_str(), &End);
     if (End == nullptr || *End != '\0')
       return fail("malformed number");
+    if (!Fractional) {
+      // Keep the exact 64-bit value for counters; out-of-range integer
+      // literals (which this repository never writes) degrade to double.
+      errno = 0;
+      char *IEnd = nullptr;
+      long long I = std::strtoll(Num.c_str(), &IEnd, 10);
+      if (IEnd != nullptr && *IEnd == '\0' && errno == 0) {
+        Out.IsInt = true;
+        Out.IntVal = I;
+      }
+    }
     return true;
   }
 
@@ -262,4 +279,146 @@ private:
 
 JsonParseResult ccal::parseJson(const std::string &Text) {
   return Parser(Text).run();
+}
+
+JsonValue ccal::jsonNull() { return JsonValue(); }
+
+JsonValue ccal::jsonBool(bool V) {
+  JsonValue J;
+  J.K = JsonValue::Kind::Bool;
+  J.BoolVal = V;
+  return J;
+}
+
+JsonValue ccal::jsonInt(std::int64_t V) {
+  JsonValue J;
+  J.K = JsonValue::Kind::Number;
+  J.IsInt = true;
+  J.IntVal = V;
+  J.NumVal = static_cast<double>(V);
+  return J;
+}
+
+JsonValue ccal::jsonUInt(std::uint64_t V) {
+  return jsonInt(static_cast<std::int64_t>(V));
+}
+
+JsonValue ccal::jsonNum(double V) {
+  JsonValue J;
+  J.K = JsonValue::Kind::Number;
+  J.NumVal = V;
+  return J;
+}
+
+JsonValue ccal::jsonStr(std::string V) {
+  JsonValue J;
+  J.K = JsonValue::Kind::String;
+  J.StrVal = std::move(V);
+  return J;
+}
+
+JsonValue ccal::jsonArray(std::vector<JsonValue> Items) {
+  JsonValue J;
+  J.K = JsonValue::Kind::Array;
+  J.Items = std::move(Items);
+  return J;
+}
+
+namespace {
+
+void writeString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void writeValue(std::string &Out, const JsonValue &V) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    break;
+  case JsonValue::Kind::Bool:
+    Out += V.BoolVal ? "true" : "false";
+    break;
+  case JsonValue::Kind::Number: {
+    char Buf[40];
+    if (V.IsInt)
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V.IntVal));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.NumVal);
+    Out += Buf;
+    break;
+  }
+  case JsonValue::Kind::String:
+    writeString(Out, V.StrVal);
+    break;
+  case JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &Item : V.Items) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeValue(Out, Item);
+    }
+    Out += ']';
+    break;
+  }
+  case JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Field] : V.Fields) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeString(Out, Key);
+      Out += ':';
+      writeValue(Out, Field);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string ccal::jsonToString(const JsonValue &V) {
+  std::string Out;
+  writeValue(Out, V);
+  return Out;
 }

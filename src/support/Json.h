@@ -6,16 +6,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small recursive-descent JSON parser, enough to validate the files
-/// this repository emits (BENCH_*.json, Chrome trace_event dumps) inside
-/// its own tests — the schema checks must not depend on a JSON library
-/// the container may not have.
+/// A small recursive-descent JSON parser plus a deterministic writer,
+/// enough to validate the files this repository emits (BENCH_*.json,
+/// Chrome trace_event dumps) inside its own tests and to round-trip the
+/// certificate store's entries byte-identically — the schema checks must
+/// not depend on a JSON library the container may not have.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCAL_SUPPORT_JSON_H
 #define CCAL_SUPPORT_JSON_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,6 +32,11 @@ struct JsonValue {
 
   bool BoolVal = false;
   double NumVal = 0.0;
+  /// Numbers written without '.' or an exponent keep their exact 64-bit
+  /// value here (NumVal still mirrors it, lossily above 2^53) so evidence
+  /// counters survive parse→serialize round trips bit-for-bit.
+  bool IsInt = false;
+  std::int64_t IntVal = 0;
   std::string StrVal;
   std::vector<JsonValue> Items;                ///< arrays
   std::map<std::string, JsonValue> Fields;     ///< objects
@@ -62,6 +69,25 @@ struct JsonParseResult {
 /// Parses \p Text as one JSON document (trailing whitespace allowed,
 /// trailing garbage is an error).
 JsonParseResult parseJson(const std::string &Text);
+
+/// Value constructors for building documents programmatically.
+JsonValue jsonNull();
+JsonValue jsonBool(bool V);
+JsonValue jsonInt(std::int64_t V);
+/// Counters are unsigned; values above INT64_MAX are unreachable for any
+/// real evidence count, and the cast keeps one integer representation.
+JsonValue jsonUInt(std::uint64_t V);
+JsonValue jsonNum(double V);
+JsonValue jsonStr(std::string V);
+JsonValue jsonArray(std::vector<JsonValue> Items);
+
+/// Renders \p V compactly (no whitespace) and deterministically: object
+/// keys come out in sorted (std::map) order, integers print exactly, and
+/// doubles use a fixed shortest-ish "%.17g" form — so equal values always
+/// produce byte-identical text.  serialize∘parse is the identity on the
+/// writer's image, which is what makes stored certificates comparable by
+/// checksum.
+std::string jsonToString(const JsonValue &V);
 
 } // namespace ccal
 

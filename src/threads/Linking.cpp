@@ -2,6 +2,8 @@
 
 #include "threads/Linking.h"
 
+#include "cert/CertKeys.h"
+#include "cert/CertStore.h"
 #include "compcertx/Linker.h"
 #include "lang/Parser.h"
 #include "lang/TypeCheck.h"
@@ -10,6 +12,57 @@
 #include "support/Text.h"
 
 using namespace ccal;
+
+namespace {
+
+const char LinkCheckerVersion[] = "link-v1";
+
+JsonValue threadedToPayload(const ThreadedRefinementReport &R) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["holds"] = jsonBool(R.Holds);
+  V.Fields["spec_complete"] = jsonBool(R.SpecComplete);
+  V.Fields["impl_complete"] = jsonBool(R.ImplComplete);
+  V.Fields["coverage"] = jsonStr(R.Coverage);
+  V.Fields["impl_outcomes"] = jsonUInt(R.ImplOutcomes);
+  V.Fields["spec_outcomes"] = jsonUInt(R.SpecOutcomes);
+  V.Fields["obligations"] = jsonUInt(R.ObligationsChecked);
+  V.Fields["schedules"] = jsonUInt(R.SchedulesExplored);
+  V.Fields["states"] = jsonUInt(R.StatesExplored);
+  V.Fields["counterexample"] = jsonStr(R.Counterexample);
+  return V;
+}
+
+bool threadedFromPayload(const JsonValue &V, ThreadedRefinementReport &R) {
+  const JsonValue *Holds = V.field("holds");
+  const JsonValue *SpecC = V.field("spec_complete");
+  const JsonValue *ImplC = V.field("impl_complete");
+  const JsonValue *Cov = V.field("coverage");
+  const JsonValue *IO = V.field("impl_outcomes");
+  const JsonValue *SO = V.field("spec_outcomes");
+  const JsonValue *Ob = V.field("obligations");
+  const JsonValue *Sch = V.field("schedules");
+  const JsonValue *St = V.field("states");
+  const JsonValue *Cex = V.field("counterexample");
+  if (!Holds || !Holds->isBool() || !SpecC || !SpecC->isBool() || !ImplC ||
+      !ImplC->isBool() || !Cov || !Cov->isString() || !IO || !IO->IsInt ||
+      !SO || !SO->IsInt || !Ob || !Ob->IsInt || !Sch || !Sch->IsInt ||
+      !St || !St->IsInt || !Cex || !Cex->isString())
+    return false;
+  R.Holds = Holds->BoolVal;
+  R.SpecComplete = SpecC->BoolVal;
+  R.ImplComplete = ImplC->BoolVal;
+  R.Coverage = Cov->StrVal;
+  R.ImplOutcomes = static_cast<std::uint64_t>(IO->IntVal);
+  R.SpecOutcomes = static_cast<std::uint64_t>(SO->IntVal);
+  R.ObligationsChecked = static_cast<std::uint64_t>(Ob->IntVal);
+  R.SchedulesExplored = static_cast<std::uint64_t>(Sch->IntVal);
+  R.StatesExplored = static_cast<std::uint64_t>(St->IntVal);
+  R.Counterexample = Cex->StrVal;
+  return true;
+}
+
+} // namespace
 
 namespace {
 
@@ -115,24 +168,68 @@ LinkingReport ccal::checkMultithreadedLinking(const LinkingSetup &Setup) {
   ThreadedExploreOptions Opts;
   Opts.MaxSteps = 4096;
 
+  auto RunCheck = [&] {
+    LinkingReport Rep;
+    Rep.Refinement = checkThreadedRefinement(LowCfg, HighCfg, RImpl, RSpec,
+                                             Opts, Opts);
+    auto C = std::make_shared<RefinementCertificate>();
+    C->Rule = "MultithreadLink";
+    C->Underlay = "Lbtd[0]";
+    C->Module = "M_sched (+) M_local_queue";
+    C->Overlay = "Lhtd[0][Tc]";
+    C->Relation = "Rbtd";
+    C->CoverageComplete =
+        Rep.Refinement.SpecComplete && Rep.Refinement.ImplComplete;
+    C->Coverage = Rep.Refinement.Coverage;
+    C->Valid = Rep.Refinement.Holds && C->CoverageComplete;
+    C->Obligations = Rep.Refinement.ObligationsChecked;
+    C->Runs = Rep.Refinement.SchedulesExplored;
+    C->Moves = Rep.Refinement.StatesExplored;
+    if (!Rep.Refinement.Holds)
+      C->Notes.push_back(Rep.Refinement.Counterexample);
+    Rep.Cert = C;
+    return Rep;
+  };
+
+  cert::CertStore *Store = cert::store();
+  if (!Store)
+    return RunCheck();
+
+  // Load-or-recheck front-end.  Both configs are fully built above, so
+  // the key sees the compiled programs, layer interfaces, workloads, and
+  // relations; the opaque schedule replay functions are represented by
+  // the config names they were constructed alongside.  Editing any of the
+  // linked modules (client, scheduler, ready queue) changes the compiled
+  // program hash and re-explores; an unchanged setup loads.
+  cert::CertKey Key;
+  Key.Checker = "link";
+  Key.Version = LinkCheckerVersion;
+  Key.Desc = strFormat("Thm 5.1 linking: %u threads x %u rounds",
+                       Setup.NumThreads, Setup.Rounds);
+  Hasher H;
+  H.u64(Setup.NumThreads).u64(Setup.Rounds);
+  cert::keyAddThreadedConfig(H, *LowCfg);
+  cert::keyAddThreadedConfig(H, *HighCfg);
+  H.str(RImpl.name()).str(RSpec.name());
+  cert::keyAddExploreOptions(H, Opts);
+  cert::keyAddExploreOptions(H, Opts);
+  Key.Hash = H.value();
+
   LinkingReport Out;
-  Out.Refinement = checkThreadedRefinement(LowCfg, HighCfg, RImpl, RSpec,
-                                           Opts, Opts);
-  auto C = std::make_shared<RefinementCertificate>();
-  C->Rule = "MultithreadLink";
-  C->Underlay = "Lbtd[0]";
-  C->Module = "M_sched (+) M_local_queue";
-  C->Overlay = "Lhtd[0][Tc]";
-  C->Relation = "Rbtd";
-  C->CoverageComplete =
-      Out.Refinement.SpecComplete && Out.Refinement.ImplComplete;
-  C->Coverage = Out.Refinement.Coverage;
-  C->Valid = Out.Refinement.Holds && C->CoverageComplete;
-  C->Obligations = Out.Refinement.ObligationsChecked;
-  C->Runs = Out.Refinement.SchedulesExplored;
-  C->Moves = Out.Refinement.StatesExplored;
-  if (!Out.Refinement.Holds)
-    C->Notes.push_back(Out.Refinement.Counterexample);
-  Out.Cert = C;
+  Store->getOrCheck(
+      Key,
+      [&](const cert::CertStore::Entry &E) {
+        if (!E.Cert || !threadedFromPayload(E.Payload, Out.Refinement))
+          return false;
+        Out.Cert = E.Cert;
+        return true;
+      },
+      [&] {
+        Out = RunCheck();
+        cert::CertStore::Entry Fresh;
+        Fresh.Cert = Out.Cert;
+        Fresh.Payload = threadedToPayload(Out.Refinement);
+        return Fresh;
+      });
   return Out;
 }

@@ -240,6 +240,7 @@ QueuingLockOutcome ccal::certifyQueuingLock(unsigned Cpus,
       return "queuing-lock mutual exclusion violated";
     return "";
   };
+  ImplOpts.InvariantName = "qlock.mutex";
   // The spec machine must admit every schedule the implementation's
   // mapped behaviors need, so its fairness bound is looser.
   // The atomic spec machine never spins, so every schedule terminates and

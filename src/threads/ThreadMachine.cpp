@@ -257,29 +257,22 @@ ThreadedMachine::cpuMemory(ThreadId Cpu) const {
 }
 
 std::uint64_t ThreadedMachine::snapshotHash() const {
-  std::uint64_t H = hashLog(GlobalLog);
-  H = hashCombine(H, Threads.size());
-  for (const auto &[Tid, T] : Threads) {
-    H = hashCombine(H, Tid);
-    H = hashCombine(H, T.Machine.stateHash());
-    H = hashCombine(H, T.Cpu);
-    H = hashCombine(H, T.NextWork);
-    H = hashCombine(H, static_cast<std::uint64_t>(T.Active));
-    H = hashCombine(H, static_cast<std::uint64_t>(T.Parked));
-    H = hashCombine(H, static_cast<std::uint64_t>(T.NeedsRun));
-    H = hashCombine(H, static_cast<std::uint64_t>(T.Exited));
-    H = hashCombine(H, T.Returns.size());
-    for (std::int64_t V : T.Returns)
-      H = hashCombine(H, static_cast<std::uint64_t>(V));
-  }
-  H = hashCombine(H, CpuMem.size());
-  for (const auto &[Cpu, Mem] : CpuMem) {
-    H = hashCombine(H, Cpu);
-    H = hashCombine(H, Mem.size());
-    for (std::int64_t V : Mem)
-      H = hashCombine(H, static_cast<std::uint64_t>(V));
-  }
-  return H;
+  Hasher H(hashLog(GlobalLog));
+  H.u64(Threads.size());
+  for (const auto &[Tid, T] : Threads)
+    H.u64(Tid)
+        .u64(T.Machine.stateHash())
+        .u64(T.Cpu)
+        .u64(T.NextWork)
+        .u64(static_cast<std::uint64_t>(T.Active))
+        .u64(static_cast<std::uint64_t>(T.Parked))
+        .u64(static_cast<std::uint64_t>(T.NeedsRun))
+        .u64(static_cast<std::uint64_t>(T.Exited))
+        .i64s(T.Returns);
+  H.u64(CpuMem.size());
+  for (const auto &[Cpu, Mem] : CpuMem)
+    H.u64(Cpu).i64s(Mem);
+  return H.value();
 }
 
 bool ThreadedMachine::sameSnapshot(const ThreadedMachine &O) const {
