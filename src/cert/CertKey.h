@@ -67,7 +67,7 @@ struct CertKey {
 
 /// Folds an event into \p H.
 inline void keyAddEvent(Hasher &H, const Event &E) {
-  H.u64(E.Tid).str(E.Kind).i64s(E.Args);
+  H.u64(E.Tid).str(E.Kind.str()).i64s(E.Args);
 }
 
 /// Folds a log (length-prefixed) into \p H.

@@ -2,11 +2,15 @@
 
 #include "core/Event.h"
 
+#include "support/Hash.h"
 #include "support/Text.h"
 
-#include <tuple>
-
 using namespace ccal;
+
+KindId ccal::schedKindId() {
+  static const KindId K(SchedEventKind);
+  return K;
+}
 
 std::string Event::toString() const {
   if (isSched())
@@ -25,20 +29,10 @@ std::string Event::toString() const {
 }
 
 bool ccal::operator<(const Event &A, const Event &B) {
-  return std::tie(A.Tid, A.Kind, A.Args) < std::tie(B.Tid, B.Kind, B.Args);
+  if (A.Tid != B.Tid)
+    return A.Tid < B.Tid;
+  if (A.Kind != B.Kind)
+    return A.Kind < B.Kind; // string order, not id order
+  return A.Args < B.Args;
 }
 
-std::uint64_t ccal::hashEvent(const Event &E) {
-  std::uint64_t H = 1469598103934665603ULL;
-  auto Mix = [&H](std::uint64_t V) {
-    H ^= V;
-    H *= 1099511628211ULL;
-  };
-  Mix(E.Tid);
-  for (char C : E.Kind)
-    Mix(static_cast<unsigned char>(C));
-  Mix(0xff);
-  for (std::int64_t A : E.Args)
-    Mix(static_cast<std::uint64_t>(A));
-  return H;
-}

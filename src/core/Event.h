@@ -12,10 +12,19 @@
 /// itself an event.  An event is written `i.kind(args)` in the paper, e.g.
 /// `1.FAI_t` or `c.push(b, v)`.
 ///
+/// The kind is stored interned (support/Intern.h): construction, equality
+/// and footprint lookup are integer operations, and snapshotting a machine
+/// no longer clones one heap string per logged event.  Certificates and
+/// rendering resolve the string back via kind()/Kind.str(), so everything
+/// serialized is unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCAL_CORE_EVENT_H
 #define CCAL_CORE_EVENT_H
+
+#include "support/Hash.h"
+#include "support/Intern.h"
 
 #include <cstdint>
 #include <string>
@@ -32,21 +41,27 @@ using ThreadId = std::uint32_t;
 /// Tid = c records that control transferred to participant c.
 inline const char *const SchedEventKind = "sched";
 
+/// The interned form of SchedEventKind (isSched() is one integer compare).
+KindId schedKindId();
+
 /// One observable event `Tid.Kind(Args)`.
 struct Event {
   ThreadId Tid = 0;
-  std::string Kind;
+  KindId Kind;
   std::vector<std::int64_t> Args;
 
   Event() = default;
-  Event(ThreadId Tid, std::string Kind, std::vector<std::int64_t> Args = {})
-      : Tid(Tid), Kind(std::move(Kind)), Args(std::move(Args)) {}
+  Event(ThreadId Tid, KindId Kind, std::vector<std::int64_t> Args = {})
+      : Tid(Tid), Kind(Kind), Args(std::move(Args)) {}
 
   /// Convenience constructor for a scheduling event transferring control to
   /// participant \p To.
-  static Event sched(ThreadId To) { return Event(To, SchedEventKind); }
+  static Event sched(ThreadId To) { return Event(To, schedKindId()); }
 
-  bool isSched() const { return Kind == SchedEventKind; }
+  bool isSched() const { return Kind == schedKindId(); }
+
+  /// The kind string (stable interned storage; reference never dangles).
+  const std::string &kind() const { return Kind.str(); }
 
   bool operator==(const Event &O) const {
     return Tid == O.Tid && Kind == O.Kind && Args == O.Args;
@@ -58,11 +73,20 @@ struct Event {
 };
 
 /// Total order used to store events in ordered containers; the order has no
-/// semantic meaning.
+/// semantic meaning but must be stable across runs, so kinds compare by
+/// string (KindId::operator<), never by interning-order id.
 bool operator<(const Event &A, const Event &B);
 
-/// FNV-style hash for state-dedup tables.
-std::uint64_t hashEvent(const Event &E);
+/// Structural hash for state-dedup tables, built on support/Hash.h's
+/// Hasher discipline; the kind enters through its cached content hash
+/// (KindId::strHash), so the value is independent of interning order.
+/// Inline (and header-only) because Log::push_back folds it into the
+/// log's running hash on every append.
+inline std::uint64_t hashEvent(const Event &E) {
+  Hasher H;
+  H.u64(E.Tid).u64(E.Kind.strHash()).i64s(E.Args);
+  return H.value();
+}
 
 } // namespace ccal
 

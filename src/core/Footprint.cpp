@@ -53,18 +53,18 @@ bool ccal::footprintsConflict(const Footprint &A, const Footprint &B) {
 }
 
 Log ccal::canonicalizeLog(
-    const Log &L,
-    const std::function<Footprint(const std::string &Kind)> &FootOfKind) {
+    const Log &L, const std::function<Footprint(KindId Kind)> &FootOfKind) {
   const size_t N = L.size();
   if (N < 2)
     return L;
 
-  // Footprints are kind-determined; look each kind up once.
-  std::map<std::string, Footprint> FootCache;
+  // Footprints are kind-determined; look each kind up once (keyed by the
+  // interned id — integer map probes, no string compares).
+  std::map<std::uint32_t, Footprint> FootCache;
   auto FootOf = [&](const Event &E) -> const Footprint & {
-    auto It = FootCache.find(E.Kind);
+    auto It = FootCache.find(E.Kind.id());
     if (It == FootCache.end())
-      It = FootCache.emplace(E.Kind, FootOfKind(E.Kind)).first;
+      It = FootCache.emplace(E.Kind.id(), FootOfKind(E.Kind)).first;
     return It->second;
   };
 

@@ -86,8 +86,7 @@ bool footprintsConflict(const Footprint &A, const Footprint &B);
 /// steps — what lets POR report "identical outcome sets" with far fewer
 /// schedules even though every schedule's raw log is distinct.
 Log canonicalizeLog(const Log &L,
-                    const std::function<Footprint(const std::string &Kind)>
-                        &FootOfKind);
+                    const std::function<Footprint(KindId Kind)> &FootOfKind);
 
 } // namespace ccal
 

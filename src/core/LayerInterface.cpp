@@ -9,8 +9,8 @@ using namespace ccal;
 void LayerInterface::addPrim(Primitive P) {
   CCAL_CHECK(!P.Name.empty(), "primitive must be named");
   auto [It, Inserted] = Prims.emplace(P.Name, std::move(P));
-  (void)It;
   CCAL_CHECK(Inserted, "duplicate primitive in layer interface");
+  ByKind.emplace(KindId(It->first).id(), &It->second);
 }
 
 void LayerInterface::addShared(std::string Name, PrimSemantics Sem) {

@@ -36,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ccal {
@@ -114,6 +115,8 @@ struct Primitive {
 class LayerInterface {
 public:
   explicit LayerInterface(std::string Name) : Name(std::move(Name)) {}
+  LayerInterface(const LayerInterface &) = delete;
+  LayerInterface &operator=(const LayerInterface &) = delete;
 
   const std::string &name() const { return Name; }
 
@@ -132,9 +135,28 @@ public:
   /// Looks a primitive up; nullptr when absent.
   const Primitive *lookup(const std::string &Name) const;
 
+  /// O(1) lookup by interned kind id — the machine hot path (every
+  /// schedulable() dry run and step() resolves the parked primitive).
+  const Primitive *lookup(KindId Kind) const {
+    auto It = ByKind.find(Kind.id());
+    return It == ByKind.end() ? nullptr : It->second;
+  }
+
+  /// Disambiguates literal arguments between the two overloads above.
+  const Primitive *lookup(const char *Name) const {
+    return lookup(std::string(Name));
+  }
+
   /// Declared footprint of primitive \p Name; opaque when the primitive is
   /// unknown or undeclared, so callers can treat any event kind uniformly.
   Footprint footprintOf(const std::string &Name) const;
+
+  /// Footprint by interned kind id (event kinds coincide with primitive
+  /// names), for the Explorer's POR footprint queries.
+  Footprint footprintOf(KindId Kind) const {
+    const Primitive *P = lookup(Kind);
+    return P ? P->Foot : Footprint::opaque();
+  }
 
   /// True when the interface provides \p Name.
   bool provides(const std::string &Name) const {
@@ -155,6 +177,10 @@ public:
 private:
   std::string Name;
   std::map<std::string, Primitive> Prims;
+  /// Interned-kind index into Prims (node-based map: pointers are stable).
+  /// Interfaces are built once and shared by pointer; copying one would
+  /// leave these aliasing the source, so copies are disabled.
+  std::unordered_map<std::uint32_t, const Primitive *> ByKind;
   RelyGuarantee RG;
 };
 

@@ -2,10 +2,13 @@
 
 #include "core/Log.h"
 
+#include <array>
+
 using namespace ccal;
 
 void ccal::logAppendAll(Log &L, const std::vector<Event> &Events) {
-  L.insert(L.end(), Events.begin(), Events.end());
+  for (const Event &E : Events)
+    L.push_back(E);
 }
 
 std::string ccal::logToString(const Log &L) {
@@ -18,8 +21,7 @@ std::string ccal::logToString(const Log &L) {
   return Out;
 }
 
-std::uint64_t ccal::logCount(const Log &L, ThreadId Tid,
-                             const std::string &Kind) {
+std::uint64_t ccal::logCount(const Log &L, ThreadId Tid, KindId Kind) {
   std::uint64_t N = 0;
   for (const Event &E : L)
     if (E.Tid == Tid && E.Kind == Kind)
@@ -27,11 +29,38 @@ std::uint64_t ccal::logCount(const Log &L, ThreadId Tid,
   return N;
 }
 
-std::uint64_t ccal::logCountKind(const Log &L, const std::string &Kind) {
-  std::uint64_t N = 0;
-  for (const Event &E : L)
-    if (E.Kind == Kind)
+std::uint64_t ccal::logCountKind(const Log &L, KindId Kind) {
+  // Counter prims (fetch-inc, read-counter) recount their kind on every
+  // call while the Explorer extends the log one event at a time; resume
+  // from a memoized structural prefix instead of rescanning.  Prefixes
+  // are verified with isPrefixOf (shared-chunk pointer compares), so a
+  // resumed count equals the full scan exactly.
+  struct Memo {
+    bool Used = false;
+    KindId K;
+    Log L;
+    std::uint64_t N = 0;
+  };
+  thread_local std::array<Memo, 8> Memos;
+  thread_local unsigned Next = 0;
+  const Memo *Prefix = nullptr;
+  for (const Memo &M : Memos) {
+    if (!M.Used || M.K != Kind || M.L.size() > L.size())
+      continue;
+    if ((!Prefix || M.L.size() > Prefix->L.size()) && M.L.isPrefixOf(L))
+      Prefix = &M;
+  }
+  std::uint64_t N = Prefix ? Prefix->N : 0;
+  for (size_t I = Prefix ? Prefix->L.size() : 0, E = L.size(); I != E; ++I)
+    if (L[I].Kind == Kind)
       ++N;
+  if (Prefix && Prefix->L.size() == L.size())
+    return N; // exact hit: keep the slot instead of churning it
+  Memo &M = Memos[Next++ % Memos.size()];
+  M.Used = true;
+  M.K = Kind;
+  M.L = L;
+  M.N = N;
   return N;
 }
 
@@ -43,7 +72,7 @@ Log ccal::logFilterTid(const Log &L, ThreadId Tid) {
   return Out;
 }
 
-Log ccal::logFilterKind(const Log &L, const std::string &Kind) {
+Log ccal::logFilterKind(const Log &L, KindId Kind) {
   Log Out;
   for (const Event &E : L)
     if (E.Kind == Kind)
@@ -59,8 +88,7 @@ ThreadId ccal::logControl(const Log &L, ThreadId Default) {
 }
 
 std::uint64_t ccal::hashLog(const Log &L) {
-  std::uint64_t H = 1469598103934665603ULL;
-  for (const Event &E : L)
-    H = hashCombine(H, hashEvent(E));
-  return hashCombine(H, L.size());
+  // The fold over the events is maintained incrementally by the Log on
+  // every append, so hashing is O(1) regardless of length.
+  return hashCombine(L.runHash(), L.size());
 }

@@ -22,10 +22,22 @@
 
 #include "core/Log.h"
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
 namespace ccal {
+
+namespace detail {
+/// Distinct Replayer constructions get distinct ids; copies share their
+/// origin's (same semantics), so the replay memo below may serve either.
+inline std::uint64_t nextReplayerId() {
+  static std::atomic<std::uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace detail
 
 /// A replay function over logs producing shared state of type \p State.
 /// `Step(S, E)` returns the successor state or std::nullopt when the event
@@ -38,16 +50,69 @@ public:
   Replayer(State Init, StepFn Step)
       : Init(std::move(Init)), Step(std::move(Step)) {}
 
+  /// Declares that Step is the IDENTITY on every event kind not listed,
+  /// letting replay skip foreign events with an integer compare instead
+  /// of a type-erased Step call — on machine logs most events belong to
+  /// other objects (scheduling, other primitives), so this removes the
+  /// dominant cost of log-replay primitives.  The caller is promising the
+  /// semantic fact; a Step that inspects unlisted kinds must not use this.
+  Replayer &onlyKinds(std::initializer_list<KindId> Kinds) {
+    Relevant.assign(Kinds.begin(), Kinds.end());
+    return *this;
+  }
+
   /// Replays the full log from the initial state.
+  ///
+  /// Memoized per thread: the machines dry-run every parked CPU against
+  /// the same global log before each step, and each Explorer frame's log
+  /// is its parent's plus one event, so consecutive calls either repeat a
+  /// fold or extend one.  An exact hit returns the memoized state; a
+  /// prefix hit resumes replayFrom at the memoized state and only folds
+  /// the new suffix.  Both are verified structurally — O(tail) in
+  /// practice, because probe and memo share sealed chunks — never by hash
+  /// alone, and a stuck prefix stays stuck under extension, so every
+  /// answer is exactly what the full fold would compute.  Thread-local
+  /// storage keeps workers race-free without locks.
   std::optional<State> replay(const Log &L) const {
-    return replayFrom(Init, L, 0);
+    struct Memo {
+      std::uint64_t Who = 0; ///< MemoId of the producing Replayer
+      Log L;
+      std::optional<State> S;
+    };
+    thread_local std::array<Memo, 4> Memos;
+    thread_local unsigned Next = 0;
+    const Memo *Prefix = nullptr;
+    for (const Memo &M : Memos) {
+      if (M.Who != MemoId || M.L.size() > L.size())
+        continue;
+      if (M.L.size() == L.size()) {
+        if (M.L == L)
+          return M.S;
+        continue;
+      }
+      if ((!Prefix || M.L.size() > Prefix->L.size()) && M.L.isPrefixOf(L))
+        Prefix = &M;
+    }
+    std::optional<State> Res =
+        Prefix ? (Prefix->S ? replayFrom(*Prefix->S, L, Prefix->L.size())
+                            : std::nullopt)
+               : replayFrom(Init, L, 0);
+    Memo &M = Memos[Next++ % Memos.size()];
+    M.Who = MemoId;
+    M.L = L;
+    M.S = Res;
+    return Res;
   }
 
   /// Replays \p L starting at index \p From with explicit start state; used
   /// by incremental checkers that cache a prefix.
   std::optional<State> replayFrom(State S, const Log &L, size_t From) const {
+    const bool Filter = !Relevant.empty();
     for (size_t I = From, E = L.size(); I != E; ++I) {
-      std::optional<State> Next = Step(S, L[I]);
+      const Event &Ev = L[I];
+      if (Filter && !isRelevant(Ev.Kind))
+        continue;
+      std::optional<State> Next = Step(S, Ev);
       if (!Next)
         return std::nullopt;
       S = std::move(*Next);
@@ -62,8 +127,17 @@ public:
   const State &initial() const { return Init; }
 
 private:
+  bool isRelevant(KindId K) const {
+    for (KindId R : Relevant)
+      if (R == K)
+        return true;
+    return false;
+  }
+
   State Init;
   StepFn Step;
+  std::vector<KindId> Relevant; ///< empty = every kind is relevant
+  std::uint64_t MemoId = detail::nextReplayerId();
 };
 
 } // namespace ccal

@@ -17,6 +17,8 @@
 #ifndef CCAL_LASM_INSTR_H
 #define CCAL_LASM_INSTR_H
 
+#include "support/Intern.h"
+
 #include <cstdint>
 #include <string>
 
@@ -63,6 +65,10 @@ struct Instr {
   std::int32_t Target = 0;
   std::int64_t Imm = 0;
   std::string Sym;
+  /// Interned form of Sym, assigned at construction so the VM's Prim
+  /// handler records the pending primitive as one integer instead of
+  /// copying the symbol string on every call.
+  KindId SymId;
 
   Instr() = default;
   explicit Instr(Opcode Op) : Op(Op) {}
@@ -77,6 +83,7 @@ struct Instr {
   }
   static Instr withSym(Opcode Op, std::string Sym, std::int64_t Imm = 0) {
     Instr I(Op);
+    I.SymId = KindId(Sym);
     I.Sym = std::move(Sym);
     I.Imm = Imm;
     return I;

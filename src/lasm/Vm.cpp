@@ -61,7 +61,7 @@ Vm::Status Vm::runBounded(std::vector<std::int64_t> &Globals,
                           std::uint64_t MaxSteps, bool &Exhausted) {
   CCAL_CHECK(St == Status::Ready || St == Status::AtPrim,
              "VM run: not runnable");
-  CCAL_CHECK(St != Status::AtPrim || PrimSym.empty(),
+  CCAL_CHECK(St != Status::AtPrim || PrimKind.empty(),
              "VM run: pending primitive not resumed");
   St = Status::Ready;
   Exhausted = false;
@@ -275,7 +275,7 @@ Vm::Status Vm::runBounded(std::vector<std::int64_t> &Globals,
       break;
     }
     case Opcode::Prim: {
-      PrimSym = I.Sym;
+      PrimKind = I.SymId;
       PrimArgVals.clear();
       bool Ok = true;
       for (std::int64_t A = I.Imm; A-- > 0;) {
@@ -319,16 +319,15 @@ void Vm::resumePrim(std::int64_t Ret) {
   CCAL_CHECK(St == Status::AtPrim, "resumePrim: VM is not at a primitive");
   CCAL_CHECK(!Frames.empty(), "resumePrim: no live frame");
   Frames.back().Stack.push_back(Ret);
-  PrimSym.clear();
+  PrimKind = KindId();
   PrimArgVals.clear();
 }
 
 std::uint64_t Vm::stateHash() const {
   std::uint64_t H = hashMix64(static_cast<std::uint64_t>(St));
   H = hashCombine(H, static_cast<std::uint64_t>(Result));
-  H = hashCombine(H, PrimSym.size());
-  for (char C : PrimSym)
-    H = hashCombine(H, static_cast<unsigned char>(C));
+  // Content hash, not the interning-order id, so values are stable.
+  H = hashCombine(H, PrimKind.strHash());
   H = hashCombine(H, PrimArgVals.size());
   for (std::int64_t V : PrimArgVals)
     H = hashCombine(H, static_cast<std::uint64_t>(V));
@@ -348,7 +347,8 @@ std::uint64_t Vm::stateHash() const {
 
 bool Vm::sameState(const Vm &O) const {
   if (Prog.get() != O.Prog.get() || St != O.St || Result != O.Result ||
-      Err != O.Err || PrimSym != O.PrimSym || PrimArgVals != O.PrimArgVals ||
+      Err != O.Err || PrimKind != O.PrimKind ||
+      PrimArgVals != O.PrimArgVals ||
       Frames.size() != O.Frames.size())
     return false;
   for (size_t I = 0, E = Frames.size(); I != E; ++I) {

@@ -58,8 +58,10 @@ public:
   Status runBounded(std::vector<std::int64_t> &Globals,
                     std::uint64_t MaxSteps, bool &Exhausted);
 
-  /// Valid while AtPrim.
-  const std::string &primName() const { return PrimSym; }
+  /// Valid while AtPrim.  The reference is stable (interned storage).
+  const std::string &primName() const { return PrimKind.str(); }
+  /// Interned form of primName() — the machines' O(1) layer-lookup key.
+  KindId primKind() const { return PrimKind; }
   const std::vector<std::int64_t> &primArgs() const { return PrimArgVals; }
 
   /// Delivers the primitive's return value and resumes.
@@ -100,7 +102,7 @@ private:
   Status St = Status::Ready;
   std::int64_t Result = 0;
   std::string Err;
-  std::string PrimSym;
+  KindId PrimKind; ///< pending primitive while AtPrim (default: "")
   std::vector<std::int64_t> PrimArgVals;
   std::uint64_t Steps = 0;
 };

@@ -5,29 +5,33 @@
 using namespace ccal;
 
 PrimSemantics ccal::makeFetchIncPrim(std::string Kind) {
-  return [Kind](const PrimCall &Call) -> std::optional<PrimResult> {
+  // Intern once at construction; the semantics then runs on integer ids.
+  KindId Id(Kind);
+  return [Id](const PrimCall &Call) -> std::optional<PrimResult> {
     PrimResult Res;
-    Res.Ret = static_cast<std::int64_t>(logCountKind(*Call.L, Kind));
-    Res.Events.push_back(Event(Call.Tid, Kind, Call.Args));
+    Res.Ret = static_cast<std::int64_t>(logCountKind(*Call.L, Id));
+    Res.Events.push_back(Event(Call.Tid, Id, Call.Args));
     return Res;
   };
 }
 
 PrimSemantics ccal::makeReadCounterPrim(std::string Kind,
                                         std::string CountedKind) {
-  return [Kind, CountedKind](const PrimCall &Call)
+  KindId Id(Kind), CountedId(CountedKind);
+  return [Id, CountedId](const PrimCall &Call)
              -> std::optional<PrimResult> {
     PrimResult Res;
-    Res.Ret = static_cast<std::int64_t>(logCountKind(*Call.L, CountedKind));
-    Res.Events.push_back(Event(Call.Tid, Kind, Call.Args));
+    Res.Ret = static_cast<std::int64_t>(logCountKind(*Call.L, CountedId));
+    Res.Events.push_back(Event(Call.Tid, Id, Call.Args));
     return Res;
   };
 }
 
 PrimSemantics ccal::makeEventPrim(std::string Kind) {
-  return [Kind](const PrimCall &Call) -> std::optional<PrimResult> {
+  KindId Id(Kind);
+  return [Id](const PrimCall &Call) -> std::optional<PrimResult> {
     PrimResult Res;
-    Res.Events.push_back(Event(Call.Tid, Kind, Call.Args));
+    Res.Events.push_back(Event(Call.Tid, Id, Call.Args));
     return Res;
   };
 }

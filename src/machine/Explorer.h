@@ -40,6 +40,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -366,8 +367,7 @@ public:
     }
     // The root frame's pull is a seed, not a steal.
     Res.Steals = Pulls > 0 ? Pulls - 1 : 0;
-    Res.Outcomes = std::move(Outcomes);
-    Res.Corpus = std::move(Corpus);
+    mergeShardResults(Res);
     return Res;
   }
 
@@ -405,7 +405,12 @@ private:
         : M(std::move(M)), LastId(LastId), Consec(Consec), Depth(Depth) {}
   };
 
-  /// Per-worker counters, merged after the join (no hot-path sharing).
+  /// Per-worker counters AND result buffers, merged after the join (no
+  /// hot-path sharing).  The stored-outcome path deduplicates into the
+  /// worker's own Dedup/Outcomes/Corpus, so recording a terminal outcome
+  /// takes no lock at all; cross-worker duplicates collapse at the join
+  /// (mergeShardResults).  With one worker this is exactly the former
+  /// globally-locked recording, entry for entry.
   struct Shard {
     std::uint64_t States = 0;
     std::uint64_t InvariantChecks = 0;
@@ -415,6 +420,11 @@ private:
     std::uint64_t Pulls = 0;     ///< frames taken from the injector
     std::uint64_t Donations = 0; ///< frames moved into the injector
     std::uint64_t MaxStack = 0;  ///< deepest DFS stack held
+
+    OutcomeDeduper Dedup;          ///< this worker's distinct outcomes
+    std::vector<Outcome> Outcomes; ///< stored-path results, search order
+    std::vector<Log> Corpus;       ///< terminal + sampled logs
+    bool StoreTruncated = false;   ///< hit MaxStoredOutcomes locally
   };
 
   struct CacheEntry {
@@ -475,8 +485,13 @@ private:
       if (Opts.MaxParticipantSteps != 0 &&
           tallyOf(Top, C) >= Opts.MaxParticipantSteps)
         continue;
-      Frame Child(Top.M, C, C == Top.LastId ? Top.Consec + 1 : 1,
-                  Top.Depth + 1);
+      // The final child may take the parent's machine by move: NextChild
+      // is already past the end, so the frame can only be popped from here
+      // on (donate() skips child-less frames) and its machine is dead
+      // weight.  Saves one full machine copy per interior node.
+      const bool LastChild = Top.NextChild >= Top.Ready.size();
+      Frame Child(LastChild ? MachineT(std::move(Top.M)) : MachineT(Top.M),
+                  C, C == Top.LastId ? Top.Consec + 1 : 1, Top.Depth + 1);
       if (PorOn) {
         const Footprint &CF = Top.ReadyFoot[ChildIdx];
         childSleep(Top, C, CF, Child.Sleep);
@@ -494,7 +509,7 @@ private:
         continue;
       }
       if (Opts.CollectCorpus && (Top.Depth & 3) == 0)
-        pushCorpus(Child.M.log());
+        pushCorpus(Child.M.log(), S);
       Stack.push_back(std::move(Child));
       S.MaxStack = std::max(S.MaxStack,
                             static_cast<std::uint64_t>(Stack.size()));
@@ -547,7 +562,7 @@ private:
         return false;
       }
       Schedules.fetch_add(1, std::memory_order_relaxed);
-      recordOutcome(F.M);
+      recordOutcome(F.M, S);
       return false;
     }
     if (F.Depth >= Opts.MaxSteps) {
@@ -569,15 +584,21 @@ private:
       // Consec/Depth stay out of the key: compatibility is an inequality,
       // so entries differing only there must share a bucket.
       std::uint64_t H = hashCombine(F.M.snapshotHash(), F.LastId);
-      std::lock_guard<std::mutex> L(CacheMu);
-      std::vector<CacheEntry> &Bucket = Cache[H];
+      // Lock striping by hash: workers probing distinct states proceed in
+      // parallel instead of serializing on one global cache mutex.  The
+      // size cap is checked against a relaxed atomic, so it is approximate
+      // under contention — the cache may overshoot by at most one entry
+      // per worker, which only affects memory, never soundness.
+      CacheStripe &Stripe = CacheStripes[H & (NumCacheStripes - 1)];
+      std::lock_guard<std::mutex> L(Stripe.Mu);
+      std::vector<CacheEntry> &Bucket = Stripe.Map[H];
       for (const CacheEntry &E : Bucket)
         if (E.LastId == F.LastId && E.Consec <= F.Consec &&
             E.Depth <= F.Depth && E.M.sameSnapshot(F.M))
           return true;
-      if (CacheCount < Opts.MaxStateCache) {
+      if (CacheCount.load(std::memory_order_relaxed) < Opts.MaxStateCache) {
         Bucket.emplace_back(F.M, F.LastId, F.Consec, F.Depth);
-        ++CacheCount;
+        CacheCount.fetch_add(1, std::memory_order_relaxed);
       }
       return false;
     } else {
@@ -611,7 +632,7 @@ private:
           Out.push_back(E);
   }
 
-  void recordOutcome(const MachineT &M) {
+  void recordOutcome(const MachineT &M, Shard &S) {
     Outcome O;
     O.FinalLog = M.log();
     O.Returns = M.returns();
@@ -620,21 +641,26 @@ private:
       // reduction must deduplicate canonical trace forms instead (see
       // GenericExploreOptions::Por).
       if (PorOn)
-        O.FinalLog =
-            canonicalizeLog(O.FinalLog, [&M](const std::string &Kind) {
-              return M.eventFootprint(Event(0, Kind));
-            });
+        O.FinalLog = canonicalizeLog(O.FinalLog, [&M](KindId Kind) {
+          return M.eventFootprint(Event(0, Kind));
+        });
     }
-    bool DoStop = false;
-    {
-      std::lock_guard<std::mutex> L(ResMu);
-      if (Opts.CollectCorpus && Corpus.size() < Opts.MaxCorpus)
-        Corpus.push_back(O.FinalLog);
-      if (!Dedup.insert(O))
-        return;
-      if (Opts.OnOutcome) {
-        // Serialized under ResMu so callbacks need no locking of their
-        // own.
+    if (Opts.OnOutcome) {
+      // Callback path: the dedup set must stay global — the callback fires
+      // exactly once per DISTINCT outcome and checkers count those calls —
+      // so it remains serialized under ResMu, which also means callbacks
+      // need no locking of their own.
+      bool DoStop = false;
+      {
+        std::lock_guard<std::mutex> L(ResMu);
+        if (!Dedup.insert(O))
+          return;
+        // The corpus retains only deduplicated outcomes: pushing before
+        // the dedup test (as an earlier version did) stored one copy of a
+        // terminal log PER SCHEDULE reaching it, crowding the capped
+        // buffer with duplicates.
+        if (Opts.CollectCorpus && S.Corpus.size() < Opts.MaxCorpus)
+          S.Corpus.push_back(O.FinalLog);
         std::string V = Opts.OnOutcome(O);
         if (!V.empty()) {
           if (!Violated) {
@@ -643,18 +669,58 @@ private:
           }
           DoStop = true;
         }
-      } else if (Outcomes.size() < Opts.MaxStoredOutcomes) {
-        Outcomes.push_back(std::move(O));
-      } else {
-        Complete = false; // stored set truncated
-        if (Truncation.empty())
-          Truncation = "MaxStoredOutcomes budget (" +
-                       std::to_string(Opts.MaxStoredOutcomes) +
-                       ") exhausted";
+      }
+      if (DoStop)
+        stopAll();
+      return;
+    }
+    // Stored path: everything is worker-local, so recording an outcome
+    // takes no lock; cross-worker duplicates collapse at the join.
+    if (!S.Dedup.insert(O))
+      return;
+    if (Opts.CollectCorpus && S.Corpus.size() < Opts.MaxCorpus)
+      S.Corpus.push_back(O.FinalLog);
+    if (S.Outcomes.size() < Opts.MaxStoredOutcomes)
+      S.Outcomes.push_back(std::move(O));
+    else
+      S.StoreTruncated = true; // reported as truncation at the join
+  }
+
+  /// Joins the per-worker result shards after the workers exit, in worker
+  /// order.  Outcomes flow through a fresh dedup set (each worker
+  /// deduplicated only its own stream); the corpus concatenates up to its
+  /// cap; any shard-local truncation fails the run closed.  With one
+  /// worker this moves the single shard's vectors unchanged, so
+  /// sequential runs are bit-identical to the former global recording.
+  void mergeShardResults(ExploreResult &Res) {
+    bool Truncated = false;
+    if (!Opts.OnOutcome) {
+      OutcomeDeduper Merged;
+      for (Shard &S : Shards) {
+        Truncated |= S.StoreTruncated;
+        for (Outcome &O : S.Outcomes) {
+          if (!Merged.insert(O))
+            continue;
+          if (Res.Outcomes.size() < Opts.MaxStoredOutcomes)
+            Res.Outcomes.push_back(std::move(O));
+          else
+            Truncated = true;
+        }
       }
     }
-    if (DoStop)
-      stopAll();
+    for (Shard &S : Shards)
+      for (Log &L : S.Corpus) {
+        if (Res.Corpus.size() >= Opts.MaxCorpus)
+          break;
+        Res.Corpus.push_back(std::move(L));
+      }
+    if (Truncated) {
+      Res.Complete = false;
+      if (Res.Truncation.empty())
+        Res.Truncation = "MaxStoredOutcomes budget (" +
+                         std::to_string(Opts.MaxStoredOutcomes) +
+                         ") exhausted";
+    }
   }
 
   void violate(const MachineT &M, const std::string &Msg) {
@@ -674,10 +740,11 @@ private:
     QCv.notify_all();
   }
 
-  void pushCorpus(const Log &L) {
-    std::lock_guard<std::mutex> G(ResMu);
-    if (Corpus.size() < Opts.MaxCorpus)
-      Corpus.push_back(L);
+  /// Sampled intermediate logs go straight into the worker's own shard —
+  /// the former global buffer serialized every worker on ResMu mid-search.
+  void pushCorpus(const Log &L, Shard &S) {
+    if (S.Corpus.size() < Opts.MaxCorpus)
+      S.Corpus.push_back(L);
   }
 
   /// Blocks until a frame is available or the search is over; false means
@@ -752,21 +819,25 @@ private:
   std::atomic<bool> Stop{false};
   std::atomic<std::uint64_t> Schedules{0};
 
-  // Shared result slots (first violation wins).
+  // Shared result slots (first violation wins).  Outcome/corpus storage
+  // lives in the per-worker Shards; only the OnOutcome callback path
+  // still deduplicates globally here.
   std::mutex ResMu;
-  bool Violated = false;         ///< guarded by ResMu
-  std::string Violation;         ///< guarded by ResMu
-  bool Complete = true;          ///< guarded by ResMu
-  std::string Truncation;        ///< guarded by ResMu
-  OutcomeDeduper Dedup;          ///< guarded by ResMu
-  std::vector<Outcome> Outcomes; ///< guarded by ResMu
-  std::vector<Log> Corpus;       ///< guarded by ResMu
+  bool Violated = false;  ///< guarded by ResMu
+  std::string Violation;  ///< guarded by ResMu
+  bool Complete = true;   ///< guarded by ResMu
+  std::string Truncation; ///< guarded by ResMu
+  OutcomeDeduper Dedup;   ///< guarded by ResMu (OnOutcome path only)
 
-  // State-dedup cache.
-  std::mutex CacheMu;
-  std::unordered_map<std::uint64_t, std::vector<CacheEntry>>
-      Cache;             ///< guarded by CacheMu
-  size_t CacheCount = 0; ///< guarded by CacheMu
+  // State-dedup cache, lock-striped by snapshot hash so concurrent
+  // workers only contend when probing the same stripe.
+  static constexpr std::size_t NumCacheStripes = 16;
+  struct CacheStripe {
+    std::mutex Mu;
+    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> Map;
+  };
+  std::array<CacheStripe, NumCacheStripes> CacheStripes;
+  std::atomic<std::size_t> CacheCount{0}; ///< approximate (relaxed)
 
   std::vector<Shard> Shards;
 };
@@ -877,10 +948,9 @@ checkPorEquivalence(const MachineT &Root,
   for (Outcome O : Full.Outcomes) {
     if constexpr (detail::MachineHasFootprint<MachineT>::value) {
       if (Por.PorApplied)
-        O.FinalLog =
-            canonicalizeLog(O.FinalLog, [&Root](const std::string &Kind) {
-              return Root.eventFootprint(Event(0, Kind));
-            });
+        O.FinalLog = canonicalizeLog(O.FinalLog, [&Root](KindId Kind) {
+          return Root.eventFootprint(Event(0, Kind));
+        });
     }
     if (!FullSet.insert(O))
       continue; // several linearizations of one trace

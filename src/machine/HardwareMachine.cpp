@@ -39,7 +39,7 @@ std::vector<ThreadId> HardwareMachine::schedulable() const {
     if (C.Done)
       continue;
     if (C.AtPrim) {
-      const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+      const Primitive *P = Cfg->Layer->lookup(C.Machine.primKind());
       if (P && P->Shared) {
         PrimCall Call;
         Call.Tid = Id;
@@ -72,7 +72,7 @@ bool HardwareMachine::step(ThreadId Id) {
   }
 
   if (C.AtPrim) {
-    const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+    const Primitive *P = Cfg->Layer->lookup(C.Machine.primKind());
     if (!P) {
       fault(Id, "call to primitive '" + C.Machine.primName() +
                     "' not provided by layer " + Cfg->Layer->name());
@@ -127,7 +127,7 @@ Footprint HardwareMachine::stepFootprint(ThreadId Id) const {
   auto It = Cpus.find(Id);
   if (It == Cpus.end() || !It->second.AtPrim)
     return Footprint(); // one instruction: CPU-local only
-  const Primitive *P = Cfg->Layer->lookup(It->second.Machine.primName());
+  const Primitive *P = Cfg->Layer->lookup(It->second.Machine.primKind());
   if (!P)
     return Footprint::opaque();
   if (!P->Shared)

@@ -57,7 +57,7 @@ bool MultiCoreMachine::advance(Cpu &C, ThreadId Id) {
       return false;
     }
     CCAL_CHECK(St == Vm::Status::AtPrim, "unexpected VM status");
-    const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+    const Primitive *P = Cfg->Layer->lookup(C.Machine.primKind());
     if (!P) {
       fault(Id, "call to primitive '" + C.Machine.primName() +
                     "' not provided by layer " + Cfg->Layer->name());
@@ -106,7 +106,7 @@ std::vector<ThreadId> MultiCoreMachine::schedulable() const {
     // blocking spec such as acq on a held lock) is not schedulable until
     // the log grows; primitives are deterministic in the log, so this
     // dry run is exact.
-    const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+    const Primitive *P = Cfg->Layer->lookup(C.Machine.primKind());
     if (P && P->Shared) {
       PrimCall Call;
       Call.Tid = Id;
@@ -122,15 +122,19 @@ std::vector<ThreadId> MultiCoreMachine::schedulable() const {
   return Out;
 }
 
-std::string MultiCoreMachine::pendingPrim(ThreadId C) const {
+const std::string &MultiCoreMachine::pendingPrim(ThreadId C) const {
+  return pendingPrimKind(C).str();
+}
+
+KindId MultiCoreMachine::pendingPrimKind(ThreadId C) const {
   auto It = Cpus.find(C);
   if (It == Cpus.end() || It->second.Phase != CpuPhase::AtShared)
-    return "";
-  return It->second.Machine.primName();
+    return KindId();
+  return It->second.Machine.primKind();
 }
 
 Footprint MultiCoreMachine::stepFootprint(ThreadId C) const {
-  return Cfg->Layer->footprintOf(pendingPrim(C));
+  return Cfg->Layer->footprintOf(pendingPrimKind(C));
 }
 
 Footprint MultiCoreMachine::eventFootprint(const Event &E) const {
@@ -146,7 +150,7 @@ bool MultiCoreMachine::step(ThreadId Id) {
   CCAL_CHECK(C.Phase == CpuPhase::AtShared,
              "step: CPU is not parked at a shared primitive");
 
-  const Primitive *P = Cfg->Layer->lookup(C.Machine.primName());
+  const Primitive *P = Cfg->Layer->lookup(C.Machine.primKind());
   CCAL_CHECK(P && P->Shared, "parked primitive must be shared");
 
   PrimCall Call;

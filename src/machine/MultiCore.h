@@ -86,7 +86,11 @@ public:
   const std::vector<std::int64_t> &cpuMemory(ThreadId C) const;
 
   /// Name of the shared primitive CPU \p C is parked at ("" when none).
-  std::string pendingPrim(ThreadId C) const;
+  /// Returns a reference into interned storage — no allocation per query.
+  const std::string &pendingPrim(ThreadId C) const;
+
+  /// Interned form of pendingPrim (the POR hot path queries this).
+  KindId pendingPrimKind(ThreadId C) const;
 
   /// Declared footprint of CPU \p C's next step — the pending shared
   /// primitive's footprint (the subsequent local slice touches only

@@ -109,7 +109,7 @@ ContextualRefinementReport checkContextualRefinementImpl(
   auto CanonSpecLog = [&SpecLayer, Canon](Log L) {
     if (!Canon)
       return L;
-    return canonicalizeLog(L, [&SpecLayer](const std::string &Kind) {
+    return canonicalizeLog(L, [&SpecLayer](KindId Kind) {
       return SpecLayer->footprintOf(Kind);
     });
   };

@@ -63,7 +63,12 @@ Replayer<McsState> ccal::makeMcsReplayer() {
     }
     return N;
   };
-  return Replayer<McsState>(McsState{}, std::move(Step));
+  Replayer<McsState> R(McsState{}, std::move(Step));
+  R.onlyKinds({KindId("mcs_init"), KindId("mcs_swap_tail"),
+               KindId("mcs_set_next"), KindId("mcs_get_busy"),
+               KindId("mcs_get_next"), KindId("mcs_cas_tail"),
+               KindId("mcs_clear_busy"), KindId("hold")});
+  return R;
 }
 
 McsLockLayers ccal::makeMcsLockLayers() {

@@ -6,7 +6,8 @@ using namespace ccal;
 
 void ccal::addAtomicMethod(LayerInterface &L, const std::string &Name,
                            AtomicSemantics Sem, Footprint Foot) {
-  L.addShared(Name, [Name, Sem](const PrimCall &Call)
+  KindId Id(Name); // interned once; event construction is an integer copy
+  L.addShared(Name, [Id, Sem](const PrimCall &Call)
                   -> std::optional<PrimResult> {
     AtomicOutcome O = Sem(Call.Tid, Call.Args, *Call.L);
     switch (O.K) {
@@ -16,7 +17,7 @@ void ccal::addAtomicMethod(LayerInterface &L, const std::string &Name,
       return PrimResult::blocked();
     case AtomicOutcome::Kind::Ok: {
       PrimResult Res;
-      Res.Events.push_back(Event(Call.Tid, Name, Call.Args));
+      Res.Events.push_back(Event(Call.Tid, Id, Call.Args));
       Res.Ret = O.Ret;
       return Res;
     }
@@ -27,10 +28,11 @@ void ccal::addAtomicMethod(LayerInterface &L, const std::string &Name,
 
 Replayer<AbstractLockState>
 ccal::makeAbstractLockReplayer(std::string AcqKind, std::string RelKind) {
-  auto Step = [AcqKind, RelKind](
+  KindId AcqId(AcqKind), RelId(RelKind);
+  auto Step = [AcqId, RelId](
                   const AbstractLockState &S,
                   const Event &E) -> std::optional<AbstractLockState> {
-    if (E.Kind == AcqKind) {
+    if (E.Kind == AcqId) {
       if (S.Holder.has_value())
         return std::nullopt; // acq while held: mutual exclusion violated
       AbstractLockState Next = S;
@@ -38,7 +40,7 @@ ccal::makeAbstractLockReplayer(std::string AcqKind, std::string RelKind) {
       ++Next.Acquisitions;
       return Next;
     }
-    if (E.Kind == RelKind) {
+    if (E.Kind == RelId) {
       if (!S.Holder || *S.Holder != E.Tid)
         return std::nullopt; // rel by a non-holder
       AbstractLockState Next = S;
@@ -47,7 +49,11 @@ ccal::makeAbstractLockReplayer(std::string AcqKind, std::string RelKind) {
     }
     return S;
   };
-  return Replayer<AbstractLockState>(AbstractLockState{}, std::move(Step));
+  Replayer<AbstractLockState> R(AbstractLockState{}, std::move(Step));
+  // The fold returns S unchanged for every other kind — declare that so
+  // replay skips them without the type-erased call.
+  R.onlyKinds({AcqId, RelId});
+  return R;
 }
 
 void ccal::addAtomicLock(LayerInterface &L, const std::string &AcqKind,

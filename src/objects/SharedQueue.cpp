@@ -29,8 +29,9 @@ Replayer<AbstractSharedQueue> ccal::makeSharedQueueReplayer() {
     }
     return N;
   };
-  return Replayer<AbstractSharedQueue>(AbstractSharedQueue{},
-                                       std::move(Step));
+  Replayer<AbstractSharedQueue> R(AbstractSharedQueue{}, std::move(Step));
+  R.onlyKinds({KindId("enQ"), KindId("deQ")});
+  return R;
 }
 
 static ClightModule makeSharedQueueModule() {

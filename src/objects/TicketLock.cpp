@@ -37,7 +37,9 @@ Replayer<TicketState> ccal::makeTicketReplayer() {
     }
     return Next;
   };
-  return Replayer<TicketState>(TicketState{}, std::move(Step));
+  Replayer<TicketState> R(TicketState{}, std::move(Step));
+  R.onlyKinds({KindId("FAI_t"), KindId("hold"), KindId("inc_n")});
+  return R;
 }
 
 std::string ccal::checkTicketFifo(const Log &L) {

@@ -130,7 +130,7 @@ bool ThreadedMachine::runThread(ThreadId Tid, Thr &T) {
       return false;
     }
     CCAL_CHECK(St == Vm::Status::AtPrim, "unexpected VM status");
-    const Primitive *P = Cfg->Layer->lookup(T.Machine.primName());
+    const Primitive *P = Cfg->Layer->lookup(T.Machine.primKind());
     if (!P) {
       fault(Tid, "call to primitive '" + T.Machine.primName() +
                      "' not provided by layer " + Cfg->Layer->name());
@@ -180,7 +180,7 @@ std::vector<ThreadId> ThreadedMachine::schedulable() const {
     if (It == Threads.end() || !It->second.Parked || It->second.Exited)
       continue;
     const Thr &T = It->second;
-    const Primitive *P = Cfg->Layer->lookup(T.Machine.primName());
+    const Primitive *P = Cfg->Layer->lookup(T.Machine.primKind());
     if (P && P->Shared) {
       PrimCall Call;
       Call.Tid = It->first;
@@ -204,7 +204,7 @@ bool ThreadedMachine::step(ThreadId Tid) {
   Thr &T = It->second;
   CCAL_CHECK(T.Parked, "step: thread is not parked at a shared primitive");
 
-  const Primitive *P = Cfg->Layer->lookup(T.Machine.primName());
+  const Primitive *P = Cfg->Layer->lookup(T.Machine.primKind());
   CCAL_CHECK(P && P->Shared, "parked primitive must be shared");
 
   std::vector<std::int64_t> &Globals = CpuMem.at(T.Cpu);

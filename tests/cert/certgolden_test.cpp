@@ -1,0 +1,91 @@
+//===- tests/cert/certgolden_test.cpp - Byte-pinned certificate goldens -------===//
+//
+// The interning refactor's compatibility contract: event kinds are integer
+// ids in memory, but everything that leaves the process — serialized logs
+// in certificates, content-addressed store keys — still goes through the
+// kind *string*, so stored certificates from before the change verify
+// byte-identically after it.  These goldens were captured from the
+// pre-interning representation (std::string Event::Kind, plain
+// std::vector<Event> log); any byte difference here means existing
+// certificate stores would silently miss (or worse, collide).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/CertJson.h"
+
+#include "cert/CertKey.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+using namespace ccal;
+using namespace ccal::cert;
+
+namespace {
+
+/// A log exercising every serialization shape: sched events, no-arg and
+/// multi-arg kinds, negative numbers, and both int64 extremes.
+Log makeGoldenLog() {
+  Log L;
+  L.push_back(Event::sched(1));
+  L.push_back(Event(1, "FAI_t"));
+  L.push_back(Event(1, "hold"));
+  L.push_back(Event(2, "FAI_t", {7, -3}));
+  L.push_back(Event(1, "f", {0}));
+  L.push_back(Event(1, "g"));
+  L.push_back(Event(1, "inc_n"));
+  L.push_back(Event::sched(2));
+  L.push_back(Event(2, "push",
+                    {42, std::numeric_limits<std::int64_t>::max()}));
+  L.push_back(Event(3, "pop", {std::numeric_limits<std::int64_t>::min()}));
+  L.push_back(Event(2, "acq"));
+  L.push_back(Event(2, "rel"));
+  return L;
+}
+
+} // namespace
+
+TEST(CertGoldenTest, LogJsonBytesMatchPreInterningCapture) {
+  // Captured from the seed (string-kinded) serializer on the same log.
+  const std::string Golden =
+      "[[1,\"sched\",[]],[1,\"FAI_t\",[]],[1,\"hold\",[]],"
+      "[2,\"FAI_t\",[7,-3]],[1,\"f\",[0]],[1,\"g\",[]],[1,\"inc_n\",[]],"
+      "[2,\"sched\",[]],[2,\"push\",[42,9223372036854775807]],"
+      "[3,\"pop\",[-9223372036854775808]],[2,\"acq\",[]],[2,\"rel\",[]]]";
+  EXPECT_EQ(jsonToString(logToJson(makeGoldenLog())), Golden);
+}
+
+TEST(CertGoldenTest, LogJsonRoundTripsThroughInternedEvents) {
+  Log L = makeGoldenLog();
+  Log Back;
+  ASSERT_TRUE(logFromJson(logToJson(L), Back));
+  EXPECT_EQ(Back, L);
+  EXPECT_EQ(jsonToString(logToJson(Back)), jsonToString(logToJson(L)));
+}
+
+TEST(CertGoldenTest, CertKeyLogHashMatchesPreInterningCapture) {
+  // keyAddLog hashes the kind *string* (not the id, not the cached
+  // strHash seed path), so store addresses survive the representation
+  // change.  Captured from the seed Hasher on this log.
+  Log L;
+  L.push_back(Event::sched(1));
+  L.push_back(Event(1, "FAI_t"));
+  L.push_back(Event(2, "hold", {7, -3}));
+  L.push_back(Event(1, "inc_n", {0}));
+  Hasher H;
+  keyAddLog(H, L);
+  EXPECT_EQ(H.value(), 0x434aa5b685e27c8bULL);
+}
+
+TEST(CertGoldenTest, EventJsonUsesStringsNotIds) {
+  // Intern two fresh kinds in reverse lexicographic order: the serialized
+  // form must depend only on the strings.
+  Event B(1, "zz_golden_kind");
+  Event A(1, "aa_golden_kind");
+  EXPECT_EQ(jsonToString(eventToJson(A)), "[1,\"aa_golden_kind\",[]]");
+  EXPECT_EQ(jsonToString(eventToJson(B)), "[1,\"zz_golden_kind\",[]]");
+}
