@@ -16,6 +16,7 @@
 #include "machine/CpuLocal.h"
 #include "machine/Explorer.h"
 #include "machine/Soundness.h"
+#include "objects/ObjectSpec.h"
 #include "objects/TicketLock.h"
 #include "obs/Metrics.h"
 
@@ -174,6 +175,56 @@ MachineConfigPtr makeTicketSpecConfig(unsigned Cpus, unsigned Rounds) {
   return Cfg;
 }
 
+/// The mixed workload source-set DPOR is FOR: the atomic ticket-lock L1
+/// layer extended with one private counter per CPU (honestly disjoint
+/// footprints), each CPU doing local work before its critical section.
+/// The pure L1 row is schedule-irreducible — every pair of lock events
+/// conflicts, so sleep sets and DPOR both report 1.00x there.  Here the
+/// local ticks commute across CPUs while the lock section stays ordered,
+/// and the reduction (>=2x schedules) comes entirely from the race-driven
+/// backtracking: static sleep sets alone cannot skip a first-sibling.
+MachineConfigPtr makeTicketMixedConfig(unsigned Cpus) {
+  static LayerPtr L = []() -> LayerPtr {
+    // The L1 atomic-lock interface rebuilt fresh (the shared TicketLock
+    // L1 is immutable) plus the per-CPU counters.
+    auto I = makeInterface("L1mixed");
+    addAtomicLock(*I, "acq", "rel");
+    I->addShared("f", makeFetchIncPrim("f"), Footprint::of({"f"}, {"f"}));
+    for (unsigned C = 1; C <= 3; ++C) {
+      // Prim name == counter name == event kind, so the equivalence
+      // checker's log canonicalization sees the same footprint the
+      // runtime DPOR used.
+      std::string V = "tick" + std::to_string(C);
+      I->addShared(V, makeFetchIncPrim(V), Footprint::of({V}, {V}));
+    }
+    return I;
+  }();
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("P_mixed", R"(
+      extern void acq();
+      extern void rel();
+      extern int f();
+      extern int tick1();
+      extern int tick2();
+      extern int tick3();
+      int t1() { tick1(); tick1(); acq(); int a = f(); rel(); return a; }
+      int t2() { tick2(); tick2(); acq(); int a = f(); rel(); return a; }
+      int t3() { tick3(); tick3(); acq(); int a = f(); rel(); return a; }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  static AsmProgramPtr Prog = compileAndLink("tickmixed.lasm", {&Client});
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "tickmixed";
+  Cfg->Layer = L;
+  Cfg->Program = Prog;
+  for (ThreadId C = 1; C <= Cpus && C <= 3; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{
+                             {"t" + std::to_string(C), {}}});
+  return Cfg;
+}
+
 void exploreParallel(benchmark::State &State) {
   MachineConfigPtr Cfg = makeTicketSpecConfig(4, 2);
   std::uint64_t Schedules = 0, States = 0;
@@ -234,6 +285,7 @@ struct PorAblationRow {
   std::uint64_t RegSleepSkips = 0;
   std::uint64_t RegCacheHits = 0;
   std::uint64_t RegSteals = 0;
+  std::uint64_t RegBacktracks = 0;
 };
 
 /// Runs checkPorEquivalence (full exploration vs sleep-set reduction,
@@ -258,6 +310,7 @@ std::vector<PorAblationRow> runPorAblation() {
     Row.RegSleepSkips = obs::counterValue("explorer.sleep_skips");
     Row.RegCacheHits = obs::counterValue("explorer.cache_hits");
     Row.RegSteals = obs::counterValue("explorer.steals");
+    Row.RegBacktracks = obs::counterValue("dpor.backtracks");
     Rows.push_back(std::move(Row));
   };
   {
@@ -281,11 +334,22 @@ std::vector<PorAblationRow> runPorAblation() {
     RunRow("ticket spec layer L1, 3 CPUs x 1 round",
            makeTicketSpecConfig(3, 1), Opts);
   }
+  {
+    // The headline DPOR row: lock contention plus commuting per-CPU
+    // local work.  Sleep sets alone left this class at 1.00x (a first
+    // sibling is never asleep); the race-driven backtracking collapses
+    // the commuting tick interleavings.
+    ExploreOptions Opts;
+    Opts.MaxSteps = 4096;
+    RunRow("ticket L1 + per-CPU local work, 3 CPUs",
+           makeTicketMixedConfig(3), Opts);
+  }
   obs::metricsReset();
   obs::setEnabled(WasEnabled);
   for (const PorAblationRow &Row : Rows)
     std::fprintf(stderr,
                  "por ablation: %-50s full=%llu por=%llu (%.1fx) "
+                 "states=%llu/%llu backtracks=%llu "
                  "outcomes=%llu/%llu match=%s\n",
                  Row.Workload.c_str(),
                  static_cast<unsigned long long>(Row.R.FullSchedules),
@@ -294,6 +358,9 @@ std::vector<PorAblationRow> runPorAblation() {
                      ? static_cast<double>(Row.R.FullSchedules) /
                            static_cast<double>(Row.R.PorSchedules)
                      : 0.0,
+                 static_cast<unsigned long long>(Row.R.FullStates),
+                 static_cast<unsigned long long>(Row.R.PorStates),
+                 static_cast<unsigned long long>(Row.R.Backtracks),
                  static_cast<unsigned long long>(Row.R.FullOutcomes),
                  static_cast<unsigned long long>(Row.R.PorOutcomes),
                  Row.R.Ok && Row.R.Match ? "true" : "false");
@@ -308,10 +375,12 @@ void emitPorJson(std::FILE *F, const std::vector<PorAblationRow> &Rows) {
         F,
         "    {\"workload\": \"%s\", \"schedules_full\": %llu, "
         "\"schedules_por\": %llu, \"reduction\": %.2f, "
+        "\"states_full\": %llu, \"states_por\": %llu, "
+        "\"backtracks\": %llu, "
         "\"sleep_skips\": %llu, \"outcomes_full\": %llu, "
         "\"outcomes_por\": %llu, \"match\": %s, "
         "\"registry_sleep_skips\": %llu, \"registry_cache_hits\": %llu, "
-        "\"registry_steals\": %llu}%s\n",
+        "\"registry_steals\": %llu, \"registry_backtracks\": %llu}%s\n",
         Row.Workload.c_str(),
         static_cast<unsigned long long>(Row.R.FullSchedules),
         static_cast<unsigned long long>(Row.R.PorSchedules),
@@ -319,6 +388,9 @@ void emitPorJson(std::FILE *F, const std::vector<PorAblationRow> &Rows) {
             ? static_cast<double>(Row.R.FullSchedules) /
                   static_cast<double>(Row.R.PorSchedules)
             : 0.0,
+        static_cast<unsigned long long>(Row.R.FullStates),
+        static_cast<unsigned long long>(Row.R.PorStates),
+        static_cast<unsigned long long>(Row.R.Backtracks),
         static_cast<unsigned long long>(Row.R.SleepSkips),
         static_cast<unsigned long long>(Row.R.FullOutcomes),
         static_cast<unsigned long long>(Row.R.PorOutcomes),
@@ -326,9 +398,105 @@ void emitPorJson(std::FILE *F, const std::vector<PorAblationRow> &Rows) {
         static_cast<unsigned long long>(Row.RegSleepSkips),
         static_cast<unsigned long long>(Row.RegCacheHits),
         static_cast<unsigned long long>(Row.RegSteals),
+        static_cast<unsigned long long>(Row.RegBacktracks),
         I + 1 != Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n");
+}
+
+/// Snapshot-convergent workload for the bounded-StateCache rows: silent
+/// shared nops emit no events, so interleavings reconverge on identical
+/// machine snapshots — the dedup cache's best case, and the workload that
+/// actually exercises eviction and spill under a byte budget.
+MachineConfigPtr makeNopGridConfig(unsigned Cpus, unsigned Nops) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int nop();
+      int t_main(int k) {
+        int i = 0;
+        while (i < k) {
+          nop();
+          i = i + 1;
+        }
+        return 0;
+      }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  static LayerPtr L = [] {
+    auto I = makeInterface("Lnopgrid");
+    I->addShared("nop", makeConstPrim(0));
+    return I;
+  }();
+  static AsmProgramPtr Prog = compileAndLink("nopgrid.lasm", {&Client});
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "nopgrid";
+  Cfg->Layer = L;
+  Cfg->Program = Prog;
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{
+                             {"t_main", {static_cast<std::int64_t>(Nops)}}});
+  return Cfg;
+}
+
+/// The bounded-StateCache ablation: the same convergent workload explored
+/// uncached, with an unbounded cache, under a tight byte budget, and
+/// under the budget with disk spill — states/evictions/spill-hit columns
+/// show what each knob trades.  Outcome counts must agree across all
+/// four rows (the cache prunes revisits, never outcomes).
+void emitStateCacheJson(std::FILE *F) {
+  namespace fs = std::filesystem;
+  fs::path SpillDir = fs::temp_directory_path() / "ccal_bench_spill";
+  std::error_code Ec;
+  fs::remove_all(SpillDir, Ec);
+
+  MachineConfigPtr Cfg = makeNopGridConfig(3, 3);
+  struct Mode {
+    const char *Name;
+    bool Cache;
+    std::size_t Budget;
+    bool Spill;
+  };
+  const Mode Modes[] = {{"uncached", false, 0, false},
+                        {"unbounded", true, 0, false},
+                        {"budget_16k", true, 16384, false},
+                        {"budget_16k_spill", true, 16384, true}};
+  std::fprintf(F, "  \"state_cache\": [\n");
+  for (size_t I = 0; I != std::size(Modes); ++I) {
+    const Mode &M = Modes[I];
+    ExploreOptions Opts;
+    Opts.StateCache = M.Cache;
+    Opts.CacheBudgetBytes = M.Budget;
+    if (M.Spill)
+      Opts.CacheSpillDir = SpillDir.string();
+    auto Start = std::chrono::steady_clock::now();
+    ExploreResult Res = exploreMachine(Cfg, Opts);
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    std::fprintf(
+        F,
+        "    {\"mode\": \"%s\", \"seconds\": %.4f, \"states\": %llu, "
+        "\"outcomes\": %llu, \"cache_hits\": %llu, \"evictions\": %llu, "
+        "\"spill_hits\": %llu, \"ok\": %s}%s\n",
+        M.Name, Secs, static_cast<unsigned long long>(Res.StatesExplored),
+        static_cast<unsigned long long>(Res.Outcomes.size()),
+        static_cast<unsigned long long>(Res.CacheHits),
+        static_cast<unsigned long long>(Res.CacheEvictions),
+        static_cast<unsigned long long>(Res.CacheSpillHits),
+        Res.Ok && Res.Complete ? "true" : "false",
+        I + 1 != std::size(Modes) ? "," : "");
+    std::fprintf(stderr,
+                 "state cache: %-18s states=%llu hits=%llu evictions=%llu "
+                 "spill_hits=%llu\n",
+                 M.Name, static_cast<unsigned long long>(Res.StatesExplored),
+                 static_cast<unsigned long long>(Res.CacheHits),
+                 static_cast<unsigned long long>(Res.CacheEvictions),
+                 static_cast<unsigned long long>(Res.CacheSpillHits));
+  }
+  std::fprintf(F, "  ],\n");
+  fs::remove_all(SpillDir, Ec);
 }
 
 /// Cold-vs-warm timing of the certificate store on a full contextual
@@ -444,6 +612,8 @@ void emitScalingJson() {
     std::uint64_t SleepSkips = obs::counterValue("explorer.sleep_skips");
     std::uint64_t Steals = obs::counterValue("explorer.steals");
     std::uint64_t Donations = obs::counterValue("explorer.donations");
+    std::uint64_t StealBatches = obs::counterValue("steal.batches");
+    std::uint64_t CacheEvictions = obs::counterValue("cache.evictions");
     // snapshot_bytes: bytes a machine-copy physically clones for a log of
     // this run's deepest length (sealed chunks are shared, only pointers
     // and the tail copy) — the quantity the chunked representation
@@ -456,7 +626,8 @@ void emitScalingJson() {
                  "%llu, \"states\": %llu, \"states_per_sec\": %.0f, "
                  "\"snapshot_bytes\": %llu, \"ok\": %s, \"speedup\": %.2f, "
                  "\"cache_hits\": %llu, \"sleep_skips\": %llu, "
-                 "\"steals\": %llu, \"donations\": %llu}%s\n",
+                 "\"steals\": %llu, \"donations\": %llu, "
+                 "\"steal_batches\": %llu, \"cache_evictions\": %llu}%s\n",
                  T, Secs,
                  static_cast<unsigned long long>(Res.SchedulesExplored),
                  static_cast<unsigned long long>(Res.StatesExplored),
@@ -469,18 +640,22 @@ void emitScalingJson() {
                  static_cast<unsigned long long>(SleepSkips),
                  static_cast<unsigned long long>(Steals),
                  static_cast<unsigned long long>(Donations),
+                 static_cast<unsigned long long>(StealBatches),
+                 static_cast<unsigned long long>(CacheEvictions),
                  I + 1 != ThreadCounts.size() ? "," : "");
     std::fprintf(stderr,
                  "explorer scaling: threads=%u %.3fs schedules=%llu "
-                 "cache_hits=%llu steals=%llu\n",
+                 "cache_hits=%llu steals=%llu steal_batches=%llu\n",
                  T, Secs,
                  static_cast<unsigned long long>(Res.SchedulesExplored),
                  static_cast<unsigned long long>(CacheHits),
-                 static_cast<unsigned long long>(Steals));
+                 static_cast<unsigned long long>(Steals),
+                 static_cast<unsigned long long>(StealBatches));
   }
   obs::metricsReset();
   obs::setEnabled(WasEnabled);
   std::fprintf(F, "  ],\n");
+  emitStateCacheJson(F);
   emitCertStoreJson(F);
   emitPorJson(F, runPorAblation());
   std::fprintf(F, "}\n");

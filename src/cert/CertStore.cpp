@@ -168,8 +168,22 @@ void CertStore::evictIfFull() {
     const fs::path &P = DE.path();
     if (P.extension() != ".json")
       continue;
-    Entries.emplace_back(fs::last_write_time(P, Ec), P);
+    // A failed stat yields a default-constructed (epoch) time that sorts
+    // OLDEST — evicting healthy entries while the unstattable one (a
+    // vanished or broken file) survives every round.  Skip it: it cannot
+    // be meaningfully ordered, and if it is truly gone it no longer
+    // occupies a slot anyway.
+    std::error_code StatEc;
+    fs::file_time_type T = fs::last_write_time(P, StatEc);
+    if (StatEc) {
+      count("cert.evict_stat_errors");
+      continue;
+    }
+    Entries.emplace_back(T, P);
   }
+  // Ties on coarse filesystem mtime granularity are broken by path (the
+  // pair's second field), so eviction order is reproducible when several
+  // entries land in one mtime tick.
   while (Entries.size() >= MaxEntries) {
     auto Oldest = std::min_element(Entries.begin(), Entries.end());
     if (Oldest == Entries.end())

@@ -17,6 +17,10 @@ void ccal::detail::publishExploreMetrics(const ExploreResult &Res) {
   obs::counterAdd("explorer.sleep_skips", Res.PorSleepSkips);
   obs::counterAdd("explorer.steals", Res.Steals);
   obs::counterAdd("explorer.donations", Res.Donations);
+  obs::counterAdd("dpor.backtracks", Res.DporBacktracks);
+  obs::counterAdd("cache.evictions", Res.CacheEvictions);
+  obs::counterAdd("cache.spill_hits", Res.CacheSpillHits);
+  obs::counterAdd("steal.batches", Res.StealBatches);
   if (Res.PorApplied)
     obs::counterAdd("explorer.por_runs", 1);
   if (!Res.Complete) {

@@ -24,11 +24,17 @@
 ///
 /// Machines additionally providing stepFootprint()/eventFootprint() (see
 /// core/Footprint.h) unlock the opt-in partial-order reduction
-/// (GenericExploreOptions::Por): sleep sets over the footprint-conflict
-/// independence relation skip schedules that differ from an explored one
-/// only in the order of commuting steps, and outcomes are recorded with
-/// canonical (Mazurkiewicz-trace) logs so the deduplicated outcome set is
-/// identical to full exploration's.
+/// (GenericExploreOptions::Por): source-set DPOR (Abdulla et al., Optimal
+/// Dynamic Partial Order Reduction) over the footprint-conflict
+/// independence relation.  Instead of statically enumerating every
+/// schedulable child, each node starts with ONE child and grows a
+/// backtrack (source) set on demand: whenever an explored step races with
+/// an earlier event on the DFS path, the reversal is scheduled at the
+/// race's pre-state — unless the source-set check shows an already-
+/// scheduled child covers it.  Godefroid-style sleep sets prune siblings
+/// of already-explored commuting subtrees on top, and outcomes are
+/// recorded with canonical (Mazurkiewicz-trace) logs so the deduplicated
+/// outcome set is identical to full exploration's.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +43,7 @@
 
 #include "core/Footprint.h"
 #include "machine/MultiCore.h"
+#include "machine/StateCache.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -73,9 +80,9 @@ template <typename MachineT> struct GenericExploreOptions {
   std::uint64_t MaxSchedules = 1u << 22;
   std::uint64_t MaxSteps = 4096;
 
-  /// Partial-order reduction (sleep sets over the machine's declared step
-  /// footprints; Godefroid-style).  Opt-in, and changes the exploration
-  /// regime in three documented ways:
+  /// Partial-order reduction: source-set DPOR with sleep sets over the
+  /// machine's declared step footprints (see the file comment).  Opt-in,
+  /// and changes the exploration regime in four documented ways:
   ///
   ///  - FairnessBound is IGNORED.  The consecutive-steps filter is a
   ///    property of one linearization, not of its Mazurkiewicz trace: the
@@ -85,12 +92,19 @@ template <typename MachineT> struct GenericExploreOptions {
   ///    workloads with MaxParticipantSteps instead, which is
   ///    trace-invariant (a per-participant total is the same in every
   ///    linearization of a trace).
-  ///  - The StateCache is DISABLED.  A cache hit asserts the first visit
-  ///    explored every schedule admissible from the revisit, but under
-  ///    POR the first visit's subtree was itself pruned by *its* sleep
-  ///    set, which the revisit's may not subsume; a sound compatibility
-  ///    test would need the full sleep-set context in every entry.  v1
-  ///    runs POR uncached.
+  ///  - The StateCache runs a stricter protocol.  A hit must assert the
+  ///    first visit explored every schedule admissible from the revisit,
+  ///    so entries are inserted only for FULLY explored subtrees and
+  ///    carry their visit's sleep/tally context plus a subtree step
+  ///    summary; a revisit is pruned only when the entry's context is no
+  ///    more pruned than its own, and the summary's race detections are
+  ///    replayed against the revisit's prefix (see StateCache.h).  When a
+  ///    subtree's summary overflows, that state is simply not cached.
+  ///  - Work sharing is DISABLED (donations stop; extra workers idle).
+  ///    DPOR's race detection inserts backtrack points into the ANCESTORS
+  ///    of the step being explored, which must therefore still sit on the
+  ///    exploring worker's own stack — a donated subtree would race-walk
+  ///    into frames its donor still owns.  Run POR single-threaded.
   ///  - Outcome logs are CANONICALIZED (see canonicalizeLog): every
   ///    shared step appends a participant-tagged event, so raw final logs
   ///    are in bijection with schedules and POR would otherwise lose
@@ -100,7 +114,11 @@ template <typename MachineT> struct GenericExploreOptions {
   /// On machines without stepFootprint()/eventFootprint() the reduction
   /// silently degrades to full exploration (ExploreResult::PorApplied
   /// reports which happened).  Soundness rests on honest footprints;
-  /// checkPorEquivalence verifies it differentially.
+  /// checkPorEquivalence verifies it differentially.  Over-approximated
+  /// footprints (up to Footprint::opaque) stay sound and degrade toward
+  /// full exploration — exactly where the POR-aware StateCache earns its
+  /// keep, by pruning the reconvergent states DPOR cannot prove
+  /// commuting.
   bool Por = false;
 
   /// Cap on the TOTAL steps any one participant takes along a path; 0 is
@@ -162,6 +180,27 @@ template <typename MachineT> struct GenericExploreOptions {
   /// remembering new states.
   size_t MaxStateCache = 1u << 20;
 
+  /// Byte budget for the cache's resident snapshots (approximate,
+  /// process-wide across worker threads); past it least-recently-used
+  /// entries are evicted, counted in ExploreResult::CacheEvictions.  0
+  /// (the default) never evicts, preserving the unbounded semantics.
+  size_t CacheBudgetBytes = 0;
+
+  /// When non-empty, fingerprints of evicted plain-DFS cache entries
+  /// spill to <dir>/statecache.spill (written atomically, temp+rename)
+  /// and keep serving revisit pruning after their snapshots are gone.
+  /// OPT-IN and off by default: a fingerprint hit cannot structurally
+  /// compare snapshots, so a 64-bit collision could prune an unexplored
+  /// state — acceptable for bug hunting, not for certification runs.
+  std::string CacheSpillDir;
+
+  /// Frames moved per donation when work sharing rebalances (see
+  /// ExploreResult::Donations).  Donating single frames made donors stop
+  /// for the injector lock on nearly every expansion under hungry
+  /// workers — the bench regression this batching fixes; donations also
+  /// only happen when the injector is observed empty.
+  unsigned StealBatch = 8;
+
   /// Publish this run's aggregate counters (schedules, states, sleep-set
   /// prunes, cache hits, steals, per-worker balance) into the obs metrics
   /// registry and record an "explorer.explore" span.  Setting this
@@ -193,6 +232,11 @@ struct ExploreResult {
 
   std::uint64_t PorSleepSkips = 0; ///< children skipped via sleep sets
 
+  /// Backtrack points DPOR's race detection inserted into ancestor
+  /// frames' source sets (one count per NEW entry; re-detections of an
+  /// already-scheduled reversal are free).
+  std::uint64_t DporBacktracks = 0;
+
   std::string Violation; ///< first violation with its log
 
   std::vector<Outcome> Outcomes; ///< one per schedule (deduplicated)
@@ -200,13 +244,24 @@ struct ExploreResult {
   std::uint64_t StatesExplored = 0;
   std::uint64_t InvariantChecks = 0;
   std::uint64_t MaxLogLen = 0;
-  std::uint64_t CacheHits = 0; ///< states pruned by the StateCache
+  std::uint64_t CacheHits = 0;      ///< states pruned by the StateCache
+  std::uint64_t CacheEvictions = 0; ///< LRU evictions (CacheBudgetBytes)
+  std::uint64_t CacheSpillHits = 0; ///< revisits pruned via spilled records
 
-  /// Work-sharing telemetry: frames a busy worker moved into the shared
-  /// injector (Donations) and frames workers picked up from it beyond the
-  /// root (Steals).  Both are 0 on single-threaded runs.
+  /// Work-sharing telemetry.  Donations and Steals measure DISTINCT
+  /// events on the two sides of the injector: Donations counts frames a
+  /// busy worker moved IN, Steals counts frames idle workers took OUT —
+  /// excluding the root frame's initial pull, which seeds the search
+  /// rather than rebalancing it (the same exemption before and after
+  /// batching: the seed is the one pull that exists with no donation).
+  /// On a run that drains its injector the two are equal by conservation;
+  /// they differ when an early abort strands donated frames.  A donation
+  /// moves up to StealBatch frames but counts each frame once;
+  /// StealBatches counts the batches, so Donations/StealBatches is the
+  /// realized batch size.  All are 0 on single-threaded runs.
   std::uint64_t Donations = 0;
   std::uint64_t Steals = 0;
+  std::uint64_t StealBatches = 0;
 
   /// States expanded by each worker (index = worker id) — the per-worker
   /// balance bench_explorer reports; WorkerMaxStack is the deepest DFS
@@ -336,7 +391,11 @@ public:
       Res.Violation = Root.error();
       return Res;
     }
+    if (Opts.StateCache)
+      Cache.configure(Opts.MaxStateCache, Opts.CacheBudgetBytes,
+                      Opts.CacheSpillDir);
     Injector.emplace_back(Root, /*LastId=*/~0u, /*Consec=*/0, /*Depth=*/0);
+    InjectorSize.store(1, std::memory_order_relaxed);
     if (Workers == 1) {
       worker(0);
     } else {
@@ -359,26 +418,29 @@ public:
       Res.InvariantChecks += S.InvariantChecks;
       Res.CacheHits += S.CacheHits;
       Res.PorSleepSkips += S.PorSkips;
+      Res.DporBacktracks += S.DporBacktracks;
       Res.Donations += S.Donations;
+      Res.StealBatches += S.DonationBatches;
       Pulls += S.Pulls;
       Res.WorkerStates.push_back(S.States);
       Res.WorkerMaxStack.push_back(S.MaxStack);
       Res.MaxLogLen = std::max(Res.MaxLogLen, S.MaxLogLen);
     }
-    // The root frame's pull is a seed, not a steal.
+    // The root frame's pull is a seed, not a steal (see
+    // ExploreResult::Donations — the seed is the one pull with no
+    // matching donation, at every batch size).
     Res.Steals = Pulls > 0 ? Pulls - 1 : 0;
+    Res.CacheEvictions = Cache.evictions();
+    Res.CacheSpillHits = Cache.spillHits();
     mergeShardResults(Res);
     return Res;
   }
 
 private:
-  /// A sleep-set entry: participant \p Tid's next step (with footprint
-  /// \p Foot) is already covered — a sibling subtree explored it first and
-  /// every continuation interleaving it later commutes into that subtree.
-  struct SleepEntry {
-    ThreadId Tid;
-    Footprint Foot;
-  };
+  /// A sleep-set entry: participant Tid's next step (with footprint Foot)
+  /// is already covered — a sibling subtree explored it first and every
+  /// continuation interleaving it later commutes into that subtree.
+  using SleepEntry = ParticipantFootprint;
 
   /// One DFS node: a machine snapshot plus sibling-iteration state.
   struct Frame {
@@ -393,9 +455,26 @@ private:
     bool Expanded = false;
 
     // POR state (filled only when the reduction is on).
+    Footprint StepFoot;               ///< footprint of the step INTO this node
     std::vector<SleepEntry> Sleep;    ///< asleep at this node
     std::vector<SleepEntry> DoneSibs; ///< children already pushed here
     std::vector<Footprint> ReadyFoot; ///< footprint per Ready entry
+
+    /// DPOR source set: indices into Ready, seeded with one child at
+    /// expansion and grown by race detection in the subtree below (so it
+    /// can grow while this frame is NOT on top of the stack — which is
+    /// why iteration is by cursor, not by a precomputed child list, and
+    /// why the machine-move last-child optimization is off under POR).
+    std::vector<size_t> Backtrack;
+    size_t NextBt = 0;
+
+    /// Deduped (participant, footprint) summary of every step strictly
+    /// below this node, folded up at child pops; the payload a cache
+    /// entry needs for race replay.  Capped — overflow makes this state
+    /// (and its ancestors) uncacheable, never unsound.
+    std::vector<SleepEntry> SubFoots;
+    bool SubOverflow = false;
+    bool CacheEligible = false; ///< subtree fully explored, OK to cache
 
     /// Total steps per participant along the path to this node (kept only
     /// when MaxParticipantSteps bounds paths).
@@ -417,25 +496,16 @@ private:
     std::uint64_t MaxLogLen = 0;
     std::uint64_t CacheHits = 0;
     std::uint64_t PorSkips = 0;
-    std::uint64_t Pulls = 0;     ///< frames taken from the injector
-    std::uint64_t Donations = 0; ///< frames moved into the injector
-    std::uint64_t MaxStack = 0;  ///< deepest DFS stack held
+    std::uint64_t DporBacktracks = 0;
+    std::uint64_t Pulls = 0;           ///< frames taken from the injector
+    std::uint64_t Donations = 0;       ///< frames moved into the injector
+    std::uint64_t DonationBatches = 0; ///< donate() calls that moved frames
+    std::uint64_t MaxStack = 0;        ///< deepest DFS stack held
 
     OutcomeDeduper Dedup;          ///< this worker's distinct outcomes
     std::vector<Outcome> Outcomes; ///< stored-path results, search order
     std::vector<Log> Corpus;       ///< terminal + sampled logs
     bool StoreTruncated = false;   ///< hit MaxStoredOutcomes locally
-  };
-
-  struct CacheEntry {
-    MachineT M;
-    ThreadId LastId;
-    unsigned Consec;
-    std::uint64_t Depth;
-
-    CacheEntry(MachineT M, ThreadId LastId, unsigned Consec,
-               std::uint64_t Depth)
-        : M(std::move(M)), LastId(LastId), Consec(Consec), Depth(Depth) {}
   };
 
   void worker(unsigned Idx) {
@@ -450,55 +520,99 @@ private:
         ++S.Pulls;
         continue;
       }
-      if (Workers > 1 && Hungry.load(std::memory_order_relaxed) > 0 &&
-          donate(Stack))
-        ++S.Donations;
+      // Donations are gated on an EMPTY injector (the atomic mirror): a
+      // hungry count alone made donors push one frame per loop iteration
+      // faster than thieves could drain them — the single-frame churn
+      // behind the old sub-1.0 multi-thread speedups.  Off under POR
+      // (see GenericExploreOptions::Por: backtrack insertion needs the
+      // full ancestor chain on one stack).
+      if (Workers > 1 && !PorOn &&
+          Hungry.load(std::memory_order_relaxed) > 0 &&
+          InjectorSize.load(std::memory_order_relaxed) == 0)
+        donate(Stack, S);
       Frame &Top = Stack.back();
       if (!Top.Expanded) {
-        if (!expand(Top, S)) {
-          Stack.pop_back();
+        if (!expand(Stack, Top, S)) {
+          popFrame(Stack);
           continue;
         }
       }
-      if (Top.NextChild >= Top.Ready.size()) {
-        Stack.pop_back();
-        continue;
+      size_t ChildIdx;
+      if (PorOn) {
+        // DPOR: iterate the backtrack (source) set by cursor — race
+        // detection below this frame appends to it while it is buried.
+        // Entries found asleep when their turn comes are covered by an
+        // explored sibling subtree: prune, like the static sleep-set
+        // skip.
+        bool Have = false;
+        while (Top.NextBt < Top.Backtrack.size()) {
+          size_t Cand = Top.Backtrack[Top.NextBt++];
+          if (asleep(Top, Top.Ready[Cand])) {
+            ++S.PorSkips;
+            continue;
+          }
+          ChildIdx = Cand;
+          Have = true;
+          break;
+        }
+        if (!Have) {
+          popFrame(Stack);
+          continue;
+        }
+      } else {
+        if (Top.NextChild >= Top.Ready.size()) {
+          popFrame(Stack);
+          continue;
+        }
+        ChildIdx = Top.NextChild++;
+        // Fairness: one participant may not run more than FairnessBound
+        // consecutive steps while someone else is waiting.  Skipped under
+        // Por — the filter is linearization-dependent, which breaks the
+        // coverage argument (see GenericExploreOptions::Por).
+        if (Top.Ready.size() > 1 && Top.Ready[ChildIdx] == Top.LastId &&
+            Top.Consec >= Opts.FairnessBound)
+          continue;
       }
-      size_t ChildIdx = Top.NextChild++;
       ThreadId C = Top.Ready[ChildIdx];
-      // Sleep set: C's next step is covered by an explored sibling subtree
-      // every continuation of this one commutes into.
-      if (PorOn && asleep(Top, C)) {
-        ++S.PorSkips;
-        continue;
-      }
-      // Fairness: one participant may not run more than FairnessBound
-      // consecutive steps while someone else is waiting.  Skipped under
-      // Por — the filter is linearization-dependent, which breaks the
-      // sleep-set coverage argument (see GenericExploreOptions::Por).
-      if (!Opts.Por && Top.Ready.size() > 1 && C == Top.LastId &&
-          Top.Consec >= Opts.FairnessBound)
-        continue;
       // Trace-invariant divergence bound: a per-participant total is the
       // same in every linearization, so this prunes whole traces and is
-      // safe alongside the sleep sets.
+      // safe alongside the reduction — PROVIDED the reduction reacts.
+      // DPOR's coverage argument assumes every scheduled child subtree is
+      // fully explored so the races inside it surface; a child pruned by
+      // the cap surfaces nothing, and the reversals it would have
+      // demanded die with it (concretely: a spinning acquirer dead-ends
+      // at the cap and no race ever schedules the lock holder).  Like
+      // the blocked-participant case, collapse the frame to all enabled
+      // alternatives; their subtrees re-detect whatever the pruned one
+      // hid.
       if (Opts.MaxParticipantSteps != 0 &&
-          tallyOf(Top, C) >= Opts.MaxParticipantSteps)
+          tallyOf(Top, C) >= Opts.MaxParticipantSteps) {
+        if (PorOn)
+          for (size_t R = 0; R != Top.Ready.size(); ++R)
+            addBacktrack(Top, R, S);
         continue;
+      }
       // The final child may take the parent's machine by move: NextChild
       // is already past the end, so the frame can only be popped from here
       // on (donate() skips child-less frames) and its machine is dead
-      // weight.  Saves one full machine copy per interior node.
-      const bool LastChild = Top.NextChild >= Top.Ready.size();
+      // weight.  Saves one full machine copy per interior node.  Not
+      // under POR: race detection can schedule NEW children on a frame
+      // whose cursor looked exhausted, and the machine must survive for
+      // them (and for the cache insert at pop).
+      const bool LastChild = !PorOn && Top.NextChild >= Top.Ready.size();
       Frame Child(LastChild ? MachineT(std::move(Top.M)) : MachineT(Top.M),
                   C, C == Top.LastId ? Top.Consec + 1 : 1, Top.Depth + 1);
       if (PorOn) {
         const Footprint &CF = Top.ReadyFoot[ChildIdx];
+        Child.StepFoot = CF;
         childSleep(Top, C, CF, Child.Sleep);
         // Added at push (not pop): coverage only needs this subtree to be
         // explored *eventually*, and an abort that leaves it unexplored
         // also reports Complete=false, so nothing unsound is claimed.
         Top.DoneSibs.push_back(SleepEntry{C, CF});
+        // Source-set DPOR race detection: schedule the reversal of every
+        // race this step closes with an event already on the path.
+        dporRaces(Stack, C, CF, /*Refine=*/true, S);
       }
       if (Opts.MaxParticipantSteps != 0) {
         Child.StepTally = Top.StepTally;
@@ -517,8 +631,10 @@ private:
   }
 
   /// First visit of a node: budget, cache, invariant, terminal, and depth
-  /// checks.  True when the node has children to iterate.
-  bool expand(Frame &F, Shard &S) {
+  /// checks.  True when the node has children to iterate.  Takes the
+  /// whole stack (F is its top) because a POR cache hit replays the
+  /// pruned subtree's race detection against the current prefix.
+  bool expand(std::vector<Frame> &Stack, Frame &F, Shard &S) {
     if (Schedules.load(std::memory_order_relaxed) >= Opts.MaxSchedules) {
       {
         std::lock_guard<std::mutex> L(ResMu);
@@ -533,12 +649,27 @@ private:
     ++S.States;
     S.MaxLogLen =
         std::max(S.MaxLogLen, static_cast<std::uint64_t>(F.M.log().size()));
-    // The cache is incompatible with the sleep sets (a hit's coverage
-    // argument would need the first visit's sleep context; see
-    // GenericExploreOptions::Por), so it is bypassed while they are on.
-    if (Opts.StateCache && !PorOn && cachedOrRemember(F)) {
-      ++S.CacheHits;
-      return false;
+    if constexpr (MachineHasSnapshot<MachineT>::value) {
+      if (Opts.StateCache && !PorOn &&
+          Cache.checkOrRemember(F.M, F.LastId, F.Consec, F.Depth)) {
+        ++S.CacheHits;
+        return false;
+      }
+      if (Opts.StateCache && PorOn) {
+        std::vector<SleepEntry> Replay;
+        if (Cache.porProbe(F.M, F.Sleep, F.StepTally, F.Depth, Replay)) {
+          ++S.CacheHits;
+          // The pruned subtree's steps still race with the CURRENT
+          // prefix: replay race detection for each summarized step so the
+          // backtrack points the subtree would have inserted into our
+          // ancestors are not lost.  No source-set refinement on replay —
+          // the refinement needs the intermediate steps, which a deduped
+          // summary does not keep; over-inserting is merely slower.
+          for (const SleepEntry &E : Replay)
+            dporRaces(Stack, E.Tid, E.Foot, /*Refine=*/false, S);
+          return false;
+        }
+      }
     }
     if (Opts.Invariant) {
       ++S.InvariantChecks;
@@ -562,6 +693,7 @@ private:
         return false;
       }
       Schedules.fetch_add(1, std::memory_order_relaxed);
+      F.CacheEligible = true;
       recordOutcome(F.M, S);
       return false;
     }
@@ -569,42 +701,204 @@ private:
       violate(F.M, "step bound exceeded (divergence under fair schedules?)");
       return false;
     }
+    if (PorOn) {
+      // Seed the source set with the first non-sleeping child; every
+      // other child waits until race detection proves its order can
+      // matter.  All children asleep means the whole node is covered by
+      // explored sibling subtrees.
+      size_t Seed = 0;
+      while (Seed != F.Ready.size() && asleep(F, F.Ready[Seed]))
+        ++Seed;
+      if (Seed == F.Ready.size()) {
+        S.PorSkips += F.Ready.size();
+        F.CacheEligible = true;
+        return false;
+      }
+      F.Backtrack.push_back(Seed);
+    }
     F.Expanded = true;
+    F.CacheEligible = true;
     return true;
   }
 
-  /// True when an equivalent-or-more-permissive visit of F's state is
-  /// already cached; otherwise remembers F.  A cached visit covers the
-  /// revisit only when its last participant is the same with no larger
-  /// consecutive-run count (so fairness pruned no schedule the revisit
-  /// would explore) and its depth no larger (so the step budget pruned
-  /// none either).
-  bool cachedOrRemember(const Frame &F) {
-    if constexpr (MachineHasSnapshot<MachineT>::value) {
-      // Consec/Depth stay out of the key: compatibility is an inequality,
-      // so entries differing only there must share a bucket.
-      std::uint64_t H = hashCombine(F.M.snapshotHash(), F.LastId);
-      // Lock striping by hash: workers probing distinct states proceed in
-      // parallel instead of serializing on one global cache mutex.  The
-      // size cap is checked against a relaxed atomic, so it is approximate
-      // under contention — the cache may overshoot by at most one entry
-      // per worker, which only affects memory, never soundness.
-      CacheStripe &Stripe = CacheStripes[H & (NumCacheStripes - 1)];
-      std::lock_guard<std::mutex> L(Stripe.Mu);
-      std::vector<CacheEntry> &Bucket = Stripe.Map[H];
-      for (const CacheEntry &E : Bucket)
-        if (E.LastId == F.LastId && E.Consec <= F.Consec &&
-            E.Depth <= F.Depth && E.M.sameSnapshot(F.M))
-          return true;
-      if (CacheCount.load(std::memory_order_relaxed) < Opts.MaxStateCache) {
-        Bucket.emplace_back(F.M, F.LastId, F.Consec, F.Depth);
-        CacheCount.fetch_add(1, std::memory_order_relaxed);
+  /// Pops the top frame; under POR with caching, first folds its subtree
+  /// step summary into its parent and inserts fully explored subtrees
+  /// into the cache (insert at POP, not expansion: only then is "every
+  /// admissible schedule below this state was explored" actually true).
+  void popFrame(std::vector<Frame> &Stack) {
+    if (PorCacheOn()) {
+      Frame &F = Stack.back();
+      if (Stack.size() > 1) {
+        Frame &Par = Stack[Stack.size() - 2];
+        if (F.SubOverflow)
+          Par.SubOverflow = true;
+        addSubFoot(Par, SleepEntry{F.LastId, F.StepFoot});
+        for (const SleepEntry &E : F.SubFoots)
+          addSubFoot(Par, E);
       }
-      return false;
-    } else {
-      (void)F;
-      return false;
+      if constexpr (MachineHasSnapshot<MachineT>::value) {
+        if (F.CacheEligible && !F.SubOverflow &&
+            !Stop.load(std::memory_order_relaxed))
+          Cache.porInsert(std::move(F.M), F.Depth, std::move(F.Sleep),
+                          std::move(F.StepTally), std::move(F.SubFoots));
+      }
     }
+    Stack.pop_back();
+  }
+
+  bool PorCacheOn() const {
+    return PorOn && Opts.StateCache && MachineHasSnapshot<MachineT>::value;
+  }
+
+  /// Folds one subtree step into a frame's deduped summary; local steps
+  /// race with nothing and are not kept.  Overflow poisons cacheability
+  /// up the chain (handled by the caller), never soundness.
+  static void addSubFoot(Frame &F, const SleepEntry &E) {
+    if (F.SubOverflow || E.Foot.local())
+      return;
+    for (const SleepEntry &Have : F.SubFoots)
+      if (Have == E)
+        return;
+    if (F.SubFoots.size() >= 64) {
+      F.SubOverflow = true;
+      return;
+    }
+    F.SubFoots.push_back(E);
+  }
+
+  /// Source-set DPOR race detection for a step of participant \p P with
+  /// footprint \p PF taken (or, on cache replay, summarized) from
+  /// Stack.back(): walk the executed path deepest-first and treat every
+  /// event e of ANOTHER participant whose footprint conflicts as a race
+  /// candidate.  This over-approximates the true races (the hb-adjacent
+  /// pairs): a candidate with an intervening dependence chain to the new
+  /// step is not reversible, but processing it merely schedules an extra
+  /// child, never loses one.  The walk must NOT stop at the deepest
+  /// candidate — two events in different threads can both race the same
+  /// new step (neither happens-before the other), and stopping early
+  /// silently drops the shallower reversal.
+  ///
+  /// At candidates whose pre-state has P schedulable, raceInsert applies
+  /// the source-set rule.  Where P is NOT schedulable (it was blocked,
+  /// e.g. on a lock the suffix releases) — or on cache replay
+  /// (\p Refine false), where the pruned subtree's intermediate steps are
+  /// unavailable so initials cannot be computed — reversing needs some
+  /// other participant first; conservatively schedule every alternative.
+  void dporRaces(std::vector<Frame> &Stack, ThreadId P, const Footprint &PF,
+                 bool Refine, Shard &S) {
+    if (PF.local())
+      return;
+    for (size_t I = Stack.size(); I-- > 1;) {
+      const Frame &Ev = Stack[I];
+      if (Ev.LastId == P || !footprintsConflict(Ev.StepFoot, PF))
+        continue;
+      Frame &Pre = Stack[I - 1];
+      size_t PIdx = readyIndex(Pre, P);
+      if (PIdx == SIZE_MAX || !Refine) {
+        for (size_t R = 0; R != Pre.Ready.size(); ++R)
+          addBacktrack(Pre, R, S);
+        continue;
+      }
+      raceInsert(Stack, I, P, PF, PIdx, S);
+    }
+  }
+
+  /// The source-set insertion rule (Abdulla et al.) for the race between
+  /// the event e entering Stack[EvIdx] and the new step (P, PF).  With
+  /// E' = pre(E, e) and v = notdep(e, E)·(P, PF), the reversal is covered
+  /// iff some already-scheduled child of E' is an initial of v — a thread
+  /// whose first step in v has no dependent predecessor within v can run
+  /// first in SOME linearization of the reversal's trace, so exploring it
+  /// explores that trace.  When uncovered, an INITIAL of v must be
+  /// scheduled; inserting P itself is wrong when P is not an initial
+  /// (its first v-step has a dependent predecessor): the P-first subtree
+  /// then lies in a different trace class, and sleep sets — sound only on
+  /// top of genuine source sets — may prune the reversal everywhere else.
+  /// P is preferred when it qualifies; otherwise v's first step's thread
+  /// (trivially an initial) is used.  Initials are computed from the
+  /// concrete suffix and under-approximated when in doubt, which costs
+  /// insertions, never soundness.
+  void raceInsert(std::vector<Frame> &Stack, size_t EvIdx, ThreadId P,
+                  const Footprint &PF, size_t PIdx, Shard &S) {
+    Frame &Pre = Stack[EvIdx - 1];
+    const Frame &Ev = Stack[EvIdx];
+    // Mark which suffix steps (strictly after e) transitively
+    // happen-after e: same participant as e or conflicting with e, or
+    // dependent on an earlier marked step.
+    const size_t N = Stack.size() - (EvIdx + 1);
+    std::vector<char> AfterE(N, 0);
+    for (size_t J = 0; J != N; ++J) {
+      const Frame &FJ = Stack[EvIdx + 1 + J];
+      if (FJ.LastId == Ev.LastId ||
+          footprintsConflict(FJ.StepFoot, Ev.StepFoot)) {
+        AfterE[J] = 1;
+        continue;
+      }
+      for (size_t K = 0; K != J; ++K) {
+        const Frame &FK = Stack[EvIdx + 1 + K];
+        if (AfterE[K] && (FK.LastId == FJ.LastId ||
+                          footprintsConflict(FK.StepFoot, FJ.StepFoot))) {
+          AfterE[J] = 1;
+          break;
+        }
+      }
+    }
+    // v = notdep(e, E) · (P, PF).
+    std::vector<SleepEntry> W;
+    for (size_t J = 0; J != N; ++J)
+      if (!AfterE[J]) {
+        const Frame &FJ = Stack[EvIdx + 1 + J];
+        W.push_back(SleepEntry{FJ.LastId, FJ.StepFoot});
+      }
+    W.push_back(SleepEntry{P, PF});
+    // Covered: some scheduled child of E' is an initial of v.
+    for (size_t BIdx : Pre.Backtrack)
+      if (initialOf(W, Pre.Ready[BIdx]))
+        return;
+    // Uncovered: schedule an initial — P when it qualifies, else the
+    // thread of v's first step (enabled at E' by commutation with e when
+    // footprints are honest; fall back to P if the machine disagrees).
+    if (initialOf(W, P)) {
+      addBacktrack(Pre, PIdx, S);
+      return;
+    }
+    size_t QIdx = readyIndex(Pre, W.front().Tid);
+    addBacktrack(Pre, QIdx != SIZE_MAX ? QIdx : PIdx, S);
+  }
+
+  /// True when \p Q's first step in \p W exists and has no dependent
+  /// (footprint-conflicting) predecessor within W — i.e. Q ∈ I(W).
+  static bool initialOf(const std::vector<SleepEntry> &W, ThreadId Q) {
+    size_t First = W.size();
+    for (size_t J = 0; J != W.size(); ++J)
+      if (W[J].Tid == Q) {
+        First = J;
+        break;
+      }
+    if (First == W.size())
+      return false; // Q takes no step in v: not an initial
+    for (size_t K = 0; K != First; ++K)
+      if (footprintsConflict(W[K].Foot, W[First].Foot))
+        return false;
+    return true;
+  }
+
+  size_t readyIndex(const Frame &F, ThreadId C) const {
+    for (size_t I = 0; I != F.Ready.size(); ++I)
+      if (F.Ready[I] == C)
+        return I;
+    return SIZE_MAX;
+  }
+
+  /// Adds Ready index \p Idx to F's backtrack set unless present (the set
+  /// keeps consumed entries precisely so this membership test also covers
+  /// "already explored").
+  void addBacktrack(Frame &F, size_t Idx, Shard &S) {
+    for (size_t Have : F.Backtrack)
+      if (Have == Idx)
+        return;
+    F.Backtrack.push_back(Idx);
+    ++S.DporBacktracks;
   }
 
   /// True when participant \p C's next step is asleep at \p F.
@@ -759,6 +1053,7 @@ private:
       if (!Injector.empty() && !Stop.load(std::memory_order_relaxed)) {
         Stack.push_back(std::move(Injector.front()));
         Injector.pop_front();
+        InjectorSize.store(Injector.size(), std::memory_order_relaxed);
         --Idle;
         Hungry.store(Idle, std::memory_order_relaxed);
         return true;
@@ -774,30 +1069,42 @@ private:
     }
   }
 
-  /// Moves the shallowest frame with unvisited children into the shared
-  /// injector for an idle worker; the donor keeps the rest of its stack.
-  /// True when a frame was donated.
-  bool donate(std::vector<Frame> &Stack) {
+  /// Moves up to StealBatch of the shallowest frames with unvisited
+  /// children — the largest pending subtrees — into the shared injector
+  /// as one batch under one lock acquisition; the donor keeps the rest
+  /// of its stack.  Donating one frame per call (the old behavior) made
+  /// a donor re-enter the injector lock on nearly every expansion while
+  /// any worker was hungry; batching plus the caller's injector-empty
+  /// gate bounds donation traffic by steals actually taken.  True when
+  /// anything was donated.  Never called under POR (see worker()).
+  bool donate(std::vector<Frame> &Stack, Shard &S) {
+    const size_t Batch = std::max(1u, Opts.StealBatch);
+    std::vector<Frame> Moved;
     for (Frame &F : Stack) {
+      if (Moved.size() >= Batch)
+        break;
       if (!F.Expanded || F.NextChild >= F.Ready.size())
         continue;
       Frame Rest(F.M, F.LastId, F.Consec, F.Depth);
       Rest.Ready = F.Ready;
       Rest.NextChild = F.NextChild;
       Rest.Expanded = true;
-      Rest.Sleep = F.Sleep;
-      Rest.DoneSibs = F.DoneSibs;
-      Rest.ReadyFoot = F.ReadyFoot;
       Rest.StepTally = F.StepTally;
       F.NextChild = F.Ready.size();
-      {
-        std::lock_guard<std::mutex> L(QMu);
-        Injector.push_back(std::move(Rest));
-      }
-      QCv.notify_one();
-      return true;
+      Moved.push_back(std::move(Rest));
     }
-    return false;
+    if (Moved.empty())
+      return false;
+    S.Donations += Moved.size();
+    ++S.DonationBatches;
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      for (Frame &F : Moved)
+        Injector.push_back(std::move(F));
+      InjectorSize.store(Injector.size(), std::memory_order_relaxed);
+    }
+    QCv.notify_all();
+    return true;
   }
 
   const Options &Opts;
@@ -814,6 +1121,7 @@ private:
   unsigned Idle = 0;               ///< guarded by QMu
   bool Finished = false;           ///< guarded by QMu
   std::atomic<unsigned> Hungry{0}; ///< lock-free mirror of Idle
+  std::atomic<size_t> InjectorSize{0}; ///< lock-free mirror of the deque
 
   // Early abort + schedule budget.
   std::atomic<bool> Stop{false};
@@ -829,15 +1137,9 @@ private:
   std::string Truncation; ///< guarded by ResMu
   OutcomeDeduper Dedup;   ///< guarded by ResMu (OnOutcome path only)
 
-  // State-dedup cache, lock-striped by snapshot hash so concurrent
-  // workers only contend when probing the same stripe.
-  static constexpr std::size_t NumCacheStripes = 16;
-  struct CacheStripe {
-    std::mutex Mu;
-    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> Map;
-  };
-  std::array<CacheStripe, NumCacheStripes> CacheStripes;
-  std::atomic<std::size_t> CacheCount{0}; ///< approximate (relaxed)
+  // State-dedup cache (machine/StateCache.h): bounded, lock-striped,
+  // shared by all workers; configured in run().
+  BoundedStateCache<MachineT> Cache;
 
   std::vector<Shard> Shards;
 };
@@ -882,6 +1184,7 @@ struct PorEquivalenceReport {
   std::uint64_t FullOutcomes = 0; ///< size of the canonicalized full set
   std::uint64_t PorOutcomes = 0;
   std::uint64_t SleepSkips = 0;
+  std::uint64_t Backtracks = 0; ///< DPOR backtrack insertions (reduced run)
 };
 
 /// Differential soundness check for the partial-order reduction: explores
@@ -926,6 +1229,7 @@ checkPorEquivalence(const MachineT &Root,
   R.PorSchedules = Por.SchedulesExplored;
   R.PorStates = Por.StatesExplored;
   R.SleepSkips = Por.PorSleepSkips;
+  R.Backtracks = Por.DporBacktracks;
   if (!Por.Ok) {
     R.Detail = "reduced exploration violated: " + Por.Violation;
     return R;

@@ -162,6 +162,16 @@ std::uint64_t HardwareMachine::snapshotHash() const {
   return H.value();
 }
 
+std::size_t HardwareMachine::snapshotBytes() const {
+  std::size_t B = sizeof(HardwareMachine) + GlobalLog.snapshotCopyBytes();
+  for (const auto &[Id, C] : Cpus) {
+    (void)Id;
+    B += sizeof(Cpu) + (C.Globals.size() + C.Returns.size()) *
+                           sizeof(std::int64_t);
+  }
+  return B;
+}
+
 bool HardwareMachine::sameSnapshot(const HardwareMachine &O) const {
   if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
       GlobalLog != O.GlobalLog || Cpus.size() != O.Cpus.size())

@@ -68,6 +68,10 @@ public:
   std::uint64_t snapshotHash() const;
   bool sameSnapshot(const HardwareMachine &O) const;
 
+  /// Estimated resident bytes of one retained snapshot (see
+  /// MultiCoreMachine::snapshotBytes).
+  std::size_t snapshotBytes() const;
+
 private:
   struct Cpu {
     Vm Machine;

@@ -206,6 +206,16 @@ std::uint64_t MultiCoreMachine::snapshotHash() const {
   return H.value();
 }
 
+std::size_t MultiCoreMachine::snapshotBytes() const {
+  std::size_t B = sizeof(MultiCoreMachine) + GlobalLog.snapshotCopyBytes();
+  for (const auto &[Id, C] : Cpus) {
+    (void)Id;
+    B += sizeof(Cpu) + (C.Globals.size() + C.Returns.size()) *
+                           sizeof(std::int64_t);
+  }
+  return B;
+}
+
 bool MultiCoreMachine::sameSnapshot(const MultiCoreMachine &O) const {
   if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
       GlobalLog != O.GlobalLog || Cpus.size() != O.Cpus.size())

@@ -122,6 +122,12 @@ public:
   /// of merging distinct states silently.
   bool sameSnapshot(const MultiCoreMachine &O) const;
 
+  /// Estimated resident bytes of one retained snapshot (per-CPU
+  /// structures, local memories, and the log's physical copy cost) — the
+  /// currency of the Explorer StateCache's CacheBudgetBytes accounting.
+  /// An estimate: VM-internal heap is approximated by the inline size.
+  std::size_t snapshotBytes() const;
+
 private:
   enum class CpuPhase {
     Idle,     ///< workload finished

@@ -1,0 +1,447 @@
+//===- machine/StateCache.h - Bounded snapshot dedup cache -----*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Explorer's state-dedup cache, factored out of the DFS and made
+/// memory-bounded (after CDSChecker's bounded state hashing, Norris &
+/// Demsky): a lock-free bloom-filter front screens definite misses, an
+/// exact map of full snapshots is LRU-evicted under a byte budget, and
+/// evicted non-POR entries can optionally spill to disk as fingerprint
+/// records written with the certificate store's atomic temp+rename idiom.
+///
+/// Two probe protocols share the store (one per run, never mixed):
+///
+///  - checkOrRemember — the plain DFS protocol: probe-and-remember at
+///    node expansion, a hit requiring the same last participant with no
+///    larger consecutive-run count and no larger depth (the first visit's
+///    fairness/budget context was at least as permissive).
+///
+///  - porProbe / porInsert — the POR-aware protocol that lifts the old
+///    "StateCache bypassed under Por" restriction.  An entry is inserted
+///    only when its subtree was FULLY explored (at frame pop), and
+///    carries the sleep set and per-participant step tally the visit ran
+///    under plus a deduped summary of every (participant, footprint) step
+///    in the subtree.  It covers a revisit only when the entry's sleep
+///    set is a SUBSET of the revisit's and its depth and tallies are no
+///    larger — then everything the revisit would explore, the first visit
+///    provably explored.  The subtree summary is handed back on a hit so
+///    the caller can replay DPOR race detection against its current
+///    prefix (the backtrack points the pruned subtree would have
+///    inserted there must still be inserted).
+///
+/// With the byte budget at 0 and no spill directory the exact map keeps
+/// every remembered entry, preserving the pre-budget cache semantics
+/// bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_MACHINE_STATECACHE_H
+#define CCAL_MACHINE_STATECACHE_H
+
+#include "core/Footprint.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccal {
+namespace detail {
+
+/// Detects machines providing snapshotBytes(); the byte budget falls back
+/// to sizeof-based accounting without it.
+template <typename M, typename = void>
+struct MachineHasSnapshotBytes : std::false_type {};
+template <typename M>
+struct MachineHasSnapshotBytes<
+    M, std::void_t<decltype(std::declval<const M &>().snapshotBytes())>>
+    : std::true_type {};
+
+/// Estimated resident bytes of one machine snapshot, for the cache's byte
+/// budget.  An estimate, not an exact malloc count: it must only be
+/// monotone enough that the LRU budget tracks real memory.
+template <typename MachineT>
+std::size_t machineSnapshotBytes(const MachineT &M) {
+  if constexpr (MachineHasSnapshotBytes<MachineT>::value)
+    return M.snapshotBytes();
+  else
+    return sizeof(MachineT);
+}
+
+inline std::size_t footprintBytes(const Footprint &F) {
+  std::size_t B = sizeof(Footprint);
+  for (const std::string &S : F.Reads)
+    B += sizeof(std::string) + S.size();
+  for (const std::string &S : F.Writes)
+    B += sizeof(std::string) + S.size();
+  return B;
+}
+
+/// Bounded, thread-safe snapshot cache (see file comment).
+template <typename MachineT> class BoundedStateCache {
+public:
+  /// One spilled fingerprint: enough for the non-POR compatibility test,
+  /// nothing for structural comparison — which is why spilling is opt-in
+  /// (a 64-bit fingerprint collision would prune an unexplored state).
+  struct SpillRecord {
+    std::uint64_t Hash;
+    std::uint32_t LastId;
+    std::uint32_t Consec;
+    std::uint64_t Depth;
+
+    bool operator<(const SpillRecord &O) const {
+      if (Hash != O.Hash)
+        return Hash < O.Hash;
+      if (LastId != O.LastId)
+        return LastId < O.LastId;
+      if (Consec != O.Consec)
+        return Consec < O.Consec;
+      return Depth < O.Depth;
+    }
+  };
+
+  void configure(std::size_t MaxEntriesIn, std::size_t BudgetBytesIn,
+                 std::string SpillDirIn) {
+    MaxEntries = MaxEntriesIn;
+    BudgetBytes = BudgetBytesIn;
+    SpillDir = std::move(SpillDirIn);
+    Bloom = std::make_unique<std::atomic<std::uint64_t>[]>(BloomWords);
+    for (std::size_t I = 0; I != BloomWords; ++I)
+      Bloom[I].store(0, std::memory_order_relaxed);
+  }
+
+  ~BoundedStateCache() { flushSpill(); }
+
+  /// Plain-DFS protocol: true when an equivalent-or-more-permissive visit
+  /// is already cached (RAM or spill); otherwise remembers the state.
+  bool checkOrRemember(const MachineT &M, ThreadId LastId, unsigned Consec,
+                       std::uint64_t Depth) {
+    const std::uint64_t H = hashCombine(M.snapshotHash(), LastId);
+    const bool Maybe = bloomMayContain(H);
+    Stripe &S = stripeOf(H);
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      if (Maybe) {
+        auto It = S.Map.find(H);
+        if (It != S.Map.end())
+          for (auto EIt : It->second)
+            if (EIt->LastId == LastId && EIt->Consec <= Consec &&
+                EIt->Depth <= Depth && EIt->M.sameSnapshot(M)) {
+              touch(S, EIt);
+              return true;
+            }
+      }
+      if (!(Maybe && spillContains(H, LastId, Consec, Depth))) {
+        remember(S, Entry(MachineT(M), H, LastId, Consec, Depth));
+        return false;
+      }
+    }
+    SpillHits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// POR protocol, probe half (at node expansion).  A hit copies the
+  /// entry's subtree step summary into \p SubFootsOut for race replay.
+  bool porProbe(const MachineT &M,
+                const std::vector<ParticipantFootprint> &Sleep,
+                const std::map<ThreadId, std::uint64_t> &Tally,
+                std::uint64_t Depth,
+                std::vector<ParticipantFootprint> &SubFootsOut) {
+    const std::uint64_t H = M.snapshotHash();
+    if (!bloomMayContain(H))
+      return false;
+    Stripe &S = stripeOf(H);
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Map.find(H);
+    if (It == S.Map.end())
+      return false;
+    for (auto EIt : It->second) {
+      if (EIt->Depth > Depth || !sleepSubset(EIt->Sleep, Sleep) ||
+          !tallyLeq(EIt->Tally, Tally) || !EIt->M.sameSnapshot(M))
+        continue;
+      SubFootsOut = EIt->SubFoots;
+      touch(S, EIt);
+      return true;
+    }
+    return false;
+  }
+
+  /// POR protocol, insert half (at frame pop, fully-explored subtrees
+  /// only).  Takes the dying frame's machine by move.
+  void porInsert(MachineT &&M, std::uint64_t Depth,
+                 std::vector<ParticipantFootprint> Sleep,
+                 std::map<ThreadId, std::uint64_t> Tally,
+                 std::vector<ParticipantFootprint> SubFoots) {
+    const std::uint64_t H = M.snapshotHash();
+    Entry E(std::move(M), H, /*LastId=*/~0u, /*Consec=*/0, Depth);
+    E.Sleep = std::move(Sleep);
+    E.Tally = std::move(Tally);
+    E.SubFoots = std::move(SubFoots);
+    Stripe &S = stripeOf(H);
+    std::lock_guard<std::mutex> L(S.Mu);
+    // Benign duplicate under races between probe and insert: another
+    // worker may have inserted the same state meanwhile — extra memory,
+    // never unsoundness.  POR entries are never spilled (the sleep and
+    // summary context cannot ride a fingerprint).
+    remember(S, std::move(E));
+  }
+
+  std::uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spillHits() const {
+    return SpillHits.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spilledRecords() const {
+    return Spilled.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Entry {
+    MachineT M;
+    std::uint64_t Hash;
+    ThreadId LastId;
+    unsigned Consec;
+    std::uint64_t Depth;
+    std::size_t Bytes = 0;
+
+    // POR context (empty on plain-DFS entries).
+    std::vector<ParticipantFootprint> Sleep;
+    std::map<ThreadId, std::uint64_t> Tally;
+    std::vector<ParticipantFootprint> SubFoots;
+
+    Entry(MachineT M, std::uint64_t Hash, ThreadId LastId, unsigned Consec,
+          std::uint64_t Depth)
+        : M(std::move(M)), Hash(Hash), LastId(LastId), Consec(Consec),
+          Depth(Depth) {}
+
+    std::size_t computeBytes() const {
+      std::size_t B = sizeof(Entry) + machineSnapshotBytes(M);
+      for (const ParticipantFootprint &PF : Sleep)
+        B += footprintBytes(PF.Foot);
+      for (const ParticipantFootprint &PF : SubFoots)
+        B += footprintBytes(PF.Foot);
+      B += Tally.size() * (sizeof(ThreadId) + sizeof(std::uint64_t) + 32);
+      return B;
+    }
+  };
+
+  /// LRU list per stripe (front = most recent) with a hash index into it.
+  /// Striping keeps workers probing distinct states off one global lock;
+  /// eviction is stripe-local against the GLOBAL byte counter, so each
+  /// inserting stripe sheds its own tail until the total fits.
+  struct Stripe {
+    std::mutex Mu;
+    std::list<Entry> Lru;
+    std::unordered_map<std::uint64_t,
+                       std::vector<typename std::list<Entry>::iterator>>
+        Map;
+  };
+
+  Stripe &stripeOf(std::uint64_t H) {
+    return Stripes[(H >> 4) & (NumStripes - 1)];
+  }
+
+  void touch(Stripe &S, typename std::list<Entry>::iterator EIt) {
+    S.Lru.splice(S.Lru.begin(), S.Lru, EIt);
+  }
+
+  /// Inserts under the caller-held stripe lock, then evicts this stripe's
+  /// LRU tail while the global byte total exceeds the budget.  The entry
+  /// COUNT cap keeps the old "stop remembering, stay sound" semantics;
+  /// the BYTE budget instead evicts, preferring recent states (CDSChecker
+  /// observes revisits cluster near the frontier).
+  void remember(Stripe &S, Entry &&E) {
+    if (MaxEntries != 0 &&
+        Count.load(std::memory_order_relaxed) >= MaxEntries)
+      return;
+    E.Bytes = E.computeBytes();
+    const std::uint64_t H = E.Hash;
+    TotalBytes.fetch_add(E.Bytes, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    S.Lru.push_front(std::move(E));
+    S.Map[H].push_back(S.Lru.begin());
+    bloomAdd(H);
+    while (BudgetBytes != 0 &&
+           TotalBytes.load(std::memory_order_relaxed) > BudgetBytes &&
+           S.Lru.size() > 1)
+      evictOne(S);
+  }
+
+  void evictOne(Stripe &S) {
+    auto Victim = std::prev(S.Lru.end());
+    auto MapIt = S.Map.find(Victim->Hash);
+    if (MapIt != S.Map.end()) {
+      auto &Vec = MapIt->second;
+      Vec.erase(std::remove(Vec.begin(), Vec.end(), Victim), Vec.end());
+      if (Vec.empty())
+        S.Map.erase(MapIt);
+    }
+    TotalBytes.fetch_sub(Victim->Bytes, std::memory_order_relaxed);
+    Count.fetch_sub(1, std::memory_order_relaxed);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    // Only plain-DFS entries can ride a fingerprint; POR entries' sleep
+    // and summary context cannot, so they are simply dropped (the search
+    // re-explores — slower, never unsound).
+    if (!SpillDir.empty() && Victim->Sleep.empty() &&
+        Victim->SubFoots.empty())
+      spillRecord({Victim->Hash, static_cast<std::uint32_t>(Victim->LastId),
+                   static_cast<std::uint32_t>(Victim->Consec),
+                   Victim->Depth});
+    S.Lru.erase(Victim);
+  }
+
+  // --- bloom front -------------------------------------------------------
+  //
+  // Records every hash ever remembered (RAM or spill); "absent" is
+  // definitive, so misses skip the exact probe and the spill index.  Two
+  // derived probe positions per hash over 2^19 bits (64 KiB).
+
+  static constexpr std::size_t BloomWords = 1u << 13;
+
+  void bloomAdd(std::uint64_t H) {
+    for (std::uint64_t P : {H, hashCombine(H, 0x9e3779b97f4a7c15ull)})
+      Bloom[(P >> 6) & (BloomWords - 1)].fetch_or(
+          1ull << (P & 63), std::memory_order_relaxed);
+  }
+
+  bool bloomMayContain(std::uint64_t H) const {
+    for (std::uint64_t P : {H, hashCombine(H, 0x9e3779b97f4a7c15ull)})
+      if (!(Bloom[(P >> 6) & (BloomWords - 1)].load(
+                std::memory_order_relaxed) &
+            (1ull << (P & 63))))
+        return false;
+    return true;
+  }
+
+  // --- spill (opt-in) ----------------------------------------------------
+  //
+  // Evicted fingerprints accumulate in a pending buffer and merge into a
+  // sorted on-disk file (<SpillDir>/statecache.spill) via the cert
+  // store's temp+rename idiom; a sorted in-memory mirror of the file
+  // serves lookups (24 B per record vs multi-KiB snapshots — the mirror
+  // IS the memory win).
+
+  void spillRecord(SpillRecord R) {
+    std::lock_guard<std::mutex> L(SpillMu);
+    Pending.push_back(R);
+    Spilled.fetch_add(1, std::memory_order_relaxed);
+    if (Pending.size() >= 1024)
+      flushSpillLocked();
+  }
+
+  bool spillContains(std::uint64_t H, ThreadId LastId, unsigned Consec,
+                     std::uint64_t Depth) {
+    if (SpillDir.empty())
+      return false;
+    std::lock_guard<std::mutex> L(SpillMu);
+    for (const SpillRecord &R : Pending)
+      if (R.Hash == H && R.LastId == LastId && R.Consec <= Consec &&
+          R.Depth <= Depth)
+        return true;
+    SpillRecord Lo{H, 0, 0, 0};
+    for (auto It = std::lower_bound(Index.begin(), Index.end(), Lo);
+         It != Index.end() && It->Hash == H; ++It)
+      if (It->LastId == LastId && It->Consec <= Consec && It->Depth <= Depth)
+        return true;
+    return false;
+  }
+
+  void flushSpill() {
+    if (SpillDir.empty())
+      return;
+    std::lock_guard<std::mutex> L(SpillMu);
+    flushSpillLocked();
+  }
+
+  void flushSpillLocked() {
+    if (Pending.empty())
+      return;
+    std::sort(Pending.begin(), Pending.end());
+    std::vector<SpillRecord> Merged;
+    Merged.reserve(Index.size() + Pending.size());
+    std::merge(Index.begin(), Index.end(), Pending.begin(), Pending.end(),
+               std::back_inserter(Merged));
+    namespace fs = std::filesystem;
+    std::error_code Ec;
+    fs::create_directories(SpillDir, Ec);
+    const fs::path Final = fs::path(SpillDir) / "statecache.spill";
+    const fs::path Tmp = fs::path(SpillDir) / "statecache.spill.tmp";
+    {
+      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+      if (!Out)
+        return; // spill is best-effort; the RAM cache stays correct
+      Out.write(reinterpret_cast<const char *>(Merged.data()),
+                static_cast<std::streamsize>(Merged.size() *
+                                             sizeof(SpillRecord)));
+      if (!Out)
+        return;
+    }
+    fs::rename(Tmp, Final, Ec);
+    if (Ec)
+      return;
+    Index = std::move(Merged);
+    Pending.clear();
+  }
+
+  std::size_t MaxEntries = 0;
+  std::size_t BudgetBytes = 0;
+  std::string SpillDir;
+
+  static constexpr std::size_t NumStripes = 16;
+  std::array<Stripe, NumStripes> Stripes;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> Bloom;
+  std::atomic<std::size_t> TotalBytes{0};
+  std::atomic<std::size_t> Count{0};
+  std::atomic<std::uint64_t> Evictions{0};
+  std::atomic<std::uint64_t> SpillHits{0};
+  std::atomic<std::uint64_t> Spilled{0};
+
+  std::mutex SpillMu;
+  std::vector<SpillRecord> Pending; ///< guarded by SpillMu
+  std::vector<SpillRecord> Index;   ///< guarded by SpillMu (file mirror)
+
+  static bool sleepSubset(const std::vector<ParticipantFootprint> &A,
+                          const std::vector<ParticipantFootprint> &B) {
+    for (const ParticipantFootprint &EA : A) {
+      bool Found = false;
+      for (const ParticipantFootprint &EB : B)
+        if (EA == EB) {
+          Found = true;
+          break;
+        }
+      if (!Found)
+        return false;
+    }
+    return true;
+  }
+
+  static bool tallyLeq(const std::map<ThreadId, std::uint64_t> &A,
+                       const std::map<ThreadId, std::uint64_t> &B) {
+    for (const auto &[Tid, N] : A) {
+      auto It = B.find(Tid);
+      if ((It == B.end() ? 0 : It->second) < N)
+        return false;
+    }
+    return true;
+  }
+};
+
+} // namespace detail
+} // namespace ccal
+
+#endif // CCAL_MACHINE_STATECACHE_H

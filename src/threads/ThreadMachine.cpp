@@ -275,6 +275,19 @@ std::uint64_t ThreadedMachine::snapshotHash() const {
   return H.value();
 }
 
+std::size_t ThreadedMachine::snapshotBytes() const {
+  std::size_t B = sizeof(ThreadedMachine) + GlobalLog.snapshotCopyBytes();
+  for (const auto &[Tid, T] : Threads) {
+    (void)Tid;
+    B += sizeof(Thr) + T.Returns.size() * sizeof(std::int64_t);
+  }
+  for (const auto &[Cpu, Mem] : CpuMem) {
+    (void)Cpu;
+    B += sizeof(Mem) + Mem.size() * sizeof(std::int64_t);
+  }
+  return B;
+}
+
 bool ThreadedMachine::sameSnapshot(const ThreadedMachine &O) const {
   if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
       GlobalLog != O.GlobalLog || CpuMem != O.CpuMem ||

@@ -128,6 +128,10 @@ public:
   std::uint64_t snapshotHash() const;
   bool sameSnapshot(const ThreadedMachine &O) const;
 
+  /// Estimated resident bytes of one retained snapshot (see
+  /// MultiCoreMachine::snapshotBytes).
+  std::size_t snapshotBytes() const;
+
 private:
   struct Thr {
     Vm Machine;

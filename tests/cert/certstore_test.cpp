@@ -314,6 +314,69 @@ TEST_F(CertStoreTest, EvictionCapsTheEntryCount) {
   EXPECT_GE(obs::counterValue("cert.evictions"), 2u);
 }
 
+TEST_F(CertStoreTest, EvictionSkipsUnstattableEntries) {
+  // Regression: a directory entry whose stat fails (here a dangling
+  // symlink with the store's .json extension) used to yield an epoch
+  // mtime that sorted OLDEST, so eviction rounds deleted it (or, once
+  // deleted, the next-oldest healthy entry) while the count stayed
+  // inflated.  The fix skips it, bumps cert.evict_stat_errors, and
+  // orders only the stattable entries.
+  cert::CertStore Store(Dir.string(), /*MaxEntries=*/2);
+  Store.store(makeKey("refine", 1), makeGoodEntry());
+  const fs::path File1 = Dir / "refine-0000000000000001.cert.json";
+  const fs::path File2 = Dir / "refine-0000000000000002.cert.json";
+  ASSERT_TRUE(fs::exists(File1));
+
+  const fs::path Broken = Dir / "aaa-broken.cert.json";
+  std::error_code Ec;
+  fs::create_symlink("no-such-target", Broken, Ec);
+  if (Ec)
+    GTEST_SKIP() << "filesystem does not support symlinks: " << Ec.message();
+
+  // One healthy entry + one unstattable: below the cap, so storing must
+  // evict nothing — in particular not the healthy entry.
+  Store.store(makeKey("refine", 2), makeGoodEntry());
+  EXPECT_TRUE(fs::exists(File1));
+  EXPECT_TRUE(fs::exists(File2));
+  EXPECT_GE(obs::counterValue("cert.evict_stat_errors"), 1u);
+  EXPECT_EQ(obs::counterValue("cert.evictions"), 0u);
+
+  // At the cap the OLDEST healthy entry goes; the broken one is never a
+  // victim and never shields a healthy entry from eviction.
+  Store.store(makeKey("refine", 3), makeGoodEntry());
+  EXPECT_FALSE(fs::exists(File1));
+  EXPECT_TRUE(fs::exists(File2));
+  EXPECT_TRUE(fs::exists(Dir / "refine-0000000000000003.cert.json"));
+  EXPECT_EQ(obs::counterValue("cert.evictions"), 1u);
+  EXPECT_TRUE(fs::symlink_status(Broken).type() ==
+              fs::file_type::symlink);
+}
+
+TEST_F(CertStoreTest, EvictionTiesOnMtimeBreakByPath) {
+  // Filesystem mtime granularity is coarse enough that entries minted in
+  // one burst share a timestamp.  Eviction order must not then depend on
+  // directory iteration order: ties break lexicographically by path, so
+  // two runs over the same store evict the same entry.
+  cert::CertStore Store(Dir.string(), /*MaxEntries=*/2);
+  Store.store(makeKey("refine", 1), makeGoodEntry());
+  Store.store(makeKey("refine", 2), makeGoodEntry());
+  const fs::path File1 = Dir / "refine-0000000000000001.cert.json";
+  const fs::path File2 = Dir / "refine-0000000000000002.cert.json";
+  ASSERT_TRUE(fs::exists(File1));
+  ASSERT_TRUE(fs::exists(File2));
+
+  // Force an exact tie: both entries in the same mtime tick.
+  const fs::file_time_type Same = fs::last_write_time(File2);
+  fs::last_write_time(File1, Same);
+  fs::last_write_time(File2, Same);
+
+  Store.store(makeKey("refine", 3), makeGoodEntry());
+  EXPECT_FALSE(fs::exists(File1)); // smaller path loses the tie
+  EXPECT_TRUE(fs::exists(File2));
+  EXPECT_TRUE(fs::exists(Dir / "refine-0000000000000003.cert.json"));
+  EXPECT_EQ(obs::counterValue("cert.evictions"), 1u);
+}
+
 TEST_F(CertStoreTest, ValidationCachesWhenPrimsAreNamed) {
   ClightModule M = parseModuleOrDie("v", R"(
     int f(int x) { return x * 2 + 1; }

@@ -99,6 +99,44 @@ TEST(DeterminismTest, CountersAndOutcomeSetInvariantAcrossWorkerCounts) {
   }
 }
 
+TEST(DeterminismTest, InvariantAcrossStealBatchSizes) {
+  // Donations move contiguous frontier batches of up to StealBatch
+  // frames; the batch size decides WHERE work lands, never WHAT is
+  // explored.  Counters and the outcome set must agree with the
+  // sequential baseline for every (Threads, StealBatch) combination,
+  // including the degenerate single-frame batch (the pre-batching
+  // behavior) and a batch larger than any plausible frontier.
+  ExploreOptions Base;
+  Base.FairnessBound = 2;
+  Base.MaxSteps = 512;
+  Base.Threads = 1;
+  ExploreResult Seq = exploreMachine(makeSpecConfig(4, 2), Base);
+  ASSERT_TRUE(Seq.Ok) << Seq.Violation;
+  ASSERT_TRUE(Seq.Complete);
+  std::multiset<std::string> SeqSet = outcomeSet(Seq);
+  for (unsigned Threads : {2u, 4u})
+    for (unsigned Batch : {1u, 8u, 64u}) {
+      ExploreOptions Opts = Base;
+      Opts.Threads = Threads;
+      Opts.StealBatch = Batch;
+      ExploreResult Res = exploreMachine(makeSpecConfig(4, 2), Opts);
+      ASSERT_TRUE(Res.Ok) << "Threads=" << Threads << " Batch=" << Batch
+                          << ": " << Res.Violation;
+      EXPECT_TRUE(Res.Complete) << Threads << "/" << Batch;
+      EXPECT_EQ(Res.SchedulesExplored, Seq.SchedulesExplored)
+          << Threads << "/" << Batch;
+      EXPECT_EQ(Res.StatesExplored, Seq.StatesExplored)
+          << Threads << "/" << Batch;
+      EXPECT_EQ(outcomeSet(Res), SeqSet) << Threads << "/" << Batch;
+      // Donations count frames, StealBatches counts lock acquisitions
+      // that moved them: batching can only shrink the batch count, and
+      // every batch carries at least one frame.
+      EXPECT_LE(Res.StealBatches, Res.Donations) << Threads << "/" << Batch;
+      EXPECT_LE(Res.Donations, Res.StealBatches * Batch)
+          << Threads << "/" << Batch;
+    }
+}
+
 TEST(DeterminismTest, SequentialRunsAreBitIdentical) {
   // Threads=1 twice: not just the same sets — the same order, entry for
   // entry, because the sequential engine is a deterministic DFS and the

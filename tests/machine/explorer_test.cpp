@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 #include <string>
 
@@ -294,4 +295,90 @@ TEST(ExplorerTest, StateCachePrunesConvergentStates) {
   for (const Outcome &O : B.Outcomes)
     KeysB.insert(outcomeKey(O));
   EXPECT_EQ(KeysA, KeysB);
+}
+
+TEST(ExplorerTest, StateCacheByteBudgetEvictsAndStaysSound) {
+  // A byte budget far below the workload's resident-state footprint must
+  // trigger LRU evictions while losing only pruning power, never
+  // outcomes: the cached run still matches the uncached outcome set and
+  // still terminates Complete.
+  MachineConfigPtr Cfg = makeNopConfig(3);
+  ExploreOptions Plain;
+  ExploreResult A = exploreMachine(Cfg, Plain);
+  ASSERT_TRUE(A.Ok) << A.Violation;
+  ExploreOptions Tight;
+  Tight.StateCache = true;
+  Tight.CacheBudgetBytes = 4096;
+  ExploreResult B = exploreMachine(Cfg, Tight);
+  ASSERT_TRUE(B.Ok) << B.Violation;
+  EXPECT_TRUE(B.Complete);
+  EXPECT_GT(B.CacheEvictions, 0u);
+  EXPECT_EQ(outcomeKeys(A), outcomeKeys(B));
+  // An unbounded cache on the same workload evicts nothing and prunes at
+  // least as hard — the budget only ever trades memory for revisits.
+  ExploreOptions Unbounded;
+  Unbounded.StateCache = true;
+  ExploreResult C = exploreMachine(Cfg, Unbounded);
+  ASSERT_TRUE(C.Ok) << C.Violation;
+  EXPECT_EQ(C.CacheEvictions, 0u);
+  EXPECT_LE(C.StatesExplored, B.StatesExplored);
+  EXPECT_EQ(outcomeKeys(A), outcomeKeys(C));
+}
+
+TEST(ExplorerTest, StateCacheSpillRoundTrip) {
+  // With a spill directory, fingerprints of evicted plain-DFS entries
+  // keep pruning revisits after their snapshots left RAM, and the sorted
+  // spill file lands on disk via the temp+rename idiom (no .tmp residue).
+  namespace fs = std::filesystem;
+  const fs::path Dir =
+      fs::path(::testing::TempDir()) /
+      (std::string("ccal_spill_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  fs::remove_all(Dir);
+  MachineConfigPtr Cfg = makeNopConfig(3);
+  ExploreOptions Plain;
+  ExploreResult A = exploreMachine(Cfg, Plain);
+  ASSERT_TRUE(A.Ok) << A.Violation;
+  ExploreOptions Spilling;
+  Spilling.StateCache = true;
+  Spilling.CacheBudgetBytes = 4096;
+  Spilling.CacheSpillDir = Dir.string();
+  ExploreResult B = exploreMachine(Cfg, Spilling);
+  ASSERT_TRUE(B.Ok) << B.Violation;
+  EXPECT_TRUE(B.Complete);
+  EXPECT_GT(B.CacheEvictions, 0u);
+  EXPECT_GT(B.CacheSpillHits, 0u);
+  // Spill pruning is pruning: outcome set identical to the uncached run.
+  EXPECT_EQ(outcomeKeys(A), outcomeKeys(B));
+  const fs::path Spill = Dir / "statecache.spill";
+  ASSERT_TRUE(fs::exists(Spill));
+  EXPECT_GT(fs::file_size(Spill), 0u);
+  EXPECT_FALSE(fs::exists(Dir / "statecache.spill.tmp"));
+  fs::remove_all(Dir);
+}
+
+TEST(ExplorerTest, StateCacheEntryCapStopsRememberingWithoutEvicting) {
+  // MaxStateCache keeps the pre-budget "stop remembering, stay sound"
+  // semantics: once the count cap is reached nothing new is cached and
+  // nothing is evicted, so the search degrades toward the uncached run
+  // instead of thrashing.
+  MachineConfigPtr Cfg = makeNopConfig(3);
+  ExploreOptions Plain;
+  ExploreResult A = exploreMachine(Cfg, Plain);
+  ASSERT_TRUE(A.Ok) << A.Violation;
+  ExploreOptions Capped;
+  Capped.StateCache = true;
+  Capped.MaxStateCache = 2;
+  ExploreResult B = exploreMachine(Cfg, Capped);
+  ASSERT_TRUE(B.Ok) << B.Violation;
+  EXPECT_TRUE(B.Complete);
+  EXPECT_EQ(B.CacheEvictions, 0u);
+  EXPECT_EQ(outcomeKeys(A), outcomeKeys(B));
+  ExploreOptions Uncapped;
+  Uncapped.StateCache = true;
+  ExploreResult C = exploreMachine(Cfg, Uncapped);
+  ASSERT_TRUE(C.Ok) << C.Violation;
+  // The cap can only cost pruning, not add states beyond uncached.
+  EXPECT_LE(C.StatesExplored, B.StatesExplored);
+  EXPECT_LE(B.StatesExplored, A.StatesExplored);
 }

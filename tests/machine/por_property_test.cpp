@@ -1,14 +1,20 @@
 //===- tests/machine/por_property_test.cpp - POR property-based testing ---------===//
 //
-// Property-based hardening of the sleep-set reduction: random small object
-// workloads — random CPU counts, per-CPU operation sequences over a small
-// shared-variable pool, each primitive declaring its honest footprint —
-// are swept through checkPorEquivalence, asserting that the reduced
-// exploration preserves the full exploration's deduplicated outcome set on
-// every one.  Failures dump the workload (replay with
-// --ccal-fuzz-replay=<file>); past failures are pinned by the checked-in
-// corpus.  Also home of the PorTest acceptance check that the obs
-// registry's explored-schedule counter agrees with ExploreResult.
+// Property-based hardening of the source-set DPOR reduction: random small
+// object workloads — random CPU counts, per-CPU operation sequences over a
+// small shared-variable pool, each primitive declaring its honest
+// footprint — are swept through checkPorEquivalence, asserting that the
+// reduced exploration preserves the full exploration's deduplicated
+// outcome set on every one.  A deterministic negative control checks the
+// other direction: a workload whose footprints LIE must make the
+// differential check fail, or the property suite could not distinguish a
+// sound reduction from one that ignores footprints entirely.  Failures
+// dump the workload (replay with --ccal-fuzz-replay=<file>); past
+// failures are pinned by the checked-in corpus (workload_dpor_initials
+// pins the source-set insertion bug where backtracking the racing thread
+// itself, when it is not an initial of the reversal sequence, lost a
+// trace class under sleep sets).  Also home of the PorTest acceptance
+// check that the obs registry's counters agree with ExploreResult.
 //
 //===-------------------------------------------------------------------------===//
 
@@ -118,8 +124,11 @@ Workload randomWorkload(std::uint64_t Seed) {
 
 /// Builds the machine for a workload: a ClightX client with one entry per
 /// CPU, over an interface where every op is a shared primitive with its
-/// honest footprint.
-MachineConfigPtr makeWorkloadConfig(const Workload &W) {
+/// honest footprint.  With \p LyingReads, read_<v> ops instead declare a
+/// purely local footprint — a deliberate under-report for the negative
+/// control below.
+MachineConfigPtr makeWorkloadConfig(const Workload &W,
+                                    bool LyingReads = false) {
   std::set<std::string> OpNames;
   for (const auto &Ops : W.OpsPerCpu)
     OpNames.insert(Ops.begin(), Ops.end());
@@ -127,11 +136,15 @@ MachineConfigPtr makeWorkloadConfig(const Workload &W) {
   std::string Src;
   for (const std::string &Op : OpNames)
     Src += "extern int " + Op + "();\n";
+  // Accumulate op results into the return value: outcomes then
+  // distinguish WHAT each read observed, not just the event order — a
+  // read whose result depends on an undeclared conflict surfaces as a
+  // divergent outcome even though its log events canonicalize away.
   for (size_t C = 0; C != W.OpsPerCpu.size(); ++C) {
-    Src += strFormat("int t%zu() {\n", C + 1);
+    Src += strFormat("int t%zu() {\n  int acc = 0;\n", C + 1);
     for (const std::string &Op : W.OpsPerCpu[C])
-      Src += "  " + Op + "();\n";
-    Src += "  return 0;\n}\n";
+      Src += "  acc = acc * 10 + " + Op + "();\n";
+    Src += "  return acc;\n}\n";
   }
 
   ClightModule Client = parseModuleOrDie("w", Src);
@@ -145,7 +158,7 @@ MachineConfigPtr makeWorkloadConfig(const Workload &W) {
     else
       // read_<v> counts the inc_<v> events so far — a genuine read of v.
       L->addShared(Op, makeReadCounterPrim(Op, "inc_" + Var),
-                   Footprint::of({Var}, {}));
+                   LyingReads ? Footprint() : Footprint::of({Var}, {}));
   }
 
   auto Cfg = std::make_shared<MachineConfig>();
@@ -199,6 +212,35 @@ TEST_P(PorPropertyTest, ReductionPreservesOutcomeSets) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PorPropertyTest,
                          ::testing::Values(11, 22, 33, 44));
 
+/// Negative control: the SAME workload builder, but read_x declares a
+/// purely local footprint while it genuinely reads the counter inc_x
+/// bumps.  DPOR trusts the declaration, treats the read as racing with
+/// nothing, and collapses both orders into one trace — the differential
+/// check must report the missing outcome, not Match.  This is what keeps
+/// the positive sweep above honest: a checker that could not fail here
+/// would also accept a reduction that ignores footprints.
+TEST(PorPropertyTest, LyingFootprintMustFailTheDifferentialCheck) {
+  Workload W;
+  W.OpsPerCpu = {{"inc_x"}, {"read_x"}};
+  ExploreOptions Opts;
+  Opts.MaxSteps = 4096;
+  PorEquivalenceReport R =
+      checkPorEquivalence(makeWorkloadConfig(W, /*LyingReads=*/true), Opts);
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_FALSE(R.Match)
+      << "a lying footprint slipped past the differential check";
+  EXPECT_NE(R.Detail.find("missing under POR"), std::string::npos)
+      << R.Detail;
+  EXPECT_GT(R.FullOutcomes, R.PorOutcomes);
+
+  // The honest twin of the same workload passes, isolating the lie as
+  // the only difference.
+  PorEquivalenceReport Honest =
+      checkPorEquivalence(makeWorkloadConfig(W), Opts);
+  ASSERT_TRUE(Honest.Ok) << Honest.Detail;
+  EXPECT_TRUE(Honest.Match) << Honest.Detail;
+}
+
 /// Replays a dumped failing workload when --ccal-fuzz-replay=<file> names
 /// a kind=workload dump; skipped otherwise.
 TEST(FuzzReplayTest, ReplaysDumpedWorkload) {
@@ -237,14 +279,17 @@ TEST(FuzzCorpusTest, PastWorkloadsStayEquivalent) {
 
 /// Acceptance: the obs registry's view of a POR run must agree with the
 /// ExploreResult it was published from — the reduced schedule count, the
-/// sleep-set prunes, and (POR bypasses the StateCache) zero cache hits.
+/// sleep-set prunes, the DPOR backtrack insertions, and (StateCache off
+/// here) zero cache activity.
 TEST(PorTest, RegistryCountersMatchExploreResult) {
   bool WasEnabled = obs::enabled();
   obs::setEnabled(true);
   obs::metricsReset();
 
+  // inc_x on two CPUs forces genuine races (so dpor.backtracks > 0);
+  // inc_z stays independent.
   Workload W;
-  W.OpsPerCpu = {{"inc_x", "inc_x"}, {"inc_y", "inc_y"}, {"inc_z", "inc_z"}};
+  W.OpsPerCpu = {{"inc_x", "inc_y"}, {"inc_x"}, {"inc_z"}};
   ExploreOptions Opts;
   Opts.Por = true;
   Opts.MaxSteps = 4096;
@@ -252,10 +297,13 @@ TEST(PorTest, RegistryCountersMatchExploreResult) {
 
   EXPECT_TRUE(Res.Ok) << Res.Violation;
   EXPECT_TRUE(Res.PorApplied);
+  EXPECT_GT(Res.DporBacktracks, 0u);
   EXPECT_EQ(obs::counterValue("explorer.schedules_explored"),
             Res.SchedulesExplored);
   EXPECT_EQ(obs::counterValue("explorer.sleep_skips"), Res.PorSleepSkips);
+  EXPECT_EQ(obs::counterValue("dpor.backtracks"), Res.DporBacktracks);
   EXPECT_EQ(obs::counterValue("explorer.cache_hits"), 0u);
+  EXPECT_EQ(obs::counterValue("cache.evictions"), 0u);
   EXPECT_EQ(obs::counterValue("explorer.por_runs"), 1u);
 
   obs::metricsReset();

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 using namespace ccal;
@@ -228,23 +229,27 @@ ThreadedConfigPtr makeThreadedConfig() {
 
 TEST(PorTest, IndependentCountersReduction) {
   // 3 CPUs x 2 fully independent steps: 6!/(2!2!2!) = 90 schedules in
-  // full, one Mazurkiewicz trace under POR.  This is the >=5x headline
-  // workload; the equality of outcome sets is the soundness claim.
+  // full, one Mazurkiewicz trace under POR.  Source-set DPOR detects no
+  // race anywhere (disjoint footprints), so no backtrack point is ever
+  // scheduled and exactly ONE schedule is explored — where sleep sets
+  // alone still walked every child and pruned late.
   ExploreOptions Opts;
   PorEquivalenceReport R =
       checkPorEquivalence(makeIndependentCountersConfig(), Opts);
   ASSERT_TRUE(R.Ok) << R.Detail;
   EXPECT_TRUE(R.Match) << R.Detail;
   EXPECT_EQ(R.FullSchedules, 90u);
-  EXPECT_GT(R.SleepSkips, 0u);
-  EXPECT_LE(R.PorSchedules * 5, R.FullSchedules)
-      << "POR explored " << R.PorSchedules << " of " << R.FullSchedules;
+  EXPECT_EQ(R.PorSchedules, 1u);
+  EXPECT_EQ(R.Backtracks, 0u);
 }
 
 TEST(PorTest, EquivalenceFig3) {
   // The concrete ticket-lock stack: dependent lock words, independent
   // f/g.  FairnessBound is linearization-dependent, so the differential
   // check bounds the spinning acq with the trace-invariant per-CPU cap.
+  // The lock-word conflicts force genuine races, so DPOR must both
+  // schedule reversals (backtracks) and still come out strictly smaller
+  // than the full sweep.
   ExploreOptions Opts;
   Opts.MaxParticipantSteps = 10;
   Opts.MaxSteps = 256;
@@ -252,7 +257,7 @@ TEST(PorTest, EquivalenceFig3) {
   ASSERT_TRUE(R.Ok) << R.Detail;
   EXPECT_TRUE(R.Match) << R.Detail;
   EXPECT_LT(R.PorSchedules, R.FullSchedules);
-  EXPECT_GT(R.SleepSkips, 0u);
+  EXPECT_GT(R.Backtracks, 0u);
 }
 
 TEST(PorTest, EquivalenceTicketSpec) {
@@ -315,19 +320,85 @@ TEST(PorTest, UnderReportedFootprintCaught) {
   EXPECT_GT(R.FullOutcomes, R.PorOutcomes);
 }
 
-TEST(PorTest, StateCacheBypassedUnderPor) {
-  // The cache-hit coverage argument does not hold under sleep sets (a
-  // cached state may have been reached with a different sleep set), so
-  // StateCache must be ignored while POR is on.
-  ExploreOptions Opts;
-  Opts.Por = true;
-  Opts.StateCache = true;
-  ExploreResult Res = exploreMachine(makeIndependentCountersConfig(), Opts);
+/// Two CPUs calling an event-free shared primitive whose DECLARED
+/// footprint conflicts with itself across CPUs — an honest
+/// over-approximation (the primitive touches nothing at all, so
+/// declaring {x} is pessimistic, not a lie).  DPOR must treat the calls
+/// as dependent and explore both orders, but the orders reconverge on
+/// bit-identical snapshots (no events, no writes): exactly the shape the
+/// POR-aware StateCache is allowed to prune.
+MachineConfigPtr makeOverApproxNopConfig(unsigned Cpus) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int onop();
+      int t_main() {
+        onop();
+        onop();
+        return 0;
+      }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  auto L = makeInterface("Lonop");
+  L->addShared("onop", makeConstPrim(0), Footprint::of({"x"}, {"x"}));
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "onop";
+  Cfg->Layer = L;
+  Cfg->Program = compileAndLink("onop.lasm", {&Client});
+  for (ThreadId C = 1; C <= Cpus; ++C)
+    Cfg->Work.emplace(C, std::vector<CpuWorkItem>{{"t_main", {}}});
+  return Cfg;
+}
+
+TEST(PorTest, StateCacheSoundUnderPor) {
+  // PR 2 bypassed the StateCache whenever POR was on (a cached state may
+  // have been reached with a different sleep set).  The bounded cache
+  // lifts that: entries are inserted only for FULLY explored subtrees at
+  // frame pop, carry the frame's sleep set and step tally, hit only when
+  // the cached context is no stronger than the probing frame's, and
+  // replay the pruned subtree's race detection from a step summary.  On
+  // a workload with over-approximated footprints — where DPOR alone
+  // degrades toward full exploration but states genuinely reconverge —
+  // the cache must fire AND the outcome set must stay exactly the full
+  // exploration's.
+  MachineConfigPtr Cfg = makeOverApproxNopConfig(2);
+  ExploreOptions Cached;
+  Cached.Por = true;
+  Cached.StateCache = true;
+  ExploreResult Res = exploreMachine(Cfg, Cached);
   ASSERT_TRUE(Res.Ok) << Res.Violation;
   EXPECT_TRUE(Res.Complete);
   EXPECT_TRUE(Res.PorApplied);
-  EXPECT_GT(Res.PorSleepSkips, 0u);
-  EXPECT_EQ(Res.CacheHits, 0u);
+  EXPECT_GT(Res.CacheHits, 0u);
+
+  ExploreResult Full = exploreMachine(Cfg, ExploreOptions());
+  ASSERT_TRUE(Full.Ok) << Full.Violation;
+  auto Key = [](const Outcome &O) {
+    std::string K = logToString(O.FinalLog);
+    for (const auto &[Tid, Rets] : O.Returns) {
+      K += "|" + std::to_string(Tid) + ":";
+      for (std::int64_t V : Rets)
+        K += std::to_string(V) + ",";
+    }
+    return K;
+  };
+  std::set<std::string> KeysPor, KeysFull;
+  for (const Outcome &O : Res.Outcomes)
+    KeysPor.insert(Key(O));
+  for (const Outcome &O : Full.Outcomes)
+    KeysFull.insert(Key(O));
+  EXPECT_EQ(KeysPor, KeysFull);
+
+  // The differential checker agrees on the honest lock workloads too,
+  // with the cache enabled on the POR side throughout.
+  ExploreOptions Opts;
+  Opts.MaxSteps = 4096;
+  Opts.StateCache = true;
+  PorEquivalenceReport R =
+      checkPorEquivalence(makeTicketSpecConfig(3), Opts);
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_TRUE(R.Match) << R.Detail;
 }
 
 TEST(PorTest, TicketHarnessUnderPor) {
