@@ -1,0 +1,127 @@
+//===- examples/verify_service.cpp - Two clients, one certd, one bill -----------===//
+//
+// The verification-as-a-service story in one process:
+//
+//   1. start a certd daemon on a private Unix socket with a shared
+//      certificate store,
+//   2. client A verifies a lock stack cold — pays the exploration and
+//      mints certificates,
+//   3. client B verifies an overlapping stack over a fresh connection —
+//      the shared store serves the overlapping obligations, so B's bill
+//      shows cache hits, zero new stores for the shared jobs, and a
+//      fraction of A's wall-clock,
+//   4. the daemon drains and shuts down cleanly.
+//
+// Exits 0 only if client B actually hit the cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Certd.h"
+#include "serve/Client.h"
+
+#include "cert/CertStore.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace ccal;
+using namespace ccal::serve;
+
+namespace {
+
+void printBill(const char *Who, const VerifyResponse &R) {
+  std::printf("%s (round-trip %.1f ms):\n", Who, R.WallMs);
+  for (const JobResult &J : R.Results)
+    std::printf("  %-14s %-9s %8.1f ms  schedules=%llu hits=%llu "
+                "misses=%llu stores=%llu\n",
+                J.Job.c_str(),
+                !J.Known      ? "UNKNOWN"
+                : J.Holds     ? "HOLDS"
+                : J.Complete  ? "FAILS"
+                              : "TRUNCATED",
+                J.WallMs, static_cast<unsigned long long>(J.Schedules),
+                static_cast<unsigned long long>(J.CertHits),
+                static_cast<unsigned long long>(J.CertMisses),
+                static_cast<unsigned long long>(J.CertStores));
+}
+
+} // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  const std::string Tag = std::to_string(::getpid());
+  const std::string Socket = "/tmp/ccal_example_" + Tag + ".sock";
+  const fs::path StoreDir =
+      fs::temp_directory_path() / ("ccal_example_store_" + Tag);
+  cert::setStoreDir(StoreDir.string());
+
+  CertdOptions O;
+  O.SocketPath = Socket;
+  O.Workers = 2;
+  Certd Daemon(O);
+  std::string Err;
+  if (!Daemon.start(Err)) {
+    std::fprintf(stderr, "certd start failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("certd up on %s, store in %s\n\n", Socket.c_str(),
+              StoreDir.string().c_str());
+
+  // Client A: the ticket-lock stack, cold.  Every obligation is a miss;
+  // the daemon explores, checks, and mints certificates into the store.
+  VerifyResponse A;
+  {
+    CertClient C;
+    if (!C.connect(Socket, Err) ||
+        !C.verify({"ticket.2cpu", "mcs.2cpu"}, {}, A, Err) || !A.Ok) {
+      std::fprintf(stderr, "client A failed: %s %s\n", Err.c_str(),
+                   A.Error.c_str());
+      return 1;
+    }
+  }
+  printBill("client A (cold)", A);
+
+  // Client B: a different connection, overlapping stack.  The store
+  // already holds A's certificates, so the overlap is pure cache hits.
+  VerifyResponse B;
+  {
+    CertClient C;
+    if (!C.connect(Socket, Err) ||
+        !C.verify({"ticket.2cpu", "mcs.2cpu"}, {}, B, Err) || !B.Ok) {
+      std::fprintf(stderr, "client B failed: %s %s\n", Err.c_str(),
+                   B.Error.c_str());
+      return 1;
+    }
+  }
+  std::printf("\n");
+  printBill("client B (warm)", B);
+
+  Daemon.shutdown();
+
+  std::uint64_t Hits = 0, Stores = 0;
+  double AWall = 0, BWall = 0;
+  for (const JobResult &J : B.Results) {
+    Hits += J.CertHits;
+    Stores += J.CertStores;
+    BWall += J.WallMs;
+  }
+  for (const JobResult &J : A.Results)
+    AWall += J.WallMs;
+  std::printf("\nA paid %.1f ms of verification; B paid %.1f ms "
+              "(%llu cache hits, %llu new certificates)\n",
+              AWall, BWall, static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(Stores));
+
+  std::error_code Ec;
+  fs::remove_all(StoreDir, Ec);
+  if (Hits == 0) {
+    std::fprintf(stderr, "expected client B to hit the shared store\n");
+    return 1;
+  }
+  std::printf("second client paid nothing for the shared obligations.\n");
+  return 0;
+}

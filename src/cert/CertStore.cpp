@@ -5,6 +5,8 @@
 #include "obs/Metrics.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -28,12 +30,27 @@ void count(const char *Name) {
     obs::counterAdd(Name);
 }
 
-std::string readFile(const fs::path &P, bool &Ok) {
-  std::ifstream In(P, std::ios::binary);
-  Ok = static_cast<bool>(In);
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  return Buf.str();
+/// Reads \p P whole.  With several PROCESSES sharing one store directory
+/// (the certd daemon's contract) a file can be evicted between the
+/// caller's existence probe and this open — \p Vanished distinguishes
+/// that (ENOENT: treat as a plain cache miss) from genuine I/O failure
+/// (treat as a rejected entry).
+std::string readFile(const fs::path &P, bool &Ok, bool &Vanished) {
+  Ok = false;
+  Vanished = false;
+  std::FILE *F = std::fopen(P.string().c_str(), "rb");
+  if (!F) {
+    Vanished = errno == ENOENT;
+    return "";
+  }
+  std::string Out;
+  char Buf[1 << 16];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) != 0)
+    Out.append(Buf, N);
+  Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Out;
 }
 
 } // namespace
@@ -63,8 +80,6 @@ std::string CertStore::render(const CertKey &Key, const Entry &E) {
 bool CertStore::load(const CertKey &Key, Entry &Out) {
   fs::path Path = fs::path(Dir) / (Key.fileStem() + ".cert.json");
   std::error_code Ec;
-  if (!fs::exists(Path, Ec))
-    return false; // plain miss; getOrCheck counts it
 
   auto Reject = [&] {
     count("cert.rejections");
@@ -72,8 +87,15 @@ bool CertStore::load(const CertKey &Key, Entry &Out) {
     return false;
   };
 
-  bool ReadOk = false;
-  std::string Text = readFile(Path, ReadOk);
+  // No existence pre-probe: with multiple processes sharing the store a
+  // file can vanish between any two steps (a concurrent eviction), so the
+  // open itself is the probe and ENOENT at ANY point is a plain miss —
+  // never a rejection, which would charge an innocent entry's slot and
+  // count corruption that never happened.
+  bool ReadOk = false, Vanished = false;
+  std::string Text = readFile(Path, ReadOk, Vanished);
+  if (Vanished)
+    return false; // plain miss; getOrCheck counts it
   if (!ReadOk)
     return Reject();
   JsonParseResult Parsed = parseJson(Text);
@@ -134,6 +156,10 @@ void CertStore::store(const CertKey &Key, const Entry &E) {
   // Atomic publish: concurrent checkers (ctest -j sharing one directory)
   // must never observe a torn entry, so write to a process-unique temp
   // file and rename over the final name.
+  // The temp name must be unique per WRITER, not per process: the daemon's
+  // worker threads share one CertStore, and two workers storing the same
+  // key from a pid-only suffix would interleave writes into one temp file.
+  static std::atomic<std::uint64_t> WriteSeq{0};
   fs::path Tmp = Final;
   Tmp += ".tmp." + std::to_string(
 #ifdef _WIN32
@@ -141,7 +167,8 @@ void CertStore::store(const CertKey &Key, const Entry &E) {
 #else
                        static_cast<long long>(::getpid())
 #endif
-                   );
+                       ) +
+         "." + std::to_string(WriteSeq.fetch_add(1));
   {
     std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
     if (!OutF)
@@ -172,11 +199,21 @@ void CertStore::evictIfFull() {
     // OLDEST — evicting healthy entries while the unstattable one (a
     // vanished or broken file) survives every round.  Skip it: it cannot
     // be meaningfully ordered, and if it is truly gone it no longer
-    // occupies a slot anyway.
+    // occupies a slot anyway.  ENOENT specifically means another process
+    // evicted it between the directory walk and the stat — a lost race,
+    // not an error.
     std::error_code StatEc;
     fs::file_time_type T = fs::last_write_time(P, StatEc);
     if (StatEc) {
-      count("cert.evict_stat_errors");
+      // ENOENT with the directory entry itself gone means another process
+      // evicted it between the walk and the stat — a lost race, not an
+      // error.  ENOENT with the entry still present is a broken symlink
+      // (the stat followed it), which stays a stat error like any other.
+      std::error_code LinkEc;
+      bool EntryGone = StatEc == std::errc::no_such_file_or_directory &&
+                       fs::symlink_status(P, LinkEc).type() ==
+                           fs::file_type::not_found;
+      count(EntryGone ? "cert.evict_lost_race" : "cert.evict_stat_errors");
       continue;
     }
     Entries.emplace_back(T, P);
@@ -188,9 +225,12 @@ void CertStore::evictIfFull() {
     auto Oldest = std::min_element(Entries.begin(), Entries.end());
     if (Oldest == Entries.end())
       break;
-    fs::remove(Oldest->second, Ec);
+    // Idempotent under concurrent evictors: remove() reporting "nothing
+    // removed" (or ENOENT) means a peer got there first — its eviction
+    // freed the slot, so counting ours too would double-book the cap.
+    bool Removed = fs::remove(Oldest->second, Ec) && !Ec;
     Entries.erase(Oldest);
-    count("cert.evictions");
+    count(Removed ? "cert.evictions" : "cert.evict_lost_race");
   }
 }
 

@@ -28,9 +28,19 @@
 ///
 /// Enabled by `CCAL_CERT_CACHE=<dir>` (created on demand); an optional
 /// `CCAL_CERT_CACHE_MAX=<n>` caps the entry count, evicting oldest-mtime
-/// files.  Writes are atomic (temp file + rename) so concurrent checkers
-/// (ctest -j) can share one directory.  Hits/misses/stores/rejections/
-/// evictions are exported through the obs:: registry as `cert.*`.
+/// files.  Hits/misses/stores/rejections/evictions are exported through
+/// the obs:: registry as `cert.*`.
+///
+/// Cross-process contract.  The directory may be shared by any number of
+/// threads AND processes concurrently (ctest -j, N ccal-verify clients
+/// against one certd, several daemons): writes are atomic (writer-unique
+/// temp file + rename), a file vanishing at any point between directory
+/// walk, stat, open, and read is treated as a plain cache miss — another
+/// process evicted it, which is never an error — and eviction is
+/// idempotent: a remove that finds the file already gone counts
+/// `cert.evict_lost_race` instead of double-booking an eviction.  A torn
+/// or tampered read can therefore only ever produce a fail-closed
+/// rejection followed by a re-check, never a wrong answer.
 ///
 //===----------------------------------------------------------------------===//
 

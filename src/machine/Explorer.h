@@ -80,6 +80,21 @@ template <typename MachineT> struct GenericExploreOptions {
   std::uint64_t MaxSchedules = 1u << 22;
   std::uint64_t MaxSteps = 4096;
 
+  /// External cancellation: when set, every worker polls this flag at
+  /// node expansion (one relaxed load) and a raised flag truncates the
+  /// search through the SAME fail-closed path as an exhausted budget —
+  /// Complete=false with CancelReason in Truncation — so checkers refuse
+  /// Holds and the certificate store never persists the partial evidence.
+  /// This is the certd daemon's per-job timeout hook; excluded from
+  /// certificate keys (keyAddExploreOptions) because cancellation changes
+  /// when a run stops, never which outcomes exist.
+  std::shared_ptr<std::atomic<bool>> Cancel;
+
+  /// Truncation text recorded when Cancel fires (name WHO cancelled —
+  /// "job timeout (2000 ms)" — so the diagnostic a client sees is
+  /// actionable).
+  std::string CancelReason = "cancelled by caller";
+
   /// Partial-order reduction: source-set DPOR with sleep sets over the
   /// machine's declared step footprints (see the file comment).  Opt-in,
   /// and changes the exploration regime in four documented ways:
@@ -635,6 +650,16 @@ private:
   /// whole stack (F is its top) because a POR cache hit replays the
   /// pruned subtree's race detection against the current prefix.
   bool expand(std::vector<Frame> &Stack, Frame &F, Shard &S) {
+    if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> L(ResMu);
+        Complete = false;
+        if (Truncation.empty())
+          Truncation = Opts.CancelReason;
+      }
+      stopAll();
+      return false;
+    }
     if (Schedules.load(std::memory_order_relaxed) >= Opts.MaxSchedules) {
       {
         std::lock_guard<std::mutex> L(ResMu);

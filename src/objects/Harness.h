@@ -43,6 +43,14 @@ struct ObjectHarness {
   /// declarations so they stay primitives on the spec machine.
   const ClightModule *Client = nullptr;
 
+  /// Storage backing the raw module pointers above.  The certify*
+  /// front-ends used to park their modules in function-local statics,
+  /// which two concurrent callers (certd worker threads running the same
+  /// job family) would reassign under each other; harness factories
+  /// allocate here instead, so each harness owns its modules for exactly
+  /// its own lifetime.
+  std::vector<std::shared_ptr<ClightModule>> Owned;
+
   /// Per-CPU client workload (same on both machines).
   std::map<ThreadId, std::vector<CpuWorkItem>> Work;
 

@@ -212,20 +212,21 @@ std::string ccal::mcsMutexInvariant(const MultiCoreMachine &M) {
   return "";
 }
 
-HarnessOutcome ccal::certifyMcsLock(unsigned NumCpus, unsigned Rounds) {
+ObjectHarness ccal::makeMcsLockHarness(unsigned NumCpus, unsigned Rounds) {
   McsLockLayers Layers = makeMcsLockLayers();
-  static ClightModule M1;
-  static ClightModule Client;
-  M1 = cloneModule(Layers.M1);
-  Client = makeTicketClient(); // same acq/f/g/rel client shape
+  // Owned modules, not function-local statics — see makeTicketLockHarness.
+  auto M1 = std::make_shared<ClightModule>(cloneModule(Layers.M1));
+  auto Client = std::make_shared<ClightModule>(
+      makeTicketClient()); // same acq/f/g/rel client shape
 
   ObjectHarness H;
+  H.Owned = {M1, Client};
   H.ObjectName = "mcs_lock";
   H.Underlay = Layers.L0;
-  H.Modules = {&M1};
+  H.Modules = {M1.get()};
   H.Overlay = Layers.L1;
   H.R = Layers.R1;
-  H.Client = &Client;
+  H.Client = Client.get();
   for (unsigned C = 1; C <= NumCpus; ++C) {
     std::vector<CpuWorkItem> Items;
     for (unsigned I = 0; I != Rounds; ++I)
@@ -238,5 +239,9 @@ HarnessOutcome ccal::certifyMcsLock(unsigned NumCpus, unsigned Rounds) {
   H.ImplOpts.InvariantName = "mcs.mutex";
   H.SpecOpts.FairnessBound = 1u << 20;
   H.SpecOpts.MaxSteps = 512;
-  return runObjectHarness(H);
+  return H;
+}
+
+HarnessOutcome ccal::certifyMcsLock(unsigned NumCpus, unsigned Rounds) {
+  return runObjectHarness(makeMcsLockHarness(NumCpus, Rounds));
 }

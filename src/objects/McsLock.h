@@ -54,6 +54,10 @@ McsLockLayers makeMcsLockLayers();
 /// Mutual-exclusion invariant over the implementation machine.
 std::string mcsMutexInvariant(const MultiCoreMachine &M);
 
+/// Builds (without running) the harness certifyMcsLock runs — see
+/// makeTicketLockHarness for why factories exist.
+ObjectHarness makeMcsLockHarness(unsigned NumCpus, unsigned Rounds = 1);
+
 /// Certifies `L0_mcs[{1..NumCpus}] |- mcs_lock : L1[{1..NumCpus}]`.
 HarnessOutcome certifyMcsLock(unsigned NumCpus, unsigned Rounds = 1);
 

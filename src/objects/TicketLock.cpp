@@ -224,20 +224,23 @@ ccal::checkTicketStarvationFreedom(unsigned NumCpus,
   return Report;
 }
 
-HarnessOutcome ccal::certifyTicketLock(unsigned NumCpus, unsigned Rounds) {
+ObjectHarness ccal::makeTicketLockHarness(unsigned NumCpus,
+                                          unsigned Rounds) {
   TicketLockLayers Layers = makeTicketLockLayers();
-  static ClightModule M1;        // harness keeps pointers; keep them alive
-  static ClightModule Client;
-  M1 = cloneModule(Layers.M1);
-  Client = makeTicketClient();
+  // The harness owns its modules (no function-local statics): concurrent
+  // callers — certd workers certifying different CPU counts — must not
+  // reassign each other's ASTs mid-exploration.
+  auto M1 = std::make_shared<ClightModule>(cloneModule(Layers.M1));
+  auto Client = std::make_shared<ClightModule>(makeTicketClient());
 
   ObjectHarness H;
+  H.Owned = {M1, Client};
   H.ObjectName = "ticket_lock";
   H.Underlay = Layers.L0;
-  H.Modules = {&M1};
+  H.Modules = {M1.get()};
   H.Overlay = Layers.L1;
   H.R = Layers.R1;
-  H.Client = &Client;
+  H.Client = Client.get();
   for (unsigned C = 1; C <= NumCpus; ++C) {
     std::vector<CpuWorkItem> Items;
     for (unsigned I = 0; I != Rounds; ++I)
@@ -251,5 +254,9 @@ HarnessOutcome ccal::certifyTicketLock(unsigned NumCpus, unsigned Rounds) {
   // The atomic spec never spins; no fairness pruning on the spec side.
   H.SpecOpts.FairnessBound = 1u << 20;
   H.SpecOpts.MaxSteps = 512;
-  return runObjectHarness(H);
+  return H;
+}
+
+HarnessOutcome ccal::certifyTicketLock(unsigned NumCpus, unsigned Rounds) {
+  return runObjectHarness(makeTicketLockHarness(NumCpus, Rounds));
 }

@@ -67,6 +67,13 @@ ClightModule makeTicketClient();
 /// on the replayed ticket state; returns "" when it holds.
 std::string ticketMutexInvariant(const MultiCoreMachine &M);
 
+/// Builds (without running) the harness certifyTicketLock runs: callers
+/// that need to inject exploration knobs — the certd daemon threads a
+/// cancel token and a Threads count into ImplOpts/SpecOpts — start here.
+/// The returned harness owns its modules (ObjectHarness::Owned), so
+/// concurrent harnesses never share mutable state.
+ObjectHarness makeTicketLockHarness(unsigned NumCpus, unsigned Rounds = 1);
+
 /// Certifies `L0[{1..NumCpus}] |- ticket_lock : L1[{1..NumCpus}]` with
 /// each CPU performing \p Rounds acquire/release rounds.
 HarnessOutcome certifyTicketLock(unsigned NumCpus, unsigned Rounds = 1);

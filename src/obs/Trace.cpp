@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -17,13 +18,35 @@ namespace {
 
 struct TraceBuffer {
   std::mutex Mu;
-  std::vector<TraceEvent> Events;
+  /// Bounded ring: a deque so drop-oldest is O(1) — a daemon traces
+  /// indefinitely and must not grow without bound.
+  std::deque<TraceEvent> Events;
+  std::size_t Cap = TraceDefaultCapacity;
+  std::uint64_t Dropped = 0;
+
+  /// Call with Mu held.  Returns how many events were dropped.
+  std::uint64_t enforceCap() {
+    std::uint64_t N = 0;
+    while (Events.size() > Cap) {
+      Events.pop_front();
+      ++Dropped;
+      ++N;
+    }
+    return N;
+  }
 };
 
 TraceBuffer &buffer() {
   // Leaked on purpose: the CCAL_TRACE exit dump runs from an atexit hook,
   // which would otherwise race static destruction of this buffer.
   static TraceBuffer *B = new TraceBuffer;
+  static bool EnvRead = [] {
+    if (const char *V = std::getenv("CCAL_TRACE_MAX"))
+      if (unsigned long long Cap = std::strtoull(V, nullptr, 10))
+        B->Cap = static_cast<std::size_t>(Cap);
+    return true;
+  }();
+  (void)EnvRead;
   return *B;
 }
 
@@ -36,8 +59,17 @@ std::uint64_t threadLane() {
 
 void record(TraceEvent E) {
   TraceBuffer &B = buffer();
-  std::lock_guard<std::mutex> L(B.Mu);
-  B.Events.push_back(std::move(E));
+  std::uint64_t Dropped;
+  {
+    std::lock_guard<std::mutex> L(B.Mu);
+    B.Events.push_back(std::move(E));
+    Dropped = B.enforceCap();
+  }
+  // Counter outside B.Mu: the registry has its own lock and never takes
+  // ours, but keeping the two disjoint makes the no-deadlock argument
+  // one line long.
+  if (Dropped)
+    counterAdd("obs.trace_dropped", Dropped);
 }
 
 /// Escapes a string for inclusion in a JSON literal.
@@ -143,13 +175,39 @@ std::size_t obs::traceEventCount() {
 std::vector<TraceEvent> obs::traceEvents() {
   TraceBuffer &B = buffer();
   std::lock_guard<std::mutex> L(B.Mu);
-  return B.Events;
+  return std::vector<TraceEvent>(B.Events.begin(), B.Events.end());
 }
 
 void obs::traceReset() {
   TraceBuffer &B = buffer();
   std::lock_guard<std::mutex> L(B.Mu);
   B.Events.clear();
+  B.Dropped = 0;
+}
+
+void obs::traceSetCapacity(std::size_t Cap) {
+  TraceBuffer &B = buffer();
+  std::uint64_t Dropped;
+  {
+    std::lock_guard<std::mutex> L(B.Mu);
+    B.Cap = Cap == 0 ? 1 : Cap;
+    Dropped = B.enforceCap();
+  }
+  if (Dropped)
+    counterAdd("obs.trace_dropped", Dropped);
+}
+
+std::uint64_t obs::traceDropped() {
+  TraceBuffer &B = buffer();
+  std::lock_guard<std::mutex> L(B.Mu);
+  return B.Dropped;
+}
+
+bool obs::flushTrace() {
+  std::string Path = traceFilePath();
+  if (Path.empty())
+    return false;
+  return writeChromeTrace(Path);
 }
 
 std::string obs::chromeTraceJson() {

@@ -25,6 +25,15 @@
 /// recording without the exit dump.  Disabled mode writes no file and
 /// buffers nothing.
 ///
+/// The buffer is a BOUNDED RING (default 65536 events, `CCAL_TRACE_MAX`
+/// or traceSetCapacity override): a long-lived process — the certd
+/// daemon traces every job — must not grow its trace without bound.  At
+/// capacity the oldest event is dropped and `obs.trace_dropped` counts
+/// it, so the exported trace is always the most recent window.  The
+/// atexit dump also never fires for a daemon killed by signal, so
+/// flushTrace() exposes the dump explicitly — certd calls it from its
+/// graceful-shutdown path (including the SIGTERM one).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCAL_OBS_TRACE_H
@@ -72,8 +81,25 @@ std::size_t traceEventCount();
 /// Copies the buffered events (tests inspect them).
 std::vector<TraceEvent> traceEvents();
 
-/// Drops all buffered events.
+/// Drops all buffered events (and the buffer's dropped tally).
 void traceReset();
+
+/// Default ring capacity (events).
+constexpr std::size_t TraceDefaultCapacity = 1u << 16;
+
+/// Caps the ring at \p Cap events (>= 1); when the buffer already holds
+/// more, the oldest overflow is dropped immediately (and counted).
+void traceSetCapacity(std::size_t Cap);
+
+/// Events dropped (oldest-first) since the last traceReset; mirrored in
+/// the `obs.trace_dropped` counter.
+std::uint64_t traceDropped();
+
+/// Writes the buffer to the CCAL_TRACE path now, without waiting for the
+/// atexit hook — which never runs for a process killed by signal.  False
+/// when no path is configured, the buffer is empty, or the write fails.
+/// Safe to call repeatedly; each call rewrites the current window.
+bool flushTrace();
 
 /// The buffer as Chrome trace_event JSON:
 /// {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":us,"dur":us,

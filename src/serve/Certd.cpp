@@ -1,0 +1,400 @@
+//===- serve/Certd.cpp - the certd verification daemon --------------------===//
+
+#include "serve/Certd.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Text.h"
+
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ccal;
+using namespace ccal::serve;
+
+namespace {
+
+JsonValue errorResponse(const std::string &Msg) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["ok"] = jsonBool(false);
+  V.Fields["error"] = jsonStr(Msg);
+  return V;
+}
+
+JsonValue okResponse() {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["ok"] = jsonBool(true);
+  return V;
+}
+
+} // namespace
+
+Certd::Certd(CertdOptions O) : Opts(std::move(O)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.ThreadsPerJob == 0)
+    Opts.ThreadsPerJob = 1;
+}
+
+Certd::~Certd() {
+  if (Started.load() && !Stopped.load())
+    shutdown();
+}
+
+bool Certd::start(std::string &Err) {
+  if (Started.exchange(true)) {
+    Err = "certd already started";
+    return false;
+  }
+  // The serve.* counters are part of the daemon's contract (the smoke
+  // test asserts on them), so the daemon enables the registry itself.
+  obs::setEnabled(true);
+
+  if (::pipe(WakePipe) != 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  ListenFd = listenUnix(Opts.SocketPath, 64, Err);
+  if (ListenFd < 0)
+    return false;
+
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+  MonitorThread = std::thread([this] { monitorMain(); });
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Certd::requestShutdown() {
+  // Async-signal-safe: one atomic store, one write.  Everything that
+  // needs locks or condition variables happens on the accept thread
+  // (beginDrain), which this write wakes.
+  ShutdownRequested.store(true);
+  if (WakePipe[1] >= 0) {
+    char C = 1;
+    ssize_t Ignored = ::write(WakePipe[1], &C, 1);
+    (void)Ignored;
+  }
+}
+
+void Certd::shutdown() {
+  requestShutdown();
+  waitShutdown();
+}
+
+void Certd::waitShutdown() {
+  if (!Started.load() || Joining.exchange(true)) {
+    // Someone else is (or was) already joining; wait for them to finish
+    // so every caller returns only once the drain completed.
+    while (Started.load() && !Stopped.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return;
+  }
+  if (AcceptThread.joinable())
+    AcceptThread.join(); // returns once beginDrain() ran
+  for (std::thread &W : Workers)
+    W.join(); // drain: workers exit only when the queue is empty
+  {
+    std::lock_guard<std::mutex> L(RunMu);
+    MonitorStop = true;
+  }
+  MonCv.notify_all();
+  if (MonitorThread.joinable())
+    MonitorThread.join();
+  // Connection threads: batches completed above, reads were shut down by
+  // beginDrain, so each is on its way out.
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Conns.swap(ConnThreads);
+  }
+  for (std::thread &C : Conns)
+    C.join();
+  ::close(WakePipe[0]);
+  ::close(WakePipe[1]);
+  WakePipe[0] = WakePipe[1] = -1;
+  // The ring may have dropped events under load and atexit would lose a
+  // crash-adjacent tail anyway; the daemon flushes deliberately at the
+  // end of its drain.
+  obs::flushTrace();
+  Stopped.store(true);
+}
+
+void Certd::acceptLoop() {
+  while (true) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int R = ::poll(Fds, 2, -1);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // unrecoverable; drain below
+    }
+    if (ShutdownRequested.load())
+      break;
+    if (Fds[0].revents & POLLIN) {
+      int C = ::accept(ListenFd, nullptr, nullptr);
+      if (C < 0)
+        continue;
+      obs::counterAdd("serve.connections");
+      std::lock_guard<std::mutex> L(ConnMu);
+      ConnFds.insert(C);
+      ConnThreads.emplace_back([this, C] { serveConnection(C); });
+    }
+  }
+  beginDrain();
+}
+
+void Certd::beginDrain() {
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(Opts.SocketPath.c_str());
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Draining = true;
+  }
+  QueueCv.notify_all();
+  // Unblock connection threads parked in readFrame; SHUT_RD only — the
+  // write side stays open so in-flight batch responses still reach their
+  // clients.
+  std::lock_guard<std::mutex> L(ConnMu);
+  for (int Fd : ConnFds)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+void Certd::workerMain() {
+  while (true) {
+    QueuedJob J;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      QueueCv.wait(L, [this] { return !Queue.empty() || Draining; });
+      if (Queue.empty())
+        break; // Draining && empty: drain complete for this worker
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      obs::gaugeSet("serve.queue_depth",
+                    static_cast<std::int64_t>(Queue.size()));
+    }
+    runQueued(J);
+  }
+}
+
+void Certd::runQueued(const QueuedJob &J) {
+  obs::gaugeSet("serve.worker_busy", BusyWorkers.fetch_add(1) + 1);
+  obs::counterAdd("serve.jobs");
+
+  JobContext Ctx;
+  Ctx.Threads = J.Threads != 0 ? J.Threads : Opts.ThreadsPerJob;
+  Ctx.Cancel = std::make_shared<std::atomic<bool>>(false);
+  Ctx.CancelReason =
+      strFormat("job timeout (%llu ms)",
+                static_cast<unsigned long long>(J.TimeoutMs));
+
+  std::uint64_t RunId;
+  {
+    std::lock_guard<std::mutex> L(RunMu);
+    RunId = NextRunId++;
+    RunningJob RJ;
+    RJ.Cancel = Ctx.Cancel;
+    if (J.TimeoutMs != 0) {
+      RJ.HasDeadline = true;
+      RJ.Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(J.TimeoutMs);
+    }
+    Running.emplace(RunId, std::move(RJ));
+  }
+
+  JobResult R;
+  {
+    obs::Span JobSpan("serve.job", "serve");
+    R = runJob(J.Name, Ctx);
+  }
+
+  {
+    std::lock_guard<std::mutex> L(RunMu);
+    Running.erase(RunId);
+  }
+  obs::gaugeSet("serve.worker_busy", BusyWorkers.fetch_sub(1) - 1);
+
+  {
+    std::lock_guard<std::mutex> L(J.B->Mu);
+    J.B->Results[J.Slot] = std::move(R);
+    if (--J.B->Remaining == 0)
+      J.B->Cv.notify_all();
+  }
+}
+
+void Certd::monitorMain() {
+  std::unique_lock<std::mutex> L(RunMu);
+  while (!MonitorStop) {
+    MonCv.wait_for(L, std::chrono::milliseconds(20));
+    auto Now = std::chrono::steady_clock::now();
+    for (auto &[Id, RJ] : Running) {
+      if (RJ.HasDeadline && Now >= RJ.Deadline &&
+          !RJ.Cancel->exchange(true))
+        obs::counterAdd("serve.timeouts");
+    }
+  }
+}
+
+void Certd::serveConnection(int Fd) {
+  while (true) {
+    std::string Payload, Err;
+    FrameStatus S = readFrame(Fd, Payload, Err);
+    if (S == FrameStatus::Eof)
+      break;
+    if (S == FrameStatus::Error) {
+      // Oversized or torn frame: framing cannot resync, drop the
+      // connection (the daemon itself is unaffected).
+      obs::counterAdd("serve.bad_frames");
+      break;
+    }
+    JsonValue Resp;
+    JsonParseResult P = parseJson(Payload, WireJsonMaxDepth);
+    if (!P) {
+      // Frame boundaries are intact, so this connection can continue
+      // after an error answer.
+      obs::counterAdd("serve.bad_frames");
+      Resp = errorResponse("bad request: " + P.Error);
+    } else {
+      Resp = handleRequest(P.Value);
+    }
+    if (!writeFrameJson(Fd, Resp, Err)) {
+      obs::counterAdd("serve.client_disconnects");
+      break;
+    }
+  }
+  // De-register before close: beginDrain shutdown()s every fd still in
+  // the set, and a closed number could have been recycled by then.
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    ConnFds.erase(Fd);
+  }
+  ::close(Fd);
+}
+
+JsonValue Certd::handleRequest(const JsonValue &Req) {
+  obs::counterAdd("serve.requests");
+  const JsonValue *Op = Req.field("op");
+  if (!Op || !Op->isString())
+    return errorResponse("bad request: missing \"op\"");
+
+  if (Op->StrVal == "ping") {
+    JsonValue V = okResponse();
+    V.Fields["pong"] = jsonBool(true);
+    return V;
+  }
+  if (Op->StrVal == "list") {
+    JsonValue Arr;
+    Arr.K = JsonValue::Kind::Array;
+    for (const JobInfo &J : listJobs()) {
+      JsonValue E;
+      E.K = JsonValue::Kind::Object;
+      E.Fields["name"] = jsonStr(J.Name);
+      E.Fields["desc"] = jsonStr(J.Desc);
+      Arr.Items.push_back(std::move(E));
+    }
+    JsonValue V = okResponse();
+    V.Fields["jobs"] = std::move(Arr);
+    return V;
+  }
+  if (Op->StrVal == "stats") {
+    JsonValue Counters, Gauges;
+    Counters.K = JsonValue::Kind::Object;
+    Gauges.K = JsonValue::Kind::Object;
+    for (const obs::MetricSample &M : obs::metricsSnapshot()) {
+      if (M.K == obs::MetricSample::Kind::Counter)
+        Counters.Fields[M.Name] = jsonUInt(M.Count);
+      else if (M.K == obs::MetricSample::Kind::Gauge)
+        Gauges.Fields[M.Name] = jsonInt(M.Value);
+    }
+    JsonValue Stats;
+    Stats.K = JsonValue::Kind::Object;
+    Stats.Fields["counters"] = std::move(Counters);
+    Stats.Fields["gauges"] = std::move(Gauges);
+    JsonValue V = okResponse();
+    V.Fields["stats"] = std::move(Stats);
+    return V;
+  }
+  if (Op->StrVal == "shutdown") {
+    requestShutdown();
+    return okResponse();
+  }
+  if (Op->StrVal == "verify")
+    return handleVerify(Req);
+  return errorResponse("unknown op: " + Op->StrVal);
+}
+
+JsonValue Certd::handleVerify(const JsonValue &Req) {
+  const JsonValue *Jobs = Req.field("jobs");
+  if (!Jobs || !Jobs->isArray() || Jobs->Items.empty())
+    return errorResponse("bad request: \"jobs\" must be a non-empty array");
+  std::vector<QueuedJob> Staged;
+  for (const JsonValue &J : Jobs->Items) {
+    if (!J.isString())
+      return errorResponse("bad request: job names must be strings");
+    QueuedJob Q;
+    Q.Name = J.StrVal;
+    Staged.push_back(std::move(Q));
+  }
+
+  std::uint64_t TimeoutMs = Opts.DefaultTimeoutMs;
+  if (const JsonValue *T = Req.field("timeout_ms");
+      T && T->isNumber() && T->IsInt && T->IntVal >= 0)
+    TimeoutMs = static_cast<std::uint64_t>(T->IntVal);
+  unsigned Threads = 0;
+  if (const JsonValue *T = Req.field("threads");
+      T && T->isNumber() && T->IsInt && T->IntVal > 0 && T->IntVal <= 256)
+    Threads = static_cast<unsigned>(T->IntVal);
+
+  auto B = std::make_shared<Batch>();
+  B->Results.resize(Staged.size());
+  B->Remaining = Staged.size();
+  for (std::size_t I = 0; I != Staged.size(); ++I) {
+    Staged[I].B = B;
+    Staged[I].Slot = I;
+    Staged[I].TimeoutMs = TimeoutMs;
+    Staged[I].Threads = Threads;
+  }
+
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    // Draining is checked under the same mutex workers exit under, so a
+    // rejected request can never race past a worker that already left.
+    if (Draining) {
+      obs::counterAdd("serve.rejected_shutdown");
+      return errorResponse("shutting down");
+    }
+    if (Queue.size() + Staged.size() > Opts.QueueBound) {
+      // All or nothing: partial enqueue would answer the client with a
+      // batch that silently never ran some of its jobs.
+      obs::counterAdd("serve.rejected_queue_full");
+      return errorResponse(
+          strFormat("queue full (%zu queued, bound %zu, batch %zu)",
+                    Queue.size(), Opts.QueueBound, Staged.size()));
+    }
+    for (QueuedJob &Q : Staged)
+      Queue.push_back(std::move(Q));
+    obs::gaugeSet("serve.queue_depth",
+                  static_cast<std::int64_t>(Queue.size()));
+  }
+  QueueCv.notify_all();
+
+  {
+    std::unique_lock<std::mutex> L(B->Mu);
+    B->Cv.wait(L, [&B] { return B->Remaining == 0; });
+  }
+
+  JsonValue Arr;
+  Arr.K = JsonValue::Kind::Array;
+  for (const JobResult &R : B->Results)
+    Arr.Items.push_back(jobResultToJson(R));
+  JsonValue V = okResponse();
+  V.Fields["results"] = std::move(Arr);
+  return V;
+}

@@ -1,0 +1,176 @@
+//===- serve/Certd.h - the certd verification daemon -----------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// certd: verification-as-a-service over a Unix-domain socket.
+///
+/// N clients re-verifying overlapping layer stacks each pay the full
+/// exploration cost when they run alone; routed through one certd they
+/// share a process-wide certificate store (cert::CertStore), so every
+/// obligation in the overlap is explored once and served from cache ever
+/// after.  The daemon:
+///
+///   * accepts length-prefixed JSON requests (serve/Protocol.h),
+///   * enqueues each verify batch's jobs into a bounded queue (full
+///     queue: the request is rejected whole, nothing partial runs),
+///   * fans jobs out across a persistent worker pool, each of which may
+///     further fan its job's schedule space across Explorer workers
+///     (ThreadsPerJob -> GenericExploreOptions::Threads),
+///   * batches results back to the client in one response frame,
+///   * enforces per-job timeouts through the Explorer's cancel token —
+///     a timed-out job reports a truncation diagnostic and stores no
+///     certificate (fail-closed), never a false "Holds",
+///   * drains gracefully on SIGTERM / the shutdown op: stop accepting,
+///     reject new verify requests, finish queued and running jobs,
+///     answer waiting clients, flush the trace buffer.
+///
+/// Worker-pool lifecycle follows the certified thread-machine shape
+/// (create -> start -> stop -> is_shutdown): start() brings the pool up,
+/// requestShutdown() is the async-signal-safe stop request (signal
+/// handlers may call it), waitShutdown() joins everything, isShutdown()
+/// observes the terminal state.
+///
+/// Observability: counters serve.jobs, serve.requests, serve.connections,
+/// serve.timeouts, serve.rejected_queue_full, serve.rejected_shutdown,
+/// serve.bad_frames, serve.client_disconnects; gauges serve.queue_depth,
+/// serve.worker_busy; a serve.job span per executed job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SERVE_CERTD_H
+#define CCAL_SERVE_CERTD_H
+
+#include "serve/Jobs.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccal {
+namespace serve {
+
+struct CertdOptions {
+  std::string SocketPath;
+  /// Persistent verification workers (jobs in flight at once).
+  unsigned Workers = 2;
+  /// Max jobs waiting in the queue (not counting running ones); a verify
+  /// batch that does not fit entirely is rejected entirely.
+  std::size_t QueueBound = 64;
+  /// Per-job wall-clock timeout applied when a request names none;
+  /// 0 = unlimited.
+  std::uint64_t DefaultTimeoutMs = 0;
+  /// Explorer workers per job (requests may override).
+  unsigned ThreadsPerJob = 1;
+};
+
+class Certd {
+public:
+  explicit Certd(CertdOptions O);
+  ~Certd(); ///< drains (requestShutdown + waitShutdown) if still running
+
+  Certd(const Certd &) = delete;
+  Certd &operator=(const Certd &) = delete;
+
+  /// Binds the socket and starts the pool; false + \p Err on failure.
+  bool start(std::string &Err);
+
+  /// Requests a graceful drain.  Async-signal-safe (one atomic store and
+  /// one pipe write) — SIGTERM/SIGINT handlers call this directly.
+  void requestShutdown();
+
+  /// Joins the accept loop, workers, monitor, and connection threads;
+  /// flushes the trace buffer.  Returns once the drain is complete.
+  void waitShutdown();
+
+  /// requestShutdown + waitShutdown.
+  void shutdown();
+
+  bool isShutdown() const { return Stopped.load(); }
+
+  const CertdOptions &options() const { return Opts; }
+
+private:
+  /// One verify request's jobs: results land in slots, the connection
+  /// thread wakes when the last one finishes.
+  struct Batch {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    std::vector<JobResult> Results;
+    std::size_t Remaining = 0;
+  };
+
+  struct QueuedJob {
+    std::string Name;
+    std::shared_ptr<Batch> B;
+    std::size_t Slot = 0;
+    std::uint64_t TimeoutMs = 0;
+    unsigned Threads = 0; ///< 0 = daemon default
+  };
+
+  /// A job in execution, visible to the timeout monitor.
+  struct RunningJob {
+    std::shared_ptr<std::atomic<bool>> Cancel;
+    std::chrono::steady_clock::time_point Deadline{};
+    bool HasDeadline = false;
+  };
+
+  void acceptLoop();
+  void beginDrain(); ///< accept thread only: ordered half of shutdown
+  void workerMain();
+  void runQueued(const QueuedJob &J);
+  void monitorMain();
+  void serveConnection(int Fd);
+  JsonValue handleRequest(const JsonValue &Req);
+  JsonValue handleVerify(const JsonValue &Req);
+
+  CertdOptions Opts;
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+
+  std::atomic<bool> Started{false};
+  std::atomic<bool> ShutdownRequested{false}; ///< signal-safe flag
+  std::atomic<bool> Joining{false}; ///< a waitShutdown is in progress
+  std::atomic<bool> Stopped{false}; ///< drain fully complete
+
+  std::thread AcceptThread;
+  std::thread MonitorThread;
+  std::vector<std::thread> Workers;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<QueuedJob> Queue;
+  /// Set under QueueMu by beginDrain: after it, verify requests are
+  /// rejected and workers exit once the queue is empty.  Mutex-ordered on
+  /// purpose — the atomic flag alone cannot order "worker exited" against
+  /// "request enqueued".
+  bool Draining = false;
+
+  std::mutex RunMu;
+  std::condition_variable MonCv;
+  std::map<std::uint64_t, RunningJob> Running;
+  std::uint64_t NextRunId = 0;
+  bool MonitorStop = false;
+
+  std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads;
+  std::set<int> ConnFds;
+
+  std::atomic<std::int64_t> BusyWorkers{0};
+};
+
+} // namespace serve
+} // namespace ccal
+
+#endif // CCAL_SERVE_CERTD_H

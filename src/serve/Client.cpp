@@ -1,0 +1,146 @@
+//===- serve/Client.cpp - certd client library ----------------------------===//
+
+#include "serve/Client.h"
+
+#include <chrono>
+
+#include <unistd.h>
+
+using namespace ccal;
+using namespace ccal::serve;
+
+CertClient::~CertClient() { close(); }
+
+bool CertClient::connect(const std::string &SocketPath, std::string &Err) {
+  close();
+  Fd = connectUnix(SocketPath, Err);
+  return Fd >= 0;
+}
+
+void CertClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool CertClient::rpc(const JsonValue &Req, JsonValue &Resp,
+                     std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (!writeFrameJson(Fd, Req, Err))
+    return false;
+  FrameStatus S = readFrameJson(Fd, Resp, Err);
+  if (S == FrameStatus::Eof) {
+    Err = "daemon closed the connection";
+    return false;
+  }
+  return S == FrameStatus::Ok;
+}
+
+namespace {
+JsonValue opRequest(const char *Op) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["op"] = jsonStr(Op);
+  return V;
+}
+
+/// Daemon-level rejection ({"ok":false,...}) extracted into \p Err.
+bool okOf(const JsonValue &Resp, std::string &Err) {
+  const JsonValue *Ok = Resp.field("ok");
+  if (Ok && Ok->isBool() && Ok->BoolVal)
+    return true;
+  const JsonValue *E = Resp.field("error");
+  Err = E && E->isString() ? E->StrVal : "daemon error";
+  return false;
+}
+} // namespace
+
+bool CertClient::ping(std::string &Err) {
+  JsonValue Resp;
+  return rpc(opRequest("ping"), Resp, Err) && okOf(Resp, Err);
+}
+
+bool CertClient::list(std::vector<JobInfo> &Out, std::string &Err) {
+  JsonValue Resp;
+  if (!rpc(opRequest("list"), Resp, Err) || !okOf(Resp, Err))
+    return false;
+  Out.clear();
+  const JsonValue *Jobs = Resp.field("jobs");
+  if (!Jobs || !Jobs->isArray()) {
+    Err = "malformed list response";
+    return false;
+  }
+  for (const JsonValue &J : Jobs->Items) {
+    const JsonValue *Name = J.field("name");
+    const JsonValue *Desc = J.field("desc");
+    if (!Name || !Name->isString())
+      continue;
+    Out.push_back(
+        {Name->StrVal, Desc && Desc->isString() ? Desc->StrVal : ""});
+  }
+  return true;
+}
+
+bool CertClient::stats(JsonValue &Out, std::string &Err) {
+  JsonValue Resp;
+  if (!rpc(opRequest("stats"), Resp, Err) || !okOf(Resp, Err))
+    return false;
+  const JsonValue *Stats = Resp.field("stats");
+  if (!Stats || !Stats->isObject()) {
+    Err = "malformed stats response";
+    return false;
+  }
+  Out = *Stats;
+  return true;
+}
+
+bool CertClient::requestShutdown(std::string &Err) {
+  JsonValue Resp;
+  return rpc(opRequest("shutdown"), Resp, Err) && okOf(Resp, Err);
+}
+
+bool CertClient::verify(const std::vector<std::string> &Jobs,
+                        const VerifyOptions &Opts, VerifyResponse &Out,
+                        std::string &Err) {
+  JsonValue Req = opRequest("verify");
+  JsonValue Arr;
+  Arr.K = JsonValue::Kind::Array;
+  for (const std::string &J : Jobs)
+    Arr.Items.push_back(jsonStr(J));
+  Req.Fields["jobs"] = std::move(Arr);
+  if (Opts.TimeoutMs != 0)
+    Req.Fields["timeout_ms"] = jsonUInt(Opts.TimeoutMs);
+  if (Opts.Threads != 0)
+    Req.Fields["threads"] = jsonUInt(Opts.Threads);
+
+  auto T0 = std::chrono::steady_clock::now();
+  JsonValue Resp;
+  if (!rpc(Req, Resp, Err))
+    return false;
+  auto T1 = std::chrono::steady_clock::now();
+
+  Out = VerifyResponse();
+  Out.WallMs =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          T1 - T0)
+          .count();
+  if (!okOf(Resp, Out.Error))
+    return true; // daemon-level rejection: transported fine, Ok stays false
+  const JsonValue *Results = Resp.field("results");
+  if (!Results || !Results->isArray()) {
+    Err = "malformed verify response";
+    return false;
+  }
+  for (const JsonValue &R : Results->Items) {
+    JobResult JR;
+    if (!jobResultFromJson(R, JR, Err))
+      return false;
+    Out.Results.push_back(std::move(JR));
+  }
+  Out.Ok = true;
+  return true;
+}

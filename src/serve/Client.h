@@ -1,0 +1,90 @@
+//===- serve/Client.h - certd client library -------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin client side of the certd protocol: connect, fire one request
+/// frame, block on the one response frame.  The ccal-verify CLI, the
+/// verify_service example, and the serve tests all speak through this —
+/// nothing outside serve/ touches the wire format directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_SERVE_CLIENT_H
+#define CCAL_SERVE_CLIENT_H
+
+#include "serve/Jobs.h" // JobInfo for list(); pulls in Protocol.h
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+namespace serve {
+
+/// Per-request knobs (both optional; 0 = daemon default).
+struct VerifyOptions {
+  std::uint64_t TimeoutMs = 0;
+  unsigned Threads = 0;
+};
+
+/// One verify batch's answer.
+struct VerifyResponse {
+  bool Ok = false;
+  std::string Error; ///< daemon-side rejection (queue full, draining, ...)
+  std::vector<JobResult> Results;
+  double WallMs = 0; ///< client-side round-trip
+};
+
+class CertClient {
+public:
+  CertClient() = default;
+  ~CertClient();
+
+  CertClient(const CertClient &) = delete;
+  CertClient &operator=(const CertClient &) = delete;
+
+  // Movable: the connection is a plain fd handle, so factories can hand
+  // connected clients around.
+  CertClient(CertClient &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  CertClient &operator=(CertClient &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+
+  bool connect(const std::string &SocketPath, std::string &Err);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  bool ping(std::string &Err);
+  bool list(std::vector<JobInfo> &Out, std::string &Err);
+  /// The daemon's metrics registry as {"counters":{...},"gauges":{...}}.
+  bool stats(JsonValue &Out, std::string &Err);
+  /// Asks the daemon to drain; returns once it acknowledged (the drain
+  /// itself finishes asynchronously).
+  bool requestShutdown(std::string &Err);
+
+  /// Submits one batch and blocks until all its jobs finished (or the
+  /// daemon rejected it — Out.Ok false with Out.Error set; the call
+  /// itself then still returns true).  False only on transport errors.
+  bool verify(const std::vector<std::string> &Jobs,
+              const VerifyOptions &Opts, VerifyResponse &Out,
+              std::string &Err);
+
+private:
+  bool rpc(const JsonValue &Req, JsonValue &Resp, std::string &Err);
+
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace ccal
+
+#endif // CCAL_SERVE_CLIENT_H

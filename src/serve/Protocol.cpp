@@ -1,0 +1,224 @@
+//===- serve/Protocol.cpp - certd wire protocol ---------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ccal;
+using namespace ccal::serve;
+
+namespace {
+
+std::string errnoStr(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Reads exactly N bytes; 1 = ok, 0 = clean EOF before any byte, -1 = error
+/// (including EOF mid-buffer — a torn frame).
+int readExact(int Fd, char *Buf, std::size_t N, std::string &Err) {
+  std::size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoStr("read");
+      return -1;
+    }
+    if (R == 0) {
+      if (Got == 0)
+        return 0;
+      Err = "peer closed mid-frame";
+      return -1;
+    }
+    Got += static_cast<std::size_t>(R);
+  }
+  return 1;
+}
+
+bool writeExact(int Fd, const char *Buf, std::size_t N, std::string &Err) {
+  std::size_t Sent = 0;
+  while (Sent < N) {
+    // MSG_NOSIGNAL: a client that crashed mid-job must surface as an
+    // EPIPE error on the daemon's write, not a SIGPIPE killing it.
+    ssize_t R = ::send(Fd, Buf + Sent, N - Sent, MSG_NOSIGNAL);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoStr("send");
+      return false;
+    }
+    Sent += static_cast<std::size_t>(R);
+  }
+  return true;
+}
+
+} // namespace
+
+FrameStatus serve::readFrame(int Fd, std::string &Payload, std::string &Err) {
+  unsigned char Hdr[4];
+  int R = readExact(Fd, reinterpret_cast<char *>(Hdr), 4, Err);
+  if (R == 0)
+    return FrameStatus::Eof;
+  if (R < 0)
+    return FrameStatus::Error;
+  std::uint32_t Len = (std::uint32_t(Hdr[0]) << 24) |
+                      (std::uint32_t(Hdr[1]) << 16) |
+                      (std::uint32_t(Hdr[2]) << 8) | std::uint32_t(Hdr[3]);
+  if (Len > MaxFrameBytes) {
+    // Cap checked before the allocation: a hostile header must not make
+    // the daemon reserve gigabytes.
+    Err = "frame length " + std::to_string(Len) + " exceeds cap " +
+          std::to_string(MaxFrameBytes);
+    return FrameStatus::Error;
+  }
+  Payload.resize(Len);
+  if (Len != 0 && readExact(Fd, &Payload[0], Len, Err) != 1)
+    return FrameStatus::Error;
+  return FrameStatus::Ok;
+}
+
+bool serve::writeFrame(int Fd, const std::string &Payload, std::string &Err) {
+  if (Payload.size() > MaxFrameBytes) {
+    Err = "frame payload exceeds cap";
+    return false;
+  }
+  std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  char Hdr[4] = {static_cast<char>(Len >> 24), static_cast<char>(Len >> 16),
+                 static_cast<char>(Len >> 8), static_cast<char>(Len)};
+  return writeExact(Fd, Hdr, 4, Err) &&
+         writeExact(Fd, Payload.data(), Payload.size(), Err);
+}
+
+FrameStatus serve::readFrameJson(int Fd, JsonValue &Out, std::string &Err) {
+  std::string Payload;
+  FrameStatus S = readFrame(Fd, Payload, Err);
+  if (S != FrameStatus::Ok)
+    return S;
+  JsonParseResult P = parseJson(Payload, WireJsonMaxDepth);
+  if (!P) {
+    Err = "bad frame payload: " + P.Error;
+    return FrameStatus::Error;
+  }
+  Out = std::move(P.Value);
+  return FrameStatus::Ok;
+}
+
+bool serve::writeFrameJson(int Fd, const JsonValue &V, std::string &Err) {
+  return writeFrame(Fd, jsonToString(V), Err);
+}
+
+int serve::listenUnix(const std::string &Path, int Backlog,
+                      std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = errnoStr("socket");
+    return -1;
+  }
+  ::unlink(Path.c_str()); // leftover from a previous daemon; ENOENT is fine
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = errnoStr(("bind " + Path).c_str());
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Err = errnoStr("listen");
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return -1;
+  }
+  return Fd;
+}
+
+int serve::connectUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = errnoStr("socket");
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Err = errnoStr(("connect " + Path).c_str());
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+JsonValue serve::jobResultToJson(const JobResult &R) {
+  JsonValue V;
+  V.K = JsonValue::Kind::Object;
+  V.Fields["job"] = jsonStr(R.Job);
+  V.Fields["known"] = jsonBool(R.Known);
+  V.Fields["holds"] = jsonBool(R.Holds);
+  V.Fields["complete"] = jsonBool(R.Complete);
+  V.Fields["diagnostic"] = jsonStr(R.Diagnostic);
+  V.Fields["schedules"] = jsonUInt(R.Schedules);
+  V.Fields["obligations"] = jsonUInt(R.Obligations);
+  V.Fields["cert_hits"] = jsonUInt(R.CertHits);
+  V.Fields["cert_misses"] = jsonUInt(R.CertMisses);
+  V.Fields["cert_stores"] = jsonUInt(R.CertStores);
+  V.Fields["wall_ms"] = jsonNum(R.WallMs);
+  return V;
+}
+
+bool serve::jobResultFromJson(const JsonValue &V, JobResult &Out,
+                              std::string &Err) {
+  if (!V.isObject()) {
+    Err = "job result is not an object";
+    return false;
+  }
+  auto Str = [&V](const char *F, std::string &Into) {
+    if (const JsonValue *X = V.field(F); X && X->isString())
+      Into = X->StrVal;
+  };
+  auto Flag = [&V](const char *F, bool &Into) {
+    if (const JsonValue *X = V.field(F); X && X->isBool())
+      Into = X->BoolVal;
+  };
+  auto UInt = [&V](const char *F, std::uint64_t &Into) {
+    if (const JsonValue *X = V.field(F); X && X->isNumber() && X->IsInt &&
+                                         X->IntVal >= 0)
+      Into = static_cast<std::uint64_t>(X->IntVal);
+  };
+  const JsonValue *Job = V.field("job");
+  if (!Job || !Job->isString()) {
+    Err = "job result missing \"job\"";
+    return false;
+  }
+  Out = JobResult();
+  Out.Job = Job->StrVal;
+  Flag("known", Out.Known);
+  Flag("holds", Out.Holds);
+  Flag("complete", Out.Complete);
+  Str("diagnostic", Out.Diagnostic);
+  UInt("schedules", Out.Schedules);
+  UInt("obligations", Out.Obligations);
+  UInt("cert_hits", Out.CertHits);
+  UInt("cert_misses", Out.CertMisses);
+  UInt("cert_stores", Out.CertStores);
+  if (const JsonValue *W = V.field("wall_ms"); W && W->isNumber())
+    Out.WallMs = W->NumVal;
+  return true;
+}

@@ -1,0 +1,169 @@
+//===- serve/ccal_verify_main.cpp - ccal-verify CLI -----------------------===//
+//
+// Usage:
+//   ccal-verify --socket PATH [--timeout-ms N] [--threads N] [--json]
+//               JOB [JOB...]
+//   ccal-verify --socket PATH --list | --stats | --ping | --shutdown
+//
+// Exit status: 0 when every requested job verified (Holds), 1 when any
+// failed or was truncated/timed out, 2 on usage or transport errors.
+// --json prints one machine-readable line (the CI smoke job parses it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ccal;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--timeout-ms N] [--threads N] [--json] "
+      "JOB [JOB...]\n"
+      "       %s --socket PATH --list | --stats | --ping | --shutdown\n",
+      Argv0, Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket;
+  serve::VerifyOptions Opts;
+  bool Json = false, List = false, Stats = false, Ping = false,
+       Shutdown = false;
+  std::vector<std::string> Jobs;
+
+  for (int I = 1; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (std::strcmp(argv[I], Flag) != 0)
+        return nullptr;
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (const char *V = Value("--socket"))
+      Socket = V;
+    else if (const char *V = Value("--timeout-ms"))
+      Opts.TimeoutMs = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--threads"))
+      Opts.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(argv[I], "--list") == 0)
+      List = true;
+    else if (std::strcmp(argv[I], "--stats") == 0)
+      Stats = true;
+    else if (std::strcmp(argv[I], "--ping") == 0)
+      Ping = true;
+    else if (std::strcmp(argv[I], "--shutdown") == 0)
+      Shutdown = true;
+    else if (argv[I][0] == '-')
+      return usage(argv[0]);
+    else
+      Jobs.push_back(argv[I]);
+  }
+  if (Socket.empty())
+    return usage(argv[0]);
+
+  serve::CertClient Client;
+  std::string Err;
+  if (!Client.connect(Socket, Err)) {
+    std::fprintf(stderr, "ccal-verify: %s\n", Err.c_str());
+    return 2;
+  }
+
+  if (Ping) {
+    if (!Client.ping(Err)) {
+      std::fprintf(stderr, "ccal-verify: ping: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (List) {
+    std::vector<serve::JobInfo> Catalog;
+    if (!Client.list(Catalog, Err)) {
+      std::fprintf(stderr, "ccal-verify: list: %s\n", Err.c_str());
+      return 2;
+    }
+    for (const serve::JobInfo &J : Catalog)
+      std::printf("%-18s %s\n", J.Name.c_str(), J.Desc.c_str());
+    return 0;
+  }
+  if (Stats) {
+    JsonValue S;
+    if (!Client.stats(S, Err)) {
+      std::fprintf(stderr, "ccal-verify: stats: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("%s\n", jsonToString(S).c_str());
+    return 0;
+  }
+  if (Shutdown) {
+    if (!Client.requestShutdown(Err)) {
+      std::fprintf(stderr, "ccal-verify: shutdown: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  if (Jobs.empty())
+    return usage(argv[0]);
+
+  serve::VerifyResponse Resp;
+  if (!Client.verify(Jobs, Opts, Resp, Err)) {
+    std::fprintf(stderr, "ccal-verify: %s\n", Err.c_str());
+    return 2;
+  }
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "ccal-verify: rejected: %s\n", Resp.Error.c_str());
+    return 2;
+  }
+
+  bool AllHold = true;
+  for (const serve::JobResult &R : Resp.Results)
+    AllHold = AllHold && R.Known && R.Holds;
+
+  if (Json) {
+    JsonValue Out;
+    Out.K = JsonValue::Kind::Object;
+    Out.Fields["ok"] = jsonBool(AllHold);
+    Out.Fields["wall_ms"] = jsonNum(Resp.WallMs);
+    JsonValue Arr;
+    Arr.K = JsonValue::Kind::Array;
+    for (const serve::JobResult &R : Resp.Results)
+      Arr.Items.push_back(serve::jobResultToJson(R));
+    Out.Fields["results"] = std::move(Arr);
+    std::printf("%s\n", jsonToString(Out).c_str());
+  } else {
+    for (const serve::JobResult &R : Resp.Results) {
+      const char *Status = !R.Known         ? "UNKNOWN"
+                           : R.Holds        ? "HOLDS"
+                           : R.Complete     ? "FAILS"
+                                            : "TRUNCATED";
+      std::printf("%-18s %-9s %8.1f ms  schedules=%llu hits=%llu "
+                  "misses=%llu stores=%llu\n",
+                  R.Job.c_str(), Status, R.WallMs,
+                  static_cast<unsigned long long>(R.Schedules),
+                  static_cast<unsigned long long>(R.CertHits),
+                  static_cast<unsigned long long>(R.CertMisses),
+                  static_cast<unsigned long long>(R.CertStores));
+      if (!R.Holds && !R.Diagnostic.empty())
+        std::printf("  %s\n", R.Diagnostic.c_str());
+    }
+    std::printf("total: %zu job(s), %.1f ms round-trip\n",
+                Resp.Results.size(), Resp.WallMs);
+  }
+  return AllHold ? 0 : 1;
+}

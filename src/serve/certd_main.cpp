@@ -1,0 +1,96 @@
+//===- serve/certd_main.cpp - certd entry point ---------------------------===//
+//
+// Usage:
+//   certd --socket PATH [--workers N] [--queue-bound N]
+//         [--default-timeout-ms N] [--threads-per-job N]
+//
+// Runs until SIGTERM/SIGINT or a client's shutdown op, then drains
+// gracefully: stops accepting, finishes queued and running jobs, answers
+// waiting clients, flushes the trace buffer.  Point CCAL_CERT_CACHE at a
+// directory to share verified obligations across every client (and every
+// future daemon run).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Certd.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace ccal;
+
+namespace {
+
+serve::Certd *GlobalDaemon = nullptr;
+
+// Only async-signal-safe work here: requestShutdown is one atomic store
+// plus one pipe write by design.
+void onSignal(int) {
+  if (GlobalDaemon)
+    GlobalDaemon->requestShutdown();
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N] [--queue-bound N]\n"
+               "          [--default-timeout-ms N] [--threads-per-job N]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  serve::CertdOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (std::strcmp(argv[I], Flag) != 0)
+        return nullptr;
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (const char *V = Value("--socket"))
+      Opts.SocketPath = V;
+    else if (const char *V = Value("--workers"))
+      Opts.Workers = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = Value("--queue-bound"))
+      Opts.QueueBound = std::strtoul(V, nullptr, 10);
+    else if (const char *V = Value("--default-timeout-ms"))
+      Opts.DefaultTimeoutMs = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--threads-per-job"))
+      Opts.ThreadsPerJob =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else
+      return usage(argv[0]);
+  }
+  if (Opts.SocketPath.empty())
+    return usage(argv[0]);
+
+  serve::Certd Daemon(Opts);
+  GlobalDaemon = &Daemon;
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  // A client gone mid-response must surface as a send error, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::string Err;
+  if (!Daemon.start(Err)) {
+    std::fprintf(stderr, "certd: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("certd: listening on %s (workers=%u queue-bound=%zu "
+              "threads-per-job=%u)\n",
+              Opts.SocketPath.c_str(), Daemon.options().Workers,
+              Daemon.options().QueueBound, Daemon.options().ThreadsPerJob);
+  std::fflush(stdout);
+
+  Daemon.waitShutdown();
+  std::printf("certd: drained, bye\n");
+  return 0;
+}

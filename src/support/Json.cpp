@@ -13,7 +13,8 @@ namespace {
 
 class Parser {
 public:
-  explicit Parser(const std::string &Text) : Text(Text) {}
+  Parser(const std::string &Text, std::size_t MaxDepth)
+      : Text(Text), MaxDepth(MaxDepth) {}
 
   JsonParseResult run() {
     JsonParseResult R;
@@ -60,9 +61,13 @@ private:
     char C = Text[Pos];
     switch (C) {
     case '{':
-      return parseObject(Out);
-    case '[':
-      return parseArray(Out);
+    case '[': {
+      if (!enter())
+        return false;
+      bool Ok = C == '{' ? parseObject(Out) : parseArray(Out);
+      --Depth;
+      return Ok;
+    }
     case '"':
       Out.K = JsonValue::Kind::String;
       return parseString(Out.StrVal);
@@ -86,6 +91,18 @@ private:
     default:
       return parseNumber(Out);
     }
+  }
+
+  /// Containers recurse; a depth past MaxDepth is an error, not a deeper
+  /// recursion — adversarial input ("[[[[…" from the daemon socket) must
+  /// not be able to overflow the C++ stack.
+  bool enter() {
+    if (Depth >= MaxDepth) {
+      fail("nesting depth cap exceeded");
+      return false;
+    }
+    ++Depth;
+    return true;
   }
 
   bool parseObject(JsonValue &Out) {
@@ -271,14 +288,17 @@ private:
   }
 
   const std::string &Text;
+  const std::size_t MaxDepth;
   std::size_t Pos = 0;
+  std::size_t Depth = 0;
   std::string Err;
 };
 
 } // namespace
 
-JsonParseResult ccal::parseJson(const std::string &Text) {
-  return Parser(Text).run();
+JsonParseResult ccal::parseJson(const std::string &Text,
+                                std::size_t MaxDepth) {
+  return Parser(Text, MaxDepth).run();
 }
 
 JsonValue ccal::jsonNull() { return JsonValue(); }

@@ -66,9 +66,21 @@ struct JsonParseResult {
   explicit operator bool() const { return Ok; }
 };
 
+/// Maximum container nesting the recursive-descent parser will follow.
+/// The parser recurses once per '[' / '{', so without a cap a short
+/// adversarial input ("[[[[…") overflows the C++ stack — fatal, not an
+/// error return.  Documents this repository emits nest a few dozen levels
+/// at most (certificate derivation trees), so 256 is generous headroom
+/// while keeping worst-case recursion ~100 KiB of stack.
+constexpr std::size_t JsonMaxDepth = 256;
+
 /// Parses \p Text as one JSON document (trailing whitespace allowed,
-/// trailing garbage is an error).
-JsonParseResult parseJson(const std::string &Text);
+/// trailing garbage is an error).  Containers nested deeper than
+/// \p MaxDepth fail with a position-tagged error instead of recursing —
+/// the input may come from an untrusted socket (serve/), where a
+/// stack overflow would take the whole daemon down.
+JsonParseResult parseJson(const std::string &Text,
+                          std::size_t MaxDepth = JsonMaxDepth);
 
 /// Value constructors for building documents programmatically.
 JsonValue jsonNull();

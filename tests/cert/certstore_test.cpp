@@ -25,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ccal;
@@ -405,4 +406,67 @@ TEST_F(CertStoreTest, ValidationCachesWhenPrimsAreNamed) {
   ValidationOptions Anon;
   validateTranslation(M, Cases, MakePrims, Anon);
   EXPECT_EQ(obs::counterValue("cert.misses"), 1u);
+}
+
+TEST_F(CertStoreTest, VanishedEntryIsAPlainMissNotARejection) {
+  // Cross-process contract: with N processes sharing the directory, an
+  // entry can be evicted by a peer between ANY two of this process's
+  // steps.  A vanished file is indistinguishable from never-stored, so it
+  // must load as a miss — a rejection here would count corruption that
+  // never happened and delete (already deleted) evidence.
+  cert::CertStore Store(Dir.string());
+  cert::CertKey Key = makeKey("refine", 0xfeed);
+  Store.store(Key, makeGoodEntry());
+  std::vector<fs::path> Files = storedFiles();
+  ASSERT_EQ(Files.size(), 1u);
+  fs::remove(Files[0]); // the "peer eviction"
+
+  cert::CertStore::Entry Back;
+  EXPECT_FALSE(Store.load(Key, Back));
+  EXPECT_EQ(obs::counterValue("cert.rejections"), 0u);
+
+  // Through the getOrCheck front-end the same situation is a clean
+  // miss+recheck+restore cycle.
+  bool Ran = false;
+  EXPECT_FALSE(Store.getOrCheck(
+      Key, [](const cert::CertStore::Entry &) { return true; },
+      [&] {
+        Ran = true;
+        return makeGoodEntry();
+      }));
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(obs::counterValue("cert.misses"), 1u);
+  EXPECT_EQ(obs::counterValue("cert.rejections"), 0u);
+  EXPECT_EQ(storedFiles().size(), 1u); // re-minted
+}
+
+TEST_F(CertStoreTest, LoadFromAMissingDirectoryIsAMiss) {
+  // The whole store directory vanishing (operator rm -rf while daemons
+  // run) is the same contract at directory granularity.
+  cert::CertStore Store(Dir.string());
+  fs::remove_all(Dir);
+  cert::CertStore::Entry Back;
+  EXPECT_FALSE(Store.load(makeKey("refine", 0x1), Back));
+  EXPECT_EQ(obs::counterValue("cert.rejections"), 0u);
+}
+
+TEST_F(CertStoreTest, ConcurrentStoresOfTheSameKeyLeaveOneWholeEntry) {
+  // Writer-unique temp names: threads sharing one CertStore (the daemon's
+  // workers) racing store() on the same key must each write their own
+  // temp file — a pid-only suffix would interleave two writers into one
+  // file and publish a torn entry.
+  cert::CertStore Store(Dir.string());
+  cert::CertKey Key = makeKey("refine", 0xbeef);
+  std::vector<std::thread> Writers;
+  for (int I = 0; I != 8; ++I)
+    Writers.emplace_back([&] { Store.store(Key, makeGoodEntry()); });
+  for (std::thread &W : Writers)
+    W.join();
+
+  std::vector<fs::path> Files = storedFiles();
+  ASSERT_EQ(Files.size(), 1u); // no leftover temp files, one final entry
+  cert::CertStore::Entry Back;
+  EXPECT_TRUE(Store.load(Key, Back));
+  EXPECT_EQ(cert::CertStore::render(Key, Back),
+            cert::CertStore::render(Key, makeGoodEntry()));
 }

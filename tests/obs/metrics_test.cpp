@@ -254,3 +254,108 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(parseJson("{} trailing").Ok);
   EXPECT_FALSE(parseJson("").Ok);
 }
+
+// ---- bounded trace ring (drop-oldest + explicit flush) ----
+
+namespace {
+/// Restores the default ring capacity even when an assertion bails out.
+struct CapacityGuard {
+  ~CapacityGuard() { obs::traceSetCapacity(obs::TraceDefaultCapacity); }
+};
+} // namespace
+
+TEST_F(ObsTest, TraceRingDropsOldestAtCapacity) {
+  CapacityGuard Restore;
+  obs::traceSetCapacity(4);
+  for (int I = 0; I != 10; ++I)
+    obs::traceInstant("ev" + std::to_string(I), "test");
+  EXPECT_EQ(obs::traceEventCount(), 4u);
+  EXPECT_EQ(obs::traceDropped(), 6u);
+  EXPECT_EQ(obs::counterValue("obs.trace_dropped"), 6u);
+  // The surviving window is the most recent one, in order.
+  std::vector<obs::TraceEvent> Events = obs::traceEvents();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Events.front().Name, "ev6");
+  EXPECT_EQ(Events.back().Name, "ev9");
+}
+
+TEST_F(ObsTest, ShrinkingCapacityDropsExistingOverflow) {
+  CapacityGuard Restore;
+  for (int I = 0; I != 8; ++I)
+    obs::traceInstant("ev" + std::to_string(I), "test");
+  EXPECT_EQ(obs::traceDropped(), 0u);
+  obs::traceSetCapacity(3);
+  EXPECT_EQ(obs::traceEventCount(), 3u);
+  EXPECT_EQ(obs::traceDropped(), 5u);
+  EXPECT_EQ(obs::traceEvents().front().Name, "ev5");
+}
+
+TEST_F(ObsTest, TraceResetClearsTheDroppedTally) {
+  CapacityGuard Restore;
+  obs::traceSetCapacity(1);
+  obs::traceInstant("a", "test");
+  obs::traceInstant("b", "test");
+  EXPECT_EQ(obs::traceDropped(), 1u);
+  obs::traceReset();
+  EXPECT_EQ(obs::traceDropped(), 0u);
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, FlushTraceWithoutAConfiguredPathIsFalse) {
+  // CCAL_TRACE names no file in the test environment, so the explicit
+  // flush reports it had nowhere to write (the daemon treats that as a
+  // no-op, not an error).
+  obs::traceInstant("ev", "test");
+  if (obs::traceFilePath().empty())
+    EXPECT_FALSE(obs::flushTrace());
+  else
+    EXPECT_TRUE(obs::flushTrace()); // env-driven runs do get the file
+}
+
+// ---- nesting-depth cap (untrusted socket input must not overflow the
+// parser's stack) ----
+
+namespace {
+std::string nestedArrays(std::size_t Depth) {
+  std::string S(Depth, '[');
+  S.append(Depth, ']');
+  return S;
+}
+} // namespace
+
+TEST(JsonTest, DepthAtTheCapParses) {
+  std::string Doc = nestedArrays(JsonMaxDepth);
+  JsonParseResult P = parseJson(Doc);
+  EXPECT_TRUE(P.Ok) << P.Error;
+
+  // Mixed-container nesting counts every level, not just arrays.
+  JsonParseResult Mixed = parseJson(R"({"a":[{"b":[1]}]})", 4);
+  EXPECT_TRUE(Mixed.Ok) << Mixed.Error;
+}
+
+TEST(JsonTest, DepthOnePastTheCapIsAPositionTaggedError) {
+  JsonParseResult P = parseJson(nestedArrays(JsonMaxDepth + 1));
+  ASSERT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find("depth"), std::string::npos) << P.Error;
+  EXPECT_NE(P.Error.find("offset"), std::string::npos) << P.Error;
+
+  JsonParseResult Mixed = parseJson(R"({"a":[{"b":[1]}]})", 3);
+  EXPECT_FALSE(Mixed.Ok);
+}
+
+TEST(JsonTest, HundredThousandDeepArrayFailsInsteadOfOverflowing) {
+  // The motivating attack: before the cap this input recursed 100k
+  // frames and took the process down with a stack overflow.
+  JsonParseResult P = parseJson(nestedArrays(100000));
+  ASSERT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find("depth"), std::string::npos) << P.Error;
+}
+
+TEST(JsonTest, DepthCapDoesNotCountSiblings) {
+  // 1000 sibling arrays at depth 2: breadth must not trip a depth cap.
+  std::string Doc = "[";
+  for (int I = 0; I != 1000; ++I)
+    Doc += I ? ",[]" : "[]";
+  Doc += "]";
+  EXPECT_TRUE(parseJson(Doc, 8).Ok);
+}
