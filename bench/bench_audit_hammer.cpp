@@ -1,0 +1,378 @@
+//===- bench/bench_audit_hammer.cpp - Audit recorder/checker hammer ----------===//
+//
+// The trace auditor's end-to-end exercise and its honesty check, in one
+// binary.  For each real runtime object (ticket, MCS, queuing lock;
+// shared queue over ticket and over MCS) it hammers the object from many
+// threads in barrier-separated rounds — the joins between rounds are the
+// quiescent cuts that keep audit windows bounded — records on the order
+// of a million operations, audits the cumulative trace (which must PASS),
+// and measures recorder overhead by running the identical workload with
+// recording on and off at a thread count capped to the hardware
+// concurrency (the budget: enabled within 15% of disabled).
+// Then it hammers RtBrokenLock, whose torn ticket grab is a seeded
+// mutual-exclusion bug, until a duplicate ticket lands in the trace; the
+// auditor must refute that trace with a concrete witness window.  A
+// hammer where the broken lock PASSes or a real lock FAILs exits
+// nonzero: CI treats either as a broken auditor.
+//
+// Results go to stdout (human table) and BENCH_audit.json (machine).
+//
+//   bench_audit_hammer [--ops N] [--threads N] [--json PATH] [--quick]
+//
+//===----------------------------------------------------------------------===//
+
+#include "audit/AuditChecker.h"
+#include "audit/Recorder.h"
+#include "audit/Trace.h"
+#include "runtime/RtBrokenLock.h"
+#include "runtime/RtMcsLock.h"
+#include "runtime/RtQueuingLock.h"
+#include "runtime/RtSharedQueue.h"
+#include "runtime/RtTicketLock.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ccal;
+using namespace ccal::audit;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Per-operation client work (xorshift64 rounds), done OUTSIDE the object
+/// ops.  The overhead comparison is meaningless on a bare ping-pong loop:
+/// with literally zero client work there is nothing to amortize two clock
+/// reads against, and on an oversubscribed box the empty-loop baseline
+/// sits in an artificial no-convoy regime no real workload sees.  The
+/// payload models the work a client does per operation; overhead_pct is
+/// recording's share of the whole op+work cycle.
+std::uint64_t payloadWork(std::uint64_t X, int Iters) {
+  for (int I = 0; I != Iters; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+  }
+  return X;
+}
+
+/// Runs \p Rounds barrier-separated rounds of \p Threads persistent
+/// workers, each doing \p Pairs iterations of \p PerOp per round.  When
+/// \p Out is non-null the recorder is enabled and drained between rounds
+/// (each join is a real-time quiescent cut); when null the same workload
+/// runs with recording off.  Returns wall seconds of the hammer loop.
+template <typename PerOpFn>
+double hammer(int Threads, int Rounds, int Pairs, Trace *Out, PerOpFn PerOp) {
+  audit::setEnabled(Out != nullptr);
+  std::barrier Start(Threads + 1), End(Threads + 1);
+  std::vector<std::thread> Ws;
+  for (int T = 0; T != Threads; ++T)
+    Ws.emplace_back([&, T] {
+      for (int R = 0; R != Rounds; ++R) {
+        Start.arrive_and_wait();
+        for (int I = 0; I != Pairs; ++I)
+          PerOp(T, I);
+        End.arrive_and_wait();
+      }
+    });
+  auto T0 = std::chrono::steady_clock::now();
+  for (int R = 0; R != Rounds; ++R) {
+    Start.arrive_and_wait();
+    End.arrive_and_wait();
+    if (Out) {
+      Collected C = audit::collect();
+      Out->Records.insert(Out->Records.end(), C.Records.begin(),
+                          C.Records.end());
+      Out->Dropped = C.DroppedTotal;
+    }
+  }
+  double Secs = secondsSince(T0);
+  for (std::thread &W : Ws)
+    W.join();
+  audit::setEnabled(false);
+  return Secs;
+}
+
+struct ConfigResult {
+  std::string Name;
+  std::uint64_t OpsRecorded = 0;
+  std::uint64_t OpsTimed = 0;
+  double SecondsOn = 0, SecondsOff = 0;
+  double AuditSeconds = 0;
+  AuditReport Rep;
+
+  double opsPerSecOn() const { return OpsTimed / SecondsOn; }
+  double opsPerSecOff() const { return OpsTimed / SecondsOff; }
+};
+
+/// One config, two phases.  Capture: hammer with \p Threads threads
+/// recording, then audit the cumulative trace — oversubscription is
+/// WELCOME here, more preemption means nastier interleavings for the
+/// checker.  Overhead: time the identical per-thread workload with
+/// recording on and off at \p TimingThreads, which the caller caps at the
+/// hardware concurrency — oversubscribed spin-lock timing measures the
+/// scheduler's convoy behavior (a few extra in-critical-section
+/// nanoseconds tip a FIFO lock on an oversubscribed core into
+/// context-switch-per-handoff), not the recorder.
+template <typename PerOpFn>
+ConfigResult runConfig(const std::string &Name, const std::string &Spec,
+                       int Threads, int TimingThreads, int Pairs,
+                       std::uint64_t TargetOps, const AuditOptions &Opts,
+                       PerOpFn PerOp) {
+  auto RoundsFor = [&](int T) {
+    return static_cast<int>((TargetOps + 2ull * T * Pairs - 1) /
+                            (2ull * T * Pairs));
+  };
+  ConfigResult R;
+  R.Name = Name;
+  audit::resetForTest();
+
+  Trace Tr;
+  Tr.Spec = Spec;
+  hammer(Threads, RoundsFor(Threads), Pairs, &Tr, PerOp);
+  R.OpsRecorded = Tr.Records.size();
+
+  auto T0 = std::chrono::steady_clock::now();
+  R.Rep = auditTrace(Tr, Spec, Opts);
+  R.AuditSeconds = secondsSince(T0);
+
+  audit::resetForTest();
+  Trace Scratch; // recorded and drained, then discarded: timing only
+  Scratch.Spec = Spec;
+  const int TimingRounds = RoundsFor(TimingThreads);
+  R.SecondsOn = hammer(TimingThreads, TimingRounds, Pairs, &Scratch, PerOp);
+  R.OpsTimed = Scratch.Records.size();
+  R.SecondsOff = hammer(TimingThreads, TimingRounds, Pairs, nullptr, PerOp);
+  return R;
+}
+
+void printRow(const ConfigResult &R) {
+  double Overhead =
+      100.0 * (R.opsPerSecOff() - R.opsPerSecOn()) / R.opsPerSecOff();
+  std::printf("%-14s %-10s %9llu ops  %7.2f Mop/s on  %7.2f Mop/s off  "
+              "%+6.1f%%  windows=%llu max=%llu nodes=%llu audit=%.2fs\n",
+              R.Name.c_str(), outcomeName(R.Rep.Outcome),
+              static_cast<unsigned long long>(R.OpsRecorded),
+              R.opsPerSecOn() / 1e6, R.opsPerSecOff() / 1e6, Overhead,
+              static_cast<unsigned long long>(R.Rep.Windows),
+              static_cast<unsigned long long>(R.Rep.MaxWindowSeen),
+              static_cast<unsigned long long>(R.Rep.NodesExplored),
+              R.AuditSeconds);
+  if (R.Rep.Outcome != AuditOutcome::Pass)
+    std::printf("  detail: %s\n", R.Rep.Detail.c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::uint64_t TargetOps = 1'000'000;
+  int Threads = 8;
+  int PayloadIters = 1500;
+  std::string JsonPath = "BENCH_audit.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--ops")
+      TargetOps = std::strtoull(Next("--ops"), nullptr, 10);
+    else if (A == "--threads")
+      Threads = std::atoi(Next("--threads"));
+    else if (A == "--json")
+      JsonPath = Next("--json");
+    else if (A == "--payload")
+      PayloadIters = std::atoi(Next("--payload"));
+    else if (A == "--quick")
+      TargetOps = 100'000;
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", A.c_str());
+      return 2;
+    }
+  }
+  if (Threads < 2)
+    Threads = 2;
+  // Timing never oversubscribes: overhead measured with more runnable
+  // threads than cores reports the scheduler's spin-lock convoy dynamics
+  // (wildly bimodal), not the recorder's cost.
+  const int HwThreads =
+      std::max(1u, std::thread::hardware_concurrency());
+  const int TimingThreads = std::min(Threads, HwThreads);
+
+  // Round geometry: each pair records 2 ops; window size is bounded by
+  // 2*Threads*Pairs.  Locks search near-greedily (the ticket/holder
+  // discipline pins the order), so big windows are cheap; the queue's
+  // search branches more, so its rounds are shorter.
+  const int LockPairs = 2000, QueuePairs = 250;
+  AuditOptions Opts;
+  Opts.MaxNodesPerWindow = 1u << 24;
+  Opts.MaxWindowOps = 1u << 17;
+
+  std::vector<ConfigResult> Results;
+  // Per-thread payload accumulators, cacheline-padded and consumed at the
+  // end so the work cannot be optimized away.
+  std::vector<std::uint64_t> Sink(static_cast<std::size_t>(Threads) * 8, 1);
+  auto Work = [&](int T, int I) {
+    std::uint64_t &S = Sink[static_cast<std::size_t>(T) * 8];
+    S = payloadWork(S + I + 1, PayloadIters);
+  };
+
+  {
+    rt::TicketLock<false> L;
+    Results.push_back(runConfig("ticket", "ticket", Threads, TimingThreads,
+                                LockPairs, TargetOps, Opts,
+                                [&](int T, int I) {
+                                  L.acquire();
+                                  L.release();
+                                  Work(T, I);
+                                }));
+  }
+  {
+    rt::McsLock<false> L;
+    Results.push_back(runConfig("mcs", "lock", Threads, TimingThreads,
+                                LockPairs, TargetOps, Opts, [&](int T, int I) {
+                                  rt::McsNode N;
+                                  L.acquire(N);
+                                  L.release(N);
+                                  Work(T, I);
+                                }));
+  }
+  {
+    rt::QueuingLock L;
+    Results.push_back(runConfig("qlock", "lock", Threads, TimingThreads,
+                                LockPairs, TargetOps, Opts,
+                                [&](int T, int I) {
+                                  L.acquire();
+                                  L.release();
+                                  Work(T, I);
+                                }));
+  }
+  {
+    rt::SharedQueue<rt::TicketLock<false, false>> Q;
+    Results.push_back(runConfig("queue_ticket", "queue", Threads,
+                                TimingThreads, QueuePairs, TargetOps, Opts,
+                                [&](int T, int I) {
+                                  Q.enqueue(T * 1000000 + I);
+                                  Work(T, I);
+                                  (void)Q.dequeue();
+                                }));
+  }
+  {
+    rt::SharedQueue<rt::McsLock<false, false>> Q;
+    Results.push_back(runConfig("queue_mcs", "queue", Threads, TimingThreads,
+                                QueuePairs, TargetOps, Opts,
+                                [&](int T, int I) {
+                                  Q.enqueue(T * 1000000 + I);
+                                  Work(T, I);
+                                  (void)Q.dequeue();
+                                }));
+  }
+
+  std::uint64_t SinkSum = 0;
+  for (std::uint64_t S : Sink)
+    SinkSum += S;
+  std::printf("audit hammer: %d threads (%d for timing, %d hw), target %llu "
+              "ops/config, payload %d xorshift rounds/op (sink %llx)\n",
+              Threads, TimingThreads, HwThreads,
+              static_cast<unsigned long long>(TargetOps), PayloadIters,
+              static_cast<unsigned long long>(SinkSum));
+  bool Ok = true;
+  for (const ConfigResult &R : Results) {
+    printRow(R);
+    if (R.Rep.Outcome != AuditOutcome::Pass)
+      Ok = false;
+    if (R.Rep.OpsAudited != R.OpsRecorded)
+      Ok = false;
+  }
+
+  // The seeded-bug half: hammer RtBrokenLock until a duplicate ticket is
+  // on record (the torn grab makes that near-certain within a few
+  // rounds), then the auditor must FAIL the trace with a witness.
+  audit::resetForTest();
+  rt::BrokenTicketLock Broken;
+  Trace BrokenTr;
+  BrokenTr.Spec = "ticket";
+  bool Duplicate = false;
+  for (int Round = 0; Round != 500 && !Duplicate; ++Round) {
+    hammer(Threads, 1, 200, &BrokenTr, [&Broken](int, int) {
+      Broken.acquire();
+      Broken.release();
+    });
+    std::map<std::int64_t, int> Tickets;
+    for (const OpRecord &R : BrokenTr.Records)
+      if (R.M == Method::Acq && ++Tickets[R.Ret] > 1)
+        Duplicate = true;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  AuditReport BrokenRep = auditTrace(BrokenTr, "ticket", Opts);
+  double BrokenAuditSecs = secondsSince(T0);
+  std::printf("%-14s %-10s %9llu ops  witness_window=%llu ops  audit=%.2fs\n"
+              "  detail: %s\n",
+              "broken_lock", outcomeName(BrokenRep.Outcome),
+              static_cast<unsigned long long>(BrokenTr.Records.size()),
+              static_cast<unsigned long long>(BrokenRep.WitnessOps.size()),
+              BrokenAuditSecs, BrokenRep.Detail.c_str());
+  if (!Duplicate) {
+    std::printf("broken lock never tore a ticket grab — hammer too gentle\n");
+    Ok = false;
+  }
+  if (BrokenRep.Outcome != AuditOutcome::Fail || BrokenRep.WitnessOps.empty())
+    Ok = false;
+
+  std::ofstream J(JsonPath);
+  J << "{\n  \"bench\": \"audit_hammer\",\n";
+  J << "  \"workload\": \"" << Threads
+    << "-thread barrier-separated rounds recorded and audited offline; "
+    << PayloadIters
+    << " xorshift rounds of client work per op; overhead = recorder on vs "
+       "off on the identical per-thread workload at "
+    << TimingThreads << " threads (never oversubscribed)\",\n";
+  J << "  \"hardware_threads\": " << HwThreads
+    << ",\n  \"timing_threads\": " << TimingThreads << ",\n  \"configs\": [\n";
+  for (std::size_t I = 0; I != Results.size(); ++I) {
+    const ConfigResult &R = Results[I];
+    double Overhead =
+        100.0 * (R.opsPerSecOff() - R.opsPerSecOn()) / R.opsPerSecOff();
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"name\": \"%s\", \"outcome\": \"%s\", \"ops_recorded\": %llu, "
+        "\"ops_audited\": %llu, \"windows\": %llu, \"max_window\": %llu, "
+        "\"nodes\": %llu, \"audit_seconds\": %.3f, \"mops_on\": %.3f, "
+        "\"mops_off\": %.3f, \"overhead_pct\": %.1f}%s\n",
+        R.Name.c_str(), outcomeName(R.Rep.Outcome),
+        static_cast<unsigned long long>(R.OpsRecorded),
+        static_cast<unsigned long long>(R.Rep.OpsAudited),
+        static_cast<unsigned long long>(R.Rep.Windows),
+        static_cast<unsigned long long>(R.Rep.MaxWindowSeen),
+        static_cast<unsigned long long>(R.Rep.NodesExplored), R.AuditSeconds,
+        R.opsPerSecOn() / 1e6, R.opsPerSecOff() / 1e6, Overhead,
+        I + 1 == Results.size() ? "" : ",");
+    J << Buf;
+  }
+  J << "  ],\n";
+  J << "  \"broken_lock\": {\"outcome\": \"" << outcomeName(BrokenRep.Outcome)
+    << "\", \"ops_recorded\": " << BrokenTr.Records.size()
+    << ", \"witness_window_ops\": " << BrokenRep.WitnessOps.size()
+    << ", \"duplicate_ticket_seen\": " << (Duplicate ? "true" : "false")
+    << "},\n";
+  J << "  \"ok\": " << (Ok ? "true" : "false") << "\n}\n";
+  J.close();
+  std::printf("wrote %s\n", JsonPath.c_str());
+
+  return Ok ? 0 : 1;
+}

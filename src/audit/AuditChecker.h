@@ -1,0 +1,107 @@
+//===- audit/AuditChecker.h - Offline trace linearizability audit -*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline half of the trace auditor: takes a recorded Trace
+/// (audit/Trace.h), partitions each object's history into windows at
+/// quiescent cuts (instants no operation spans, derived from the
+/// invocation/response timestamps), derives the real-time precedence
+/// order inside each window (response(A) < invoke(B) forces A before B —
+/// Herlihy & Wing's side condition, the thing that makes this
+/// linearizability rather than sequential consistency), and drives the
+/// objects/Linearize search per window against the named sequential
+/// specification, carrying the spec state across windows.
+///
+/// Soundness of the split: a quiescent cut strictly precedes every later
+/// invocation, so forcing earlier-window operations before later-window
+/// operations adds exactly the precedence edges the timestamps already
+/// imply — no admissible witness is gained or lost.
+///
+/// The verdict is fail-closed and three-way:
+///   PASS       — every window produced a sequential witness AND the
+///                recorder dropped nothing.  Only this outcome certifies.
+///   FAIL       — some window's full search space was exhausted with no
+///                witness: a concrete non-linearizable window, returned
+///                as evidence.
+///   UNRESOLVED — anything else: dropped records (the gap could hide the
+///                violation), a window over the op cap, a search budget
+///                exhausted, a malformed trace.  Never reported as PASS,
+///                and never as FAIL — BudgetExhausted is not a
+///                refutation.
+///
+/// Per Filipović et al. (cited in Linearize.h) a PASS witnesses that the
+/// recorded execution contextually refines the atomic object; Doherty et
+/// al.'s causal linearizability (PAPERS.md) weakens the precedence edges
+/// to the causal order, so once the weak-memory backend lands, the same
+/// window machinery runs with a sparser PrecedenceMap — the derivation is
+/// the only piece that changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_AUDIT_AUDITCHECKER_H
+#define CCAL_AUDIT_AUDITCHECKER_H
+
+#include "audit/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+namespace audit {
+
+/// Budget knobs; exhausting any of them yields UNRESOLVED, never PASS.
+struct AuditOptions {
+  std::uint64_t MaxNodesPerWindow = std::uint64_t(1) << 22;
+  std::size_t MaxWindowOps = std::size_t(1) << 16;
+};
+
+/// The fail-closed three-way verdict.
+enum class AuditOutcome { Pass, Fail, Unresolved };
+
+const char *outcomeName(AuditOutcome O);
+
+/// Audit evidence and accounting.
+struct AuditReport {
+  AuditOutcome Outcome = AuditOutcome::Unresolved;
+  std::string Detail; ///< human-readable reason for FAIL / UNRESOLVED
+
+  std::uint64_t Objects = 0;       ///< distinct object identities audited
+  std::uint64_t OpsAudited = 0;    ///< records that reached a PASSing window
+  std::uint64_t Windows = 0;       ///< windows searched
+  std::uint64_t MaxWindowSeen = 0; ///< largest window (ops)
+  std::uint64_t NodesExplored = 0; ///< summed over all window searches
+
+  /// FAIL evidence: the refuted window, small enough to eyeball and to
+  /// check in as a corpus regression.
+  std::uint64_t WitnessObj = 0;
+  std::uint64_t WitnessWindow = 0;
+  std::vector<OpRecord> WitnessOps;
+};
+
+/// Names of the registered sequential specs:
+///   "ticket" — mutual-exclusion lock whose acq returns the acquisition
+///              index (the FAI ticket) and rel the release index;
+///   "lock"   — mutual-exclusion lock with uninformative (0) returns
+///              (MCS, queuing: protocol and real-time overlap carry the
+///              whole check);
+///   "queue"  — FIFO queue of int64: enQ(v) returns 0, deQ returns the
+///              head or -1 when empty.
+std::vector<std::string> specNames();
+bool hasSpec(const std::string &Name);
+
+/// Audits every object identity in \p T against spec \p Spec.  Objects
+/// are independent: each gets its own spec state and windows; the verdict
+/// aggregates fail-closed (any FAIL dominates, else any UNRESOLVED, else
+/// PASS).
+AuditReport auditTrace(const Trace &T, const std::string &Spec,
+                       const AuditOptions &Opts = AuditOptions());
+
+} // namespace audit
+} // namespace ccal
+
+#endif // CCAL_AUDIT_AUDITCHECKER_H

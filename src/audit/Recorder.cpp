@@ -1,0 +1,248 @@
+//===- audit/Recorder.cpp - Per-thread operation trace recorder --------------===//
+
+#include "audit/Recorder.h"
+
+#include "audit/Trace.h"
+#include "obs/Metrics.h"
+#include "support/Clock.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+
+using namespace ccal;
+using namespace ccal::audit;
+
+const char *audit::methodName(Method M) {
+  switch (M) {
+  case Method::Acq:
+    return "acq";
+  case Method::Rel:
+    return "rel";
+  case Method::Enq:
+    return "enQ";
+  case Method::Deq:
+    return "deQ";
+  }
+  return "?";
+}
+
+bool audit::methodFromName(const std::string &Name, Method &Out) {
+  if (Name == "acq")
+    Out = Method::Acq;
+  else if (Name == "rel")
+    Out = Method::Rel;
+  else if (Name == "enQ")
+    Out = Method::Enq;
+  else if (Name == "deQ")
+    Out = Method::Deq;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+std::atomic<std::size_t> Capacity{std::size_t(1) << 16};
+
+/// Bumped by resetForTest so threads re-register their cached rings.
+std::atomic<std::uint64_t> Generation{1};
+
+/// One thread's ring.  Single writer (the owning thread), single reader
+/// (the collector, serialized by the registry mutex).  The writer
+/// publishes records with a release-store of Head; the collector acquires
+/// Head, reads the slots, and publishes consumption with a release-store
+/// of Tail, which the writer acquires before reusing a slot — so slot
+/// payloads themselves need no atomics.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t Cap, std::uint64_t Tid)
+      : Slots(Cap), Tid(Tid) {}
+
+  std::vector<OpRecord> Slots;
+  const std::uint64_t Tid;
+  alignas(64) std::atomic<std::uint64_t> Head{0}; ///< next write index
+  alignas(64) std::atomic<std::uint64_t> Tail{0}; ///< next read index
+  std::atomic<std::uint64_t> Dropped{0};
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+  std::uint64_t NextTid = 1;
+  std::uint64_t Epoch = 0;
+  std::uint64_t DroppedCollected = 0; ///< drops already reported in epochs
+};
+
+Registry &registry() {
+  // Leaked on purpose (the obs precedent): exiting threads may touch
+  // their rings after a plain static would have been destroyed.
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// The calling thread's ring, allocated and registered on first use.
+ThreadBuffer &threadBuffer() {
+  struct Cached {
+    std::shared_ptr<ThreadBuffer> Buf;
+    std::uint64_t Gen = 0;
+  };
+  thread_local Cached C;
+  std::uint64_t Gen = Generation.load(std::memory_order_acquire);
+  if (!C.Buf || C.Gen != Gen) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.Mu);
+    C.Buf = std::make_shared<ThreadBuffer>(
+        Capacity.load(std::memory_order_relaxed), R.NextTid++);
+    C.Gen = Gen;
+    R.Buffers.push_back(C.Buf);
+  }
+  return *C.Buf;
+}
+
+struct EnvInit {
+  EnvInit() { initFromEnv(); }
+} EnvInitializer;
+
+} // namespace
+
+#if !defined(CCAL_NO_AUDIT)
+
+bool audit::enabled() { return Enabled.load(std::memory_order_relaxed); }
+
+std::uint64_t audit::invokeNow() {
+  if (!Enabled.load(std::memory_order_relaxed))
+    return 0;
+  std::uint64_t Now = support::monotonicNowNs();
+  return Now ? Now : 1; // 0 is the disabled sentinel
+}
+
+void audit::record(const void *Obj, Method M, bool HasArg, std::int64_t Arg,
+                   std::int64_t Ret, std::uint64_t InvokeNs) {
+  ThreadBuffer &B = threadBuffer();
+  std::uint64_t H = B.Head.load(std::memory_order_relaxed);
+  std::uint64_t T = B.Tail.load(std::memory_order_acquire);
+  if (H - T >= B.Slots.size()) {
+    // Bounded memory: drop the NEW record (history already committed is
+    // never overwritten) and make the gap loud.
+    B.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  OpRecord &S = B.Slots[H % B.Slots.size()];
+  S.Obj = reinterpret_cast<std::uintptr_t>(Obj);
+  S.Tid = B.Tid;
+  S.M = M;
+  S.HasArg = HasArg;
+  S.Arg = Arg;
+  S.Ret = Ret;
+  S.InvokeNs = InvokeNs;
+  S.ResponseNs = support::monotonicNowNs();
+  B.Head.store(H + 1, std::memory_order_release);
+}
+
+#endif // !CCAL_NO_AUDIT
+
+void audit::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string &dumpPath() {
+  static std::string Path;
+  return Path;
+}
+
+/// Exit-dump for CCAL_AUDIT=<path> (mirrors CCAL_TRACE): collect whatever
+/// the rings still hold and write a spec-less trace file — replay it with
+/// `ccal-audit --spec NAME <path>`.
+void dumpAtExit() {
+  Collected C = audit::collect();
+  std::string Err;
+  if (!audit::writeTraceFile(dumpPath(), traceOf(C, ""), Err))
+    std::fprintf(stderr, "ccal audit: %s\n", Err.c_str());
+}
+
+} // namespace
+
+bool audit::initFromEnv() {
+  if (const char *Cap = std::getenv("CCAL_AUDIT_CAPACITY"))
+    if (std::size_t N = std::strtoull(Cap, nullptr, 10))
+      setCapacity(N);
+  const char *V = std::getenv("CCAL_AUDIT");
+  if (V && V[0] != '\0' && !(V[0] == '0' && V[1] == '\0')) {
+    setEnabled(true);
+    // "1" records in-process only; any other value names an exit-dump
+    // path for the trace still sitting in the rings at exit.
+    if (!(V[0] == '1' && V[1] == '\0') && dumpPath().empty()) {
+      dumpPath() = V;
+      std::atexit(dumpAtExit);
+    }
+  }
+  return Enabled.load(std::memory_order_relaxed);
+}
+
+void audit::setCapacity(std::size_t Slots) {
+  Capacity.store(Slots < 8 ? 8 : Slots, std::memory_order_relaxed);
+}
+
+std::size_t audit::capacity() {
+  return Capacity.load(std::memory_order_relaxed);
+}
+
+Collected audit::collect() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  Collected Out;
+  Out.Epoch = ++R.Epoch;
+  std::uint64_t DroppedNow = 0;
+  for (const std::shared_ptr<ThreadBuffer> &BP : R.Buffers) {
+    ThreadBuffer &B = *BP;
+    std::uint64_t T = B.Tail.load(std::memory_order_relaxed);
+    std::uint64_t H = B.Head.load(std::memory_order_acquire);
+    for (; T != H; ++T)
+      Out.Records.push_back(B.Slots[T % B.Slots.size()]);
+    B.Tail.store(T, std::memory_order_release);
+    DroppedNow += B.Dropped.load(std::memory_order_relaxed);
+  }
+  Out.DroppedTotal = DroppedNow;
+  Out.Dropped = DroppedNow - R.DroppedCollected;
+  R.DroppedCollected = DroppedNow;
+  if (obs::enabled()) {
+    obs::counterAdd("audit.records_collected", Out.Records.size());
+    obs::counterAdd("audit.collections", 1);
+    if (Out.Dropped)
+      obs::counterAdd("audit.dropped", Out.Dropped);
+    obs::gaugeSet("audit.threads",
+                  static_cast<std::int64_t>(R.Buffers.size()));
+  }
+  return Out;
+}
+
+std::size_t audit::threadBufferCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  return R.Buffers.size();
+}
+
+std::uint64_t audit::droppedTotal() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  std::uint64_t N = 0;
+  for (const std::shared_ptr<ThreadBuffer> &B : R.Buffers)
+    N += B->Dropped.load(std::memory_order_relaxed);
+  return N;
+}
+
+void audit::resetForTest() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  R.Buffers.clear();
+  R.NextTid = 1;
+  R.Epoch = 0;
+  R.DroppedCollected = 0;
+  Generation.fetch_add(1, std::memory_order_acq_rel);
+}

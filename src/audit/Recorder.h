@@ -1,0 +1,161 @@
+//===- audit/Recorder.h - Per-thread operation trace recorder --*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The always-on trace recorder behind the runtime objects (src/runtime/):
+/// every public operation of an audited object records one OpRecord —
+/// object identity, method, argument, return value, and invocation /
+/// response timestamps from the shared monotonic clock (support/Clock.h)
+/// — into a lock-free per-thread ring buffer.  An offline checker
+/// (audit/AuditChecker.h) later replays the collected history against the
+/// object's sequential specification via the objects/Linearize search,
+/// turning "verified for all executions up to a bound" into "additionally
+/// monitored at production scale".
+///
+/// Cost model, mirroring obs/Metrics.h: when disabled (the default) the
+/// hot path is one relaxed atomic load returning 0 and NOTHING is
+/// allocated — no thread buffers, no registry entries; "disabled is free"
+/// is a tested property.  When enabled, recording is two clock reads plus
+/// one ring-slot write; no locks, no allocation after a thread's first
+/// record.  Building with -DCCAL_NO_AUDIT compiles the hooks out of the
+/// runtime objects entirely (the hooks become constant-folded no-ops),
+/// for the purist §6 latency experiments.
+///
+/// Memory is bounded: each thread's ring holds a fixed number of slots
+/// (CCAL_AUDIT_CAPACITY, default 1<<16); when a collector does not drain
+/// fast enough the writer DROPS the new record and counts it, rather than
+/// overwriting history or growing without bound.  Dropped records are a
+/// soundness event, not a statistic: the audit checker reports UNRESOLVED
+/// — never PASS — for any collection window with drops (the gap could
+/// hide exactly the non-linearizable behavior being hunted).  Drops are
+/// also published to the obs registry as `audit.dropped`.
+///
+/// Collection is epoch-based: collect() drains every registered thread
+/// buffer (records committed by the owner's release-store of the ring
+/// head are guaranteed visible) and stamps the batch with a fresh epoch
+/// number.  Writers never block on collection and collection never blocks
+/// writers; a record racing a collection simply lands in the next epoch.
+/// Buffers are owned jointly by the recording thread and the registry, so
+/// a thread may exit before its trace is collected without losing events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_AUDIT_RECORDER_H
+#define CCAL_AUDIT_RECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccal {
+namespace audit {
+
+/// The audited methods of the runtime objects.  A closed enum keeps ring
+/// slots compact; trace files spell the names out (methodName).
+enum class Method : std::uint8_t {
+  Acq = 1, ///< lock acquire; Ret = acquisition ticket where the object has one
+  Rel,     ///< lock release
+  Enq,     ///< queue enqueue; Arg = value
+  Deq,     ///< queue dequeue; Ret = value, -1 when empty
+};
+
+/// Wire/spec name of \p M ("acq", "rel", "enQ", "deQ" — the queue names
+/// match the model-side SharedQueue spec events).
+const char *methodName(Method M);
+
+/// Inverse of methodName; false when \p Name is unknown.
+bool methodFromName(const std::string &Name, Method &Out);
+
+/// One recorded operation.
+struct OpRecord {
+  std::uint64_t Obj = 0;  ///< object identity (address of the instance)
+  std::uint64_t Tid = 0;  ///< dense recorder thread id (1-based)
+  Method M = Method::Acq;
+  bool HasArg = false;
+  std::int64_t Arg = 0;
+  std::int64_t Ret = 0;
+  std::uint64_t InvokeNs = 0;   ///< shared monotonic clock at invocation
+  std::uint64_t ResponseNs = 0; ///< shared monotonic clock at response
+};
+
+/// One epoch's worth of collected trace.
+struct Collected {
+  std::uint64_t Epoch = 0;            ///< 1-based, bumped per collect()
+  std::vector<OpRecord> Records;      ///< per-thread program order preserved
+  std::uint64_t Dropped = 0;          ///< drops in this epoch (0 required for PASS)
+  std::uint64_t DroppedTotal = 0;     ///< cumulative drops since enable/reset
+};
+
+#if defined(CCAL_NO_AUDIT)
+
+// Compile-time kill switch: the runtime objects' hooks fold to constants
+// and the recorder library need not even be linked.
+inline bool enabled() { return false; }
+inline std::uint64_t invokeNow() { return 0; }
+inline void record(const void *, Method, bool, std::int64_t, std::int64_t,
+                   std::uint64_t) {}
+
+#else
+
+/// True when recording is on.  One relaxed atomic load.
+bool enabled();
+
+/// Invocation-side hook: returns 0 when disabled, else a nonzero
+/// monotonic timestamp to pass to record() at the response side.  The
+/// nonzero guarantee lets call sites use the timestamp itself as the
+/// "was enabled at invocation" flag, paying a single branch at response.
+std::uint64_t invokeNow();
+
+/// Response-side hook: appends one record to the calling thread's ring
+/// (allocating the ring on the thread's first record).  \p InvokeNs must
+/// be a value invokeNow() returned on this thread; the response timestamp
+/// is taken here.  Drops (ring full) are counted, never silently lost.
+void record(const void *Obj, Method M, bool HasArg, std::int64_t Arg,
+            std::int64_t Ret, std::uint64_t InvokeNs);
+
+#endif // CCAL_NO_AUDIT
+
+/// Flips recording.  Enabling is what arms invokeNow(); disabling stops
+/// new records but keeps already-recorded history collectible.
+void setEnabled(bool On);
+
+/// Reads CCAL_AUDIT (non-empty, non-"0" enables; any value other than
+/// "1" additionally names an exit-dump path for whatever the rings hold
+/// at exit, replayable with `ccal-audit --spec NAME`) and
+/// CCAL_AUDIT_CAPACITY (slots per thread ring); called once
+/// automatically before main.
+bool initFromEnv();
+
+/// Sets the per-thread ring capacity in slots for buffers created after
+/// the call (existing rings keep theirs).  Clamped to a minimum of 8.
+void setCapacity(std::size_t Slots);
+std::size_t capacity();
+
+/// Drains every committed record from every registered thread buffer into
+/// a fresh epoch.  Safe to call concurrently with recording (records
+/// racing the cut land in the next epoch); at most one collector at a
+/// time (internally serialized).  Per-thread order is preserved within
+/// the batch.
+Collected collect();
+
+/// Number of thread ring buffers currently registered (0 while disabled
+/// and never enabled: disabled mode must not allocate).
+std::size_t threadBufferCount();
+
+/// Cumulative dropped-record count since enable/reset.
+std::uint64_t droppedTotal();
+
+/// Test hook: forgets all buffers, zeroes counters, and invalidates every
+/// thread's cached ring so later records re-register.  Callers must
+/// ensure no thread is concurrently recording.
+void resetForTest();
+
+} // namespace audit
+} // namespace ccal
+
+#endif // CCAL_AUDIT_RECORDER_H

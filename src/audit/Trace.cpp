@@ -1,0 +1,211 @@
+//===- audit/Trace.cpp - Recorded-trace files --------------------------------===//
+
+#include "audit/Trace.h"
+
+#include "support/Json.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ccal;
+using namespace ccal::audit;
+
+Trace audit::traceOf(const Collected &C, std::string Spec) {
+  Trace T;
+  T.Spec = std::move(Spec);
+  T.Dropped = C.DroppedTotal;
+  T.Records = C.Records;
+  return T;
+}
+
+namespace {
+
+/// One record as a JSON line fragment.  Arg is emitted only when present,
+/// so "no argument" and "argument 0" stay distinct across round trips.
+std::string recordJson(const OpRecord &R) {
+  char Buf[256];
+  if (R.HasArg)
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"obj\":%" PRIu64 ",\"tid\":%" PRIu64
+                  ",\"m\":\"%s\",\"arg\":%" PRId64 ",\"ret\":%" PRId64
+                  ",\"inv\":%" PRIu64 ",\"resp\":%" PRIu64 "}",
+                  R.Obj, R.Tid, methodName(R.M), R.Arg, R.Ret, R.InvokeNs,
+                  R.ResponseNs);
+  else
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"obj\":%" PRIu64 ",\"tid\":%" PRIu64
+                  ",\"m\":\"%s\",\"ret\":%" PRId64 ",\"inv\":%" PRIu64
+                  ",\"resp\":%" PRIu64 "}",
+                  R.Obj, R.Tid, methodName(R.M), R.Ret, R.InvokeNs,
+                  R.ResponseNs);
+  return Buf;
+}
+
+std::string header(const Trace &T) {
+  std::string Out = "{\"ccal_audit_trace\":1,\"spec\":\"" + T.Spec +
+                    "\",\"dropped\":" + std::to_string(T.Dropped) +
+                    ",\"records\":[";
+  return Out;
+}
+
+/// Reads one non-negative integer field, fail-closed.
+bool uintField(const JsonValue &O, const char *Name, std::uint64_t &Out,
+               std::string &Error) {
+  const JsonValue *F = O.field(Name);
+  if (!F || !F->isNumber() || !F->IsInt || F->IntVal < 0) {
+    Error = std::string("record field '") + Name +
+            "' missing or not a non-negative integer";
+    return false;
+  }
+  Out = static_cast<std::uint64_t>(F->IntVal);
+  return true;
+}
+
+bool parseRecord(const JsonValue &O, OpRecord &R, std::string &Error) {
+  if (!O.isObject()) {
+    Error = "record is not an object";
+    return false;
+  }
+  if (!uintField(O, "obj", R.Obj, Error) ||
+      !uintField(O, "tid", R.Tid, Error) ||
+      !uintField(O, "inv", R.InvokeNs, Error) ||
+      !uintField(O, "resp", R.ResponseNs, Error))
+    return false;
+  const JsonValue *M = O.field("m");
+  if (!M || !M->isString() || !methodFromName(M->StrVal, R.M)) {
+    Error = "record field 'm' missing or not a known method";
+    return false;
+  }
+  const JsonValue *Ret = O.field("ret");
+  if (!Ret || !Ret->isNumber() || !Ret->IsInt) {
+    Error = "record field 'ret' missing or not an integer";
+    return false;
+  }
+  R.Ret = Ret->IntVal;
+  if (const JsonValue *Arg = O.field("arg")) {
+    if (!Arg->isNumber() || !Arg->IsInt) {
+      Error = "record field 'arg' is not an integer";
+      return false;
+    }
+    R.HasArg = true;
+    R.Arg = Arg->IntVal;
+  } else {
+    R.HasArg = false;
+    R.Arg = 0;
+  }
+  if (R.ResponseNs < R.InvokeNs) {
+    Error = "record has response before invocation";
+    return false;
+  }
+  if (R.Tid == 0) {
+    Error = "record has tid 0 (recorder tids are 1-based)";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string audit::traceToJson(const Trace &T) {
+  std::string Out = header(T);
+  for (size_t I = 0; I != T.Records.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += recordJson(T.Records[I]);
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool audit::traceFromJson(const std::string &Text, Trace &Out,
+                          std::string &Error) {
+  JsonParseResult P = parseJson(Text);
+  if (!P) {
+    Error = "trace parse error: " + P.Error;
+    return false;
+  }
+  const JsonValue &Doc = P.Value;
+  const JsonValue *Magic = Doc.field("ccal_audit_trace");
+  if (!Magic || !Magic->isNumber() || Magic->IntVal != 1) {
+    Error = "not a ccal audit trace (missing ccal_audit_trace: 1)";
+    return false;
+  }
+  Out = Trace();
+  if (const JsonValue *Spec = Doc.field("spec")) {
+    if (!Spec->isString()) {
+      Error = "trace field 'spec' is not a string";
+      return false;
+    }
+    Out.Spec = Spec->StrVal;
+  }
+  if (!uintField(Doc, "dropped", Out.Dropped, Error))
+    return false;
+  const JsonValue *Records = Doc.field("records");
+  if (!Records || !Records->isArray()) {
+    Error = "trace field 'records' missing or not an array";
+    return false;
+  }
+  Out.Records.reserve(Records->Items.size());
+  for (size_t I = 0; I != Records->Items.size(); ++I) {
+    OpRecord R;
+    if (!parseRecord(Records->Items[I], R, Error)) {
+      Error = "record " + std::to_string(I) + ": " + Error;
+      return false;
+    }
+    Out.Records.push_back(R);
+  }
+  return true;
+}
+
+bool audit::writeTraceFile(const std::string &Path, const Trace &T,
+                           std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  bool Ok = std::fputs(header(T).c_str(), F) >= 0;
+  for (size_t I = 0; Ok && I != T.Records.size(); ++I) {
+    if (I && std::fputc(',', F) == EOF)
+      Ok = false;
+    if (Ok)
+      Ok = std::fputs(recordJson(T.Records[I]).c_str(), F) >= 0;
+  }
+  if (Ok)
+    Ok = std::fputs("]}\n", F) >= 0;
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Error = "write failed for " + Path;
+  return Ok;
+}
+
+bool audit::readTraceFile(const std::string &Path, Trace &Out,
+                          std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (!In.good() && !In.eof()) {
+    Error = "read failed for " + Path;
+    return false;
+  }
+  // Tolerate leading "//" comment lines so fuzz-dump files (which carry a
+  // "// ccal-fuzz-dump ..." header) replay directly through ccal-audit.
+  std::string Text = Buf.str();
+  std::size_t At = 0;
+  while (At < Text.size()) {
+    std::size_t Start = Text.find_first_not_of(" \t\r\n", At);
+    if (Start == std::string::npos || Text.compare(Start, 2, "//") != 0)
+      break;
+    At = Text.find('\n', Start);
+    if (At == std::string::npos)
+      At = Text.size();
+  }
+  return traceFromJson(Text.substr(At), Out, Error);
+}

@@ -1,0 +1,60 @@
+//===- audit/Trace.h - Recorded-trace files --------------------*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk form of a recorded operation trace: one JSON document
+/// carrying the spec hint, the drop count (part of the trace, because a
+/// trace with drops can never audit PASS), and the flat record list.  The
+/// writer streams (traces reach millions of records); the reader parses
+/// with the in-tree JSON parser and FAILS CLOSED: any missing field,
+/// wrong type, unknown method name, or response-before-invocation
+/// timestamp rejects the whole file rather than auditing a best-effort
+/// subset.  `ccal-audit` replays these files offline; the property tests
+/// round-trip them; failure dumps embed them for corpus replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_AUDIT_TRACE_H
+#define CCAL_AUDIT_TRACE_H
+
+#include "audit/Recorder.h"
+
+#include <string>
+#include <vector>
+
+namespace ccal {
+namespace audit {
+
+/// One recorded trace, in memory.
+struct Trace {
+  std::string Spec;           ///< spec-registry name hint ("" = none)
+  std::uint64_t Dropped = 0;  ///< recorder drops during capture
+  std::vector<OpRecord> Records;
+};
+
+/// Builds a Trace from one collected epoch (drops carried over).
+Trace traceOf(const Collected &C, std::string Spec);
+
+/// Renders \p T as the trace-file JSON document (compact, deterministic).
+std::string traceToJson(const Trace &T);
+
+/// Parses a trace document; false (with \p Error set) on any schema or
+/// consistency violation — a rejected trace must never be audited.
+bool traceFromJson(const std::string &Text, Trace &Out, std::string &Error);
+
+/// Streams \p T to \p Path (the writer avoids materializing the JSON tree
+/// for multi-million-record traces).  False with \p Error on I/O failure.
+bool writeTraceFile(const std::string &Path, const Trace &T,
+                    std::string &Error);
+
+/// Reads and validates a trace file.
+bool readTraceFile(const std::string &Path, Trace &Out, std::string &Error);
+
+} // namespace audit
+} // namespace ccal
+
+#endif // CCAL_AUDIT_TRACE_H

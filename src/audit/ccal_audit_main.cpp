@@ -1,0 +1,122 @@
+//===- audit/ccal_audit_main.cpp - ccal-audit CLI -------------------------===//
+//
+// Usage:
+//   ccal-audit [--spec NAME] [--max-nodes N] [--max-window-ops N]
+//              [--witness PATH] TRACE [TRACE...]
+//
+// Replays recorded trace files (audit/Trace.h) against a registered
+// sequential spec and prints the fail-closed verdict per file.  --spec
+// overrides the spec name embedded in the trace; --witness dumps a FAIL's
+// refuted window back out as a trace file (a self-contained repro for
+// `ccal-audit --spec NAME witness.json`).
+//
+// Exit status: 0 when every trace PASSes, 1 when any FAILs, 2 when any is
+// UNRESOLVED or unreadable (UNRESOLVED is not a pass — see
+// audit/AuditChecker.h).  FAIL dominates UNRESOLVED in the exit code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "audit/AuditChecker.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ccal;
+using namespace ccal::audit;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::string Specs;
+  for (const std::string &S : specNames())
+    Specs += (Specs.empty() ? "" : ", ") + S;
+  std::fprintf(stderr,
+               "usage: %s [--spec NAME] [--max-nodes N] [--max-window-ops N] "
+               "[--witness PATH] TRACE [TRACE...]\n"
+               "specs: %s\n",
+               Argv0, Specs.c_str());
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Spec, WitnessPath;
+  AuditOptions Opts;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (std::strcmp(argv[I], Flag) != 0)
+        return nullptr;
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (const char *V = Value("--spec"))
+      Spec = V;
+    else if (const char *V = Value("--max-nodes"))
+      Opts.MaxNodesPerWindow = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--max-window-ops"))
+      Opts.MaxWindowOps = std::strtoull(V, nullptr, 10);
+    else if (const char *V = Value("--witness"))
+      WitnessPath = V;
+    else if (argv[I][0] == '-')
+      return usage(argv[0]);
+    else
+      Paths.push_back(argv[I]);
+  }
+  if (Paths.empty())
+    return usage(argv[0]);
+
+  bool AnyFail = false, AnyUnresolved = false;
+  for (const std::string &Path : Paths) {
+    Trace T;
+    std::string Err;
+    if (!readTraceFile(Path, T, Err)) {
+      std::fprintf(stderr, "ccal-audit: %s: %s\n", Path.c_str(), Err.c_str());
+      AnyUnresolved = true;
+      continue;
+    }
+    const std::string &Use = Spec.empty() ? T.Spec : Spec;
+    if (Use.empty()) {
+      std::fprintf(stderr,
+                   "ccal-audit: %s: no spec embedded in trace; pass --spec\n",
+                   Path.c_str());
+      AnyUnresolved = true;
+      continue;
+    }
+    AuditReport Rep = auditTrace(T, Use, Opts);
+    std::printf("%-10s %s  spec=%s objects=%llu ops=%llu windows=%llu "
+                "max-window=%llu nodes=%llu\n",
+                outcomeName(Rep.Outcome), Path.c_str(), Use.c_str(),
+                static_cast<unsigned long long>(Rep.Objects),
+                static_cast<unsigned long long>(Rep.OpsAudited),
+                static_cast<unsigned long long>(Rep.Windows),
+                static_cast<unsigned long long>(Rep.MaxWindowSeen),
+                static_cast<unsigned long long>(Rep.NodesExplored));
+    if (!Rep.Detail.empty())
+      std::printf("  %s\n", Rep.Detail.c_str());
+    if (Rep.Outcome == AuditOutcome::Fail) {
+      AnyFail = true;
+      if (!WitnessPath.empty()) {
+        Trace W;
+        W.Spec = Use;
+        W.Records = Rep.WitnessOps;
+        std::string WErr;
+        if (writeTraceFile(WitnessPath, W, WErr))
+          std::printf("  witness window written to %s\n", WitnessPath.c_str());
+        else
+          std::fprintf(stderr, "ccal-audit: %s\n", WErr.c_str());
+      }
+    } else if (Rep.Outcome == AuditOutcome::Unresolved) {
+      AnyUnresolved = true;
+    }
+  }
+  return AnyFail ? 1 : (AnyUnresolved ? 2 : 0);
+}

@@ -2,6 +2,8 @@
 
 #include "objects/Linearize.h"
 
+#include <algorithm>
+
 using namespace ccal;
 
 namespace {
@@ -9,8 +11,11 @@ namespace {
 class Search {
 public:
   Search(const std::map<ThreadId, std::vector<ObservedOp>> &Histories,
-         const SeqSpec &Spec, std::uint64_t MaxNodes, LinearizeResult &Res)
-      : Histories(Histories), Spec(Spec), MaxNodes(MaxNodes), Res(Res) {
+         const SeqSpec &Spec, std::uint64_t MaxNodes,
+         const PrecedenceMap *Precedence, const PriorityMap *Priority,
+         LinearizeResult &Res)
+      : Histories(Histories), Spec(Spec), MaxNodes(MaxNodes),
+        Precedence(Precedence), Priority(Priority), Res(Res) {
     for (const auto &[Tid, Ops] : Histories) {
       (void)Ops;
       Pos[Tid] = 0;
@@ -23,11 +28,14 @@ public:
       return false;
     }
     bool AllDone = true;
-    for (const auto &[Tid, Ops] : Histories) {
+    for (ThreadId Tid : candidateOrder()) {
+      const std::vector<ObservedOp> &Ops = Histories.find(Tid)->second;
       size_t &P = Pos[Tid];
       if (P >= Ops.size())
         continue;
       AllDone = false;
+      if (!precedenceSatisfied(Tid, P))
+        continue; // a real-time predecessor is still pending
       const ObservedOp &Op = Ops[P];
       std::optional<std::int64_t> Expected = Spec(SoFar, Tid, Op);
       if (!Expected || *Expected != Op.Ret)
@@ -50,9 +58,54 @@ public:
   }
 
 private:
+  /// Thread ids in the order candidates are tried at this node: map order
+  /// (deterministic, matches the pre-hint behavior) unless a PriorityMap
+  /// ranks each thread's next pending operation.
+  std::vector<ThreadId> candidateOrder() const {
+    std::vector<ThreadId> Tids;
+    Tids.reserve(Histories.size());
+    for (const auto &[Tid, Ops] : Histories) {
+      (void)Ops;
+      Tids.push_back(Tid);
+    }
+    if (Priority) {
+      auto Rank = [this](ThreadId Tid) -> std::uint64_t {
+        auto H = Histories.find(Tid);
+        size_t P = Pos.find(Tid)->second;
+        if (P >= H->second.size())
+          return ~std::uint64_t(0);
+        auto It = Priority->find(OpRef(Tid, P));
+        return It == Priority->end() ? ~std::uint64_t(0) : It->second;
+      };
+      std::stable_sort(Tids.begin(), Tids.end(),
+                       [&Rank](ThreadId A, ThreadId B) {
+                         return Rank(A) < Rank(B);
+                       });
+    }
+    return Tids;
+  }
+
+  /// True when every operation the real-time order places before
+  /// (\p Tid, \p Idx) has already been linearized.
+  bool precedenceSatisfied(ThreadId Tid, std::size_t Idx) const {
+    if (!Precedence)
+      return true;
+    auto It = Precedence->find(OpRef(Tid, Idx));
+    if (It == Precedence->end())
+      return true;
+    for (const auto &[PredTid, Count] : It->second) {
+      auto P = Pos.find(PredTid);
+      if (P == Pos.end() || P->second < Count)
+        return false;
+    }
+    return true;
+  }
+
   const std::map<ThreadId, std::vector<ObservedOp>> &Histories;
   const SeqSpec &Spec;
   std::uint64_t MaxNodes;
+  const PrecedenceMap *Precedence;
+  const PriorityMap *Priority;
   LinearizeResult &Res;
   std::map<ThreadId, size_t> Pos;
 };
@@ -61,9 +114,10 @@ private:
 
 LinearizeResult ccal::findLinearization(
     const std::map<ThreadId, std::vector<ObservedOp>> &Histories,
-    const SeqSpec &Spec, std::uint64_t MaxNodes) {
+    const SeqSpec &Spec, std::uint64_t MaxNodes,
+    const PrecedenceMap *Precedence, const PriorityMap *Priority) {
   LinearizeResult Res;
-  Search S(Histories, Spec, MaxNodes, Res);
+  Search S(Histories, Spec, MaxNodes, Precedence, Priority, Res);
   Log SoFar;
   S.dfs(SoFar);
   return Res;

@@ -14,7 +14,16 @@
 ///
 /// The commit-point harness (objects/Harness.h) is the main verification
 /// path; this checker is the fallback for objects whose relations carry no
-/// explicit commit events, and a cross-check for those that do.
+/// explicit commit events, and a cross-check for those that do.  The audit
+/// subsystem (src/audit/) drives it over histories recorded from the real
+/// std::atomic objects, with the real-time precedence order derived from
+/// invocation/response timestamps supplied as a PrecedenceMap.
+///
+/// The search is three-way, and callers must treat it that way: a result
+/// with BudgetExhausted set means UNKNOWN — the search space was cut off
+/// before either finding a witness or refuting all of them.  Reporting it
+/// as "not linearizable" is a false alarm; reporting it as a pass is
+/// unsound.  Use outcome() instead of reading Linearizable directly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,10 +32,12 @@
 
 #include "core/Log.h"
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ccal {
@@ -44,18 +55,60 @@ struct ObservedOp {
 using SeqSpec = std::function<std::optional<std::int64_t>(
     const Log &SoFar, ThreadId Tid, const ObservedOp &Op)>;
 
+/// Identifies one operation in a history map: (thread, index within that
+/// thread's vector).
+using OpRef = std::pair<ThreadId, std::size_t>;
+
+/// Real-time precedence constraints on the search: before operation
+/// `Key = (T, I)` may be linearized, thread T' must already have `K` of
+/// its operations placed, for every (T', K) listed under Key.  Derived
+/// from timestamps by the audit checker (response(A) < invoke(B) forces A
+/// before B; per-thread response monotonicity means one covering count per
+/// predecessor thread suffices).  Program order within each thread is
+/// always enforced and need not be repeated here.
+using PrecedenceMap = std::map<OpRef, std::vector<std::pair<ThreadId, std::size_t>>>;
+
+/// The three-way answer every caller must respect.
+enum class LinearizeOutcome {
+  Linearizable,    ///< a sequential witness was found
+  Refuted,         ///< the full search space was exhausted: no witness
+  BudgetExhausted, ///< search cut off: UNKNOWN, neither pass nor refutation
+};
+
 /// Search outcome.
 struct LinearizeResult {
   bool Linearizable = false;
   Log Witness; ///< accepted sequential order, when found
   std::uint64_t NodesExplored = 0;
   bool BudgetExhausted = false;
+
+  /// The only safe way to consume the result: collapses the two flags into
+  /// the three-way outcome so budget exhaustion can be conflated with
+  /// neither a pass nor a refutation.
+  LinearizeOutcome outcome() const {
+    if (Linearizable)
+      return LinearizeOutcome::Linearizable;
+    return BudgetExhausted ? LinearizeOutcome::BudgetExhausted
+                           : LinearizeOutcome::Refuted;
+  }
 };
 
-/// Searches for a linearization of \p Histories against \p Spec.
+/// Optional search-order hint: candidates with a smaller value are tried
+/// first at each node.  Purely a heuristic — it changes which witness is
+/// found first and how much backtracking happens, never the outcome.  The
+/// audit checker passes invocation timestamps, which makes the search on
+/// real lock traces near-greedy.
+using PriorityMap = std::map<OpRef, std::uint64_t>;
+
+/// Searches for a linearization of \p Histories against \p Spec.  When
+/// \p Precedence is non-null the witness must additionally respect its
+/// real-time order (the Herlihy–Wing side condition; without it this
+/// checks sequential consistency of the history, not linearizability).
 LinearizeResult
 findLinearization(const std::map<ThreadId, std::vector<ObservedOp>> &Histories,
-                  const SeqSpec &Spec, std::uint64_t MaxNodes = 1u << 22);
+                  const SeqSpec &Spec, std::uint64_t MaxNodes = 1u << 22,
+                  const PrecedenceMap *Precedence = nullptr,
+                  const PriorityMap *Priority = nullptr);
 
 } // namespace ccal
 

@@ -3,10 +3,10 @@
 #include "obs/Metrics.h"
 
 #include "obs/Trace.h"
+#include "support/Clock.h"
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <map>
@@ -78,12 +78,10 @@ bool obs::initFromEnv() {
 }
 
 std::uint64_t obs::nowNs() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point Origin = Clock::now();
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           Origin)
-          .count());
+  // One process-wide origin shared with the audit recorder (see
+  // support/Clock.h for why divergent clocks would corrupt audit
+  // precedence).
+  return support::monotonicNowNs();
 }
 
 std::uint64_t HistogramData::quantile(double Q) const {

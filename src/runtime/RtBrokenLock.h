@@ -1,0 +1,96 @@
+//===- runtime/RtBrokenLock.h - Deliberately broken ticket lock -*- C++ -*-===//
+//
+// Part of ccal, a C++ reproduction of "Certified Concurrent Abstraction
+// Layers" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ticket lock with a SEEDED BUG, kept as the trace auditor's negative
+/// control: the ticket grab is a torn memory_order_relaxed load + store
+/// instead of the atomic fetch-and-increment the verified module (Fig. 3)
+/// compiles to.  Two threads racing the grab read the same counter value
+/// and both take the same ticket, so both pass the "now serving" gate at
+/// once — mutual exclusion is gone, and the trace records two acquires
+/// returning the same ticket inside one concurrency window, which no
+/// interleaving satisfies under the "ticket" spec.  bench_audit_hammer and
+/// the audit tests require the auditor to refute this object (and a
+/// recorded witness window to prove it); if RtBrokenLock ever audits PASS,
+/// the auditor is broken, not the lock fixed.
+///
+/// The race window is widened with a yield between the torn load and
+/// store.  On x86/TSO a plain racy increment loses updates only inside a
+/// nanoseconds-wide window, which a test cannot count on; the yield makes
+/// duplicate tickets near-certain within a few thousand contended
+/// acquisitions on any scheduler, keeping the negative control
+/// deterministic in practice without changing what the bug is.
+///
+/// The gate spins on `now_serving < my_ticket` rather than the verified
+/// module's equality test: a torn grab can rewind the ticket counter, so
+/// an equality spin could wait for a value "now serving" has already
+/// passed, hanging the harness.  With `<` the negative control is
+/// deadlock-free — issued ticket values always form a gapless set
+/// starting at 0, so whenever nobody holds the lock some outstanding
+/// ticket is <= the serving counter and that thread proceeds (stale
+/// duplicates barge straight in, which is more of the violation, not a
+/// masking of it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCAL_RUNTIME_RTBROKENLOCK_H
+#define CCAL_RUNTIME_RTBROKENLOCK_H
+
+#include "audit/Recorder.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ccal {
+namespace rt {
+
+/// Ticket lock with a torn ticket grab; audit-instrumented like
+/// TicketLock so the auditor can catch it in the act.
+class BrokenTicketLock {
+public:
+  void acquire() {
+    const std::uint64_t AInv = audit::invokeNow();
+    // SEEDED BUG: load + store instead of fetch_add — the relaxed orders
+    // are each individually fine for a counter, but splitting the RMW
+    // loses the atomicity the ticket discipline depends on.
+    std::uint64_t MyTicket = Next.load(std::memory_order_relaxed);
+    std::this_thread::yield(); // widen the torn window (see file comment)
+    Next.store(MyTicket + 1, std::memory_order_relaxed);
+    std::uint32_t Spins = 0;
+    // `<`, not the verified module's `!=`: see the file comment.
+    while (NowServing.load(std::memory_order_acquire) < MyTicket) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+      if (++Spins >= 1024) {
+        Spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    if (AInv)
+      audit::record(this, audit::Method::Acq, /*HasArg=*/false, 0,
+                    static_cast<std::int64_t>(MyTicket), AInv);
+  }
+
+  void release() {
+    const std::uint64_t AInv = audit::invokeNow();
+    std::uint64_t Served = NowServing.fetch_add(1, std::memory_order_acq_rel);
+    if (AInv)
+      audit::record(this, audit::Method::Rel, /*HasArg=*/false, 0,
+                    static_cast<std::int64_t>(Served), AInv);
+  }
+
+private:
+  alignas(64) std::atomic<std::uint64_t> Next{0};
+  alignas(64) std::atomic<std::uint64_t> NowServing{0};
+};
+
+} // namespace rt
+} // namespace ccal
+
+#endif // CCAL_RUNTIME_RTBROKENLOCK_H

@@ -4,3 +4,4 @@
 
 template class ccal::rt::McsLock<true>;
 template class ccal::rt::McsLock<false>;
+template class ccal::rt::McsLock<false, /*Audit=*/false>;

@@ -11,11 +11,18 @@
 /// contention where the ticket lock's shared "now serving" line does not —
 /// the shape bench_lock_scaling regenerates.
 ///
+/// The Audit parameter mirrors RtTicketLock.h: acquire/release feed the
+/// trace auditor when recording is enabled.  MCS operations have no
+/// informative return value, so records carry Ret = 0 and the offline
+/// audit runs against the "lock" spec, where mutual exclusion is enforced
+/// by the timestamp-derived real-time order alone.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCAL_RUNTIME_RTMCSLOCK_H
 #define CCAL_RUNTIME_RTMCSLOCK_H
 
+#include "audit/Recorder.h"
 #include "runtime/GhostLog.h"
 
 #include <atomic>
@@ -30,10 +37,12 @@ struct McsNode {
   alignas(64) std::atomic<bool> Locked{false};
 };
 
-/// MCS lock; \p Ghost selects the instrumented build.
-template <bool Ghost> class McsLock {
+/// MCS lock; \p Ghost selects the instrumented build, \p Audit the
+/// trace-recorder hooks.
+template <bool Ghost, bool Audit = true> class McsLock {
 public:
   void acquire(McsNode &Node) {
+    const std::uint64_t AInv = Audit ? audit::invokeNow() : 0;
     Node.Next.store(nullptr, std::memory_order_relaxed);
     Node.Locked.store(true, std::memory_order_relaxed);
     McsNode *Prev = Tail.exchange(&Node, std::memory_order_acq_rel);
@@ -55,9 +64,13 @@ public:
     }
     if constexpr (Ghost)
       threadGhostLog().record(GhostHold, 0);
+    if constexpr (Audit)
+      if (AInv)
+        audit::record(this, audit::Method::Acq, /*HasArg=*/false, 0, 0, AInv);
   }
 
   void release(McsNode &Node) {
+    const std::uint64_t AInv = Audit ? audit::invokeNow() : 0;
     McsNode *Successor = Node.Next.load(std::memory_order_acquire);
     if (!Successor) {
       McsNode *Expected = &Node;
@@ -65,6 +78,10 @@ public:
                                        std::memory_order_acq_rel)) {
         if constexpr (Ghost)
           threadGhostLog().record(GhostCasTail, 1);
+        if constexpr (Audit)
+          if (AInv)
+            audit::record(this, audit::Method::Rel, /*HasArg=*/false, 0, 0,
+                          AInv);
         return;
       }
       if constexpr (Ghost)
@@ -84,6 +101,9 @@ public:
     if constexpr (Ghost)
       threadGhostLog().record(GhostClearBusy,
                               reinterpret_cast<std::uintptr_t>(Successor));
+    if constexpr (Audit)
+      if (AInv)
+        audit::record(this, audit::Method::Rel, /*HasArg=*/false, 0, 0, AInv);
   }
 
 private:

@@ -2,13 +2,19 @@
 
 #include "runtime/RtQueuingLock.h"
 
+#include "audit/Recorder.h"
+
+using namespace ccal;
 using namespace ccal::rt;
 
 void QueuingLock::acquire() {
+  const std::uint64_t AInv = audit::invokeNow();
   Spin.acquire();
   if (!Busy) {
     Busy = true; // fast path: ql_busy = get_tid()
     Spin.release();
+    if (AInv)
+      audit::record(this, audit::Method::Acq, /*HasArg=*/false, 0, 0, AInv);
     return;
   }
   // Slow path: sleep on the lock's queue (the spinlock is released before
@@ -18,13 +24,18 @@ void QueuingLock::acquire() {
   Spin.release();
   std::unique_lock<std::mutex> Guard(W.M);
   W.Cv.wait(Guard, [&W] { return W.Granted; });
+  if (AInv)
+    audit::record(this, audit::Method::Acq, /*HasArg=*/false, 0, 0, AInv);
 }
 
 void QueuingLock::release() {
+  const std::uint64_t AInv = audit::invokeNow();
   Spin.acquire();
   if (Sleepers.empty()) {
     Busy = false; // ql_busy = -1
     Spin.release();
+    if (AInv)
+      audit::record(this, audit::Method::Rel, /*HasArg=*/false, 0, 0, AInv);
     return;
   }
   Waiter *Next = Sleepers.front();
@@ -35,4 +46,6 @@ void QueuingLock::release() {
     Next->Granted = true;
   }
   Next->Cv.notify_one();
+  if (AInv)
+    audit::record(this, audit::Method::Rel, /*HasArg=*/false, 0, 0, AInv);
 }

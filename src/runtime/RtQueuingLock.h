@@ -42,7 +42,11 @@ private:
   };
 
   // The spinlock-protected lock state (Fig. 11's ql_busy + sleep queue).
-  TicketLock</*Ghost=*/false> Spin;
+  // The internal spinlock must not feed the trace auditor: the queuing
+  // lock records its own acquire/release at its own abstraction level,
+  // and a trace mixing both would audit implementation detail against
+  // the object's spec.
+  TicketLock</*Ghost=*/false, /*Audit=*/false> Spin;
   bool Busy = false;
   std::deque<Waiter *> Sleepers;
 };

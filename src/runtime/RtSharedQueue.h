@@ -17,6 +17,7 @@
 #ifndef CCAL_RUNTIME_RTSHAREDQUEUE_H
 #define CCAL_RUNTIME_RTSHAREDQUEUE_H
 
+#include "audit/Recorder.h"
 #include "runtime/RtMcsLock.h"
 #include "runtime/RtTicketLock.h"
 
@@ -36,28 +37,46 @@ template <typename LockT> struct LockScope {
   LockT &L;
 };
 
-template <bool Ghost> struct LockScope<McsLock<Ghost>> {
-  explicit LockScope(McsLock<Ghost> &L) : L(L) { L.acquire(Node); }
+template <bool Ghost, bool Audit> struct LockScope<McsLock<Ghost, Audit>> {
+  explicit LockScope(McsLock<Ghost, Audit> &L) : L(L) { L.acquire(Node); }
   ~LockScope() { L.release(Node); }
-  McsLock<Ghost> &L;
+  McsLock<Ghost, Audit> &L;
   McsNode Node;
 };
 
 /// Lock-wrapped queue of 64-bit values.
+///
+/// The queue audits at its own abstraction level: enqueue/dequeue feed the
+/// trace auditor as enQ/deQ records (the model-side SharedQueue spec event
+/// names), replayable against the FIFO "queue" spec.  Instantiate with an
+/// Audit=false lock (e.g. TicketLock<false, false>) so the internal lock's
+/// acq/rel — implementation detail at this level — stays out of the trace.
 template <typename LockT> class SharedQueue {
 public:
   void enqueue(std::int64_t V) {
-    LockScope<LockT> Guard(Lock);
-    Items.push_back(V);
+    const std::uint64_t AInv = audit::invokeNow();
+    {
+      LockScope<LockT> Guard(Lock);
+      Items.push_back(V);
+    }
+    if (AInv)
+      audit::record(this, audit::Method::Enq, /*HasArg=*/true, V, 0, AInv);
   }
 
   std::optional<std::int64_t> dequeue() {
-    LockScope<LockT> Guard(Lock);
-    if (Items.empty())
-      return std::nullopt;
-    std::int64_t V = Items.front();
-    Items.pop_front();
-    return V;
+    const std::uint64_t AInv = audit::invokeNow();
+    std::optional<std::int64_t> Out;
+    {
+      LockScope<LockT> Guard(Lock);
+      if (!Items.empty()) {
+        Out = Items.front();
+        Items.pop_front();
+      }
+    }
+    if (AInv)
+      audit::record(this, audit::Method::Deq, /*HasArg=*/false, 0,
+                    Out ? *Out : -1, AInv);
+    return Out;
   }
 
   size_t sizeUnlocked() const { return Items.size(); }

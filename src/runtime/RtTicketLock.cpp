@@ -5,3 +5,4 @@
 // Explicit instantiations keep the template out of every bench TU.
 template class ccal::rt::TicketLock<true>;
 template class ccal::rt::TicketLock<false>;
+template class ccal::rt::TicketLock<false, /*Audit=*/false>;

@@ -11,11 +11,22 @@
 /// Ghost template parameter compiles the logical-primitive calls in or
 /// out, reproducing the 87-to-35-cycle experiment.
 ///
+/// The Audit parameter (default on) wires the operation into the trace
+/// auditor (audit/Recorder.h): when recording is enabled at runtime, each
+/// acquire/release logs invocation/response timestamps plus the FAI ticket
+/// — the return value that makes the offline linearizability search on
+/// ticket traces near-deterministic.  Disabled, the cost is one relaxed
+/// load per operation; composite objects that audit at their own level
+/// (SharedQueue, QueuingLock) instantiate their internal locks with
+/// Audit=false so a trace never mixes an object's operations with its
+/// implementation details.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCAL_RUNTIME_RTTICKETLOCK_H
 #define CCAL_RUNTIME_RTTICKETLOCK_H
 
+#include "audit/Recorder.h"
 #include "runtime/GhostLog.h"
 
 #include <atomic>
@@ -24,10 +35,12 @@
 namespace ccal {
 namespace rt {
 
-/// Ticket lock; \p Ghost selects the instrumented build.
-template <bool Ghost> class TicketLock {
+/// Ticket lock; \p Ghost selects the instrumented build, \p Audit the
+/// trace-recorder hooks.
+template <bool Ghost, bool Audit = true> class TicketLock {
 public:
   void acquire() {
+    const std::uint64_t AInv = Audit ? audit::invokeNow() : 0;
     // uint my_t = FAI_t();
     std::uint64_t MyTicket = Next.fetch_add(1, std::memory_order_acq_rel);
     if constexpr (Ghost)
@@ -53,14 +66,23 @@ public:
     // hold();
     if constexpr (Ghost)
       threadGhostLog().record(GhostHold, MyTicket);
+    if constexpr (Audit)
+      if (AInv)
+        audit::record(this, audit::Method::Acq, /*HasArg=*/false, 0,
+                      static_cast<std::int64_t>(MyTicket), AInv);
   }
 
   void release() {
+    const std::uint64_t AInv = Audit ? audit::invokeNow() : 0;
     // rel() { inc_n(); }
     std::uint64_t Served =
         NowServing.fetch_add(1, std::memory_order_acq_rel);
     if constexpr (Ghost)
       threadGhostLog().record(GhostIncNow, Served);
+    if constexpr (Audit)
+      if (AInv)
+        audit::record(this, audit::Method::Rel, /*HasArg=*/false, 0,
+                      static_cast<std::int64_t>(Served), AInv);
   }
 
 private:

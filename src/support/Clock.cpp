@@ -1,0 +1,16 @@
+//===- support/Clock.cpp - Shared monotonic clock ----------------------------===//
+
+#include "support/Clock.h"
+
+#include <chrono>
+
+std::uint64_t ccal::support::monotonicNowNs() {
+  using Clock = std::chrono::steady_clock;
+  // Magic-static init pins the origin at the first call in the process;
+  // every later caller (obs, audit recorder, benches) measures from it.
+  static const Clock::time_point Origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Origin)
+          .count());
+}

@@ -1,0 +1,381 @@
+//===- tests/audit/audit_checker_test.cpp - Offline audit checker tests ------===//
+//
+// Unit coverage for the offline half of the trace auditor: window
+// partitioning at quiescent cuts, timestamp-derived real-time precedence
+// (the thing that makes the audit linearizability, not sequential
+// consistency), spec state carried across windows, and — most
+// load-bearing — the fail-closed verdict lattice: budget exhaustion,
+// window caps, drops, unknown specs and corrupt traces are UNRESOLVED,
+// never PASS and never FAIL; FAIL is reserved for a fully-refuted window
+// and always comes with the witness window as evidence.  Trace file
+// round-trip and fail-closed parsing ride along at the bottom.
+//
+//===----------------------------------------------------------------------===//
+
+#include "audit/AuditChecker.h"
+
+#include "audit/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccal;
+using namespace ccal::audit;
+
+namespace {
+
+OpRecord op(std::uint64_t Obj, std::uint64_t Tid, Method M, std::int64_t Ret,
+            std::uint64_t Inv, std::uint64_t Resp) {
+  OpRecord R;
+  R.Obj = Obj;
+  R.Tid = Tid;
+  R.M = M;
+  R.Ret = Ret;
+  R.InvokeNs = Inv;
+  R.ResponseNs = Resp;
+  return R;
+}
+
+OpRecord enq(std::uint64_t Obj, std::uint64_t Tid, std::int64_t V,
+             std::uint64_t Inv, std::uint64_t Resp) {
+  OpRecord R = op(Obj, Tid, Method::Enq, 0, Inv, Resp);
+  R.HasArg = true;
+  R.Arg = V;
+  return R;
+}
+
+Trace trace(std::string Spec, std::vector<OpRecord> Records,
+            std::uint64_t Dropped = 0) {
+  Trace T;
+  T.Spec = std::move(Spec);
+  T.Dropped = Dropped;
+  T.Records = std::move(Records);
+  return T;
+}
+
+} // namespace
+
+TEST(AuditCheckerTest, EmptyTracePasses) {
+  AuditReport R = auditTrace(trace("ticket", {}), "ticket");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Pass) << R.Detail;
+  EXPECT_EQ(R.Objects, 0u);
+}
+
+TEST(AuditCheckerTest, TicketHistoryPassesAcrossWindows) {
+  // Two overlapping acquisitions, then a quiescent gap, then another
+  // thread's pair: two windows, spec state (served counter) carried over.
+  AuditReport R = auditTrace(
+      trace("ticket",
+            {
+                op(1, 1, Method::Acq, 0, 10, 20),
+                op(1, 2, Method::Acq, 1, 15, 40), // overlaps t1's acq+rel
+                op(1, 1, Method::Rel, 0, 25, 30),
+                op(1, 2, Method::Rel, 1, 50, 60),
+                op(1, 1, Method::Acq, 2, 70, 80), // new window after 60<70
+                op(1, 1, Method::Rel, 2, 90, 95),
+            }),
+      "ticket");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Pass) << R.Detail;
+  EXPECT_EQ(R.Objects, 1u);
+  EXPECT_EQ(R.OpsAudited, 6u);
+  EXPECT_GE(R.Windows, 2u);
+  EXPECT_EQ(R.MaxWindowSeen, 3u);
+}
+
+TEST(AuditCheckerTest, DuplicateTicketsRefutedWithWitnessWindow) {
+  // Both threads claim ticket 0 — the broken-lock signature.  No
+  // interleaving satisfies the spec, so the verdict is FAIL with the
+  // refuted window attached as evidence.
+  AuditReport R = auditTrace(
+      trace("ticket",
+            {
+                op(1, 1, Method::Acq, 0, 10, 20),
+                op(1, 2, Method::Acq, 0, 15, 40),
+                op(1, 1, Method::Rel, 0, 25, 30),
+                op(1, 2, Method::Rel, 1, 50, 60),
+            }),
+      "ticket");
+  ASSERT_EQ(R.Outcome, AuditOutcome::Fail) << R.Detail;
+  EXPECT_EQ(R.WitnessObj, 1u);
+  EXPECT_FALSE(R.WitnessOps.empty());
+  EXPECT_NE(R.Detail.find("window"), std::string::npos) << R.Detail;
+}
+
+TEST(AuditCheckerTest, MutualExclusionOverlapCaughtAcrossWindows) {
+  // Thread 2's whole acq/rel pair sits strictly inside thread 1's lock
+  // hold.  The ops land in different windows (t2's pair is quiescent
+  // relative to t1's acq), so only the spec state carried across windows
+  // — holder = t1 — can refute it.  Rets are uninformative ("lock"
+  // spec): the timestamps alone prove the violation.
+  AuditReport R = auditTrace(
+      trace("lock",
+            {
+                op(1, 1, Method::Acq, 0, 10, 20),
+                op(1, 2, Method::Acq, 0, 30, 40),
+                op(1, 2, Method::Rel, 0, 50, 60),
+                op(1, 1, Method::Rel, 0, 80, 90),
+            }),
+      "lock");
+  ASSERT_EQ(R.Outcome, AuditOutcome::Fail) << R.Detail;
+  EXPECT_EQ(R.WitnessObj, 1u);
+}
+
+TEST(AuditCheckerTest, RealTimePrecedenceDistinguishesFromSequentialConsistency) {
+  // Same per-thread histories, two timings.  Sequentially consistent
+  // either way (reorder t2's acq after t1's rel); linearizable only when
+  // the intervals overlap.  A checker ignoring timestamps would pass
+  // both.
+  std::vector<OpRecord> Overlapping = {
+      op(1, 1, Method::Acq, 0, 10, 20),
+      op(1, 1, Method::Rel, 0, 40, 50),
+      op(1, 2, Method::Acq, 0, 15, 45), // overlaps t1's hold: may
+      op(1, 2, Method::Rel, 0, 55, 60), // linearize after the rel
+  };
+  EXPECT_EQ(auditTrace(trace("lock", Overlapping), "lock").Outcome,
+            AuditOutcome::Pass);
+
+  std::vector<OpRecord> Ordered = {
+      op(1, 1, Method::Acq, 0, 10, 20),
+      op(1, 1, Method::Rel, 0, 40, 50),
+      op(1, 2, Method::Acq, 0, 22, 26), // strictly inside t1's hold
+      op(1, 2, Method::Rel, 0, 28, 32),
+  };
+  EXPECT_EQ(auditTrace(trace("lock", Ordered), "lock").Outcome,
+            AuditOutcome::Fail);
+}
+
+TEST(AuditCheckerTest, QueueFifoPassesIncludingEmptyDeq) {
+  AuditReport R = auditTrace(
+      trace("queue",
+            {
+                enq(7, 1, 11, 10, 20),
+                enq(7, 2, 22, 15, 25), // concurrent with the first enQ
+                op(7, 1, Method::Deq, 11, 30, 40),
+                op(7, 2, Method::Deq, 22, 35, 45),
+                op(7, 1, Method::Deq, -1, 50, 55),
+            }),
+      "queue");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Pass) << R.Detail;
+  EXPECT_EQ(R.OpsAudited, 5u);
+}
+
+TEST(AuditCheckerTest, QueueFifoViolationFails) {
+  // enQ(1) strictly precedes enQ(2), deQs strictly ordered, yet the
+  // values come out LIFO — no linearization exists.
+  AuditReport R = auditTrace(
+      trace("queue",
+            {
+                enq(7, 1, 1, 10, 20),
+                enq(7, 1, 2, 30, 40),
+                op(7, 2, Method::Deq, 2, 50, 60),
+                op(7, 2, Method::Deq, 1, 70, 80),
+            }),
+      "queue");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Fail) << R.Detail;
+}
+
+TEST(AuditCheckerTest, QueueConcurrentSurvivorsResolvedByLaterDequeue) {
+  // Two concurrent enqueues BOTH survive the quiescent cut: the window's
+  // post-state depends on which witness the search found ([11,22] or
+  // [22,11]), so committing one would make the later dequeues — which
+  // observe 22 first — a false FAIL.  The checker must defer (merge the
+  // windows) and PASS; a second trace whose dequeue order is genuinely
+  // impossible (22 before 11 AND 11 before 22 demanded by two deq pairs)
+  // still FAILs, pinning that merging defers the decision rather than
+  // abandoning it.
+  AuditReport R = auditTrace(
+      trace("queue",
+            {
+                enq(7, 1, 11, 10, 20),
+                enq(7, 2, 22, 12, 22), // concurrent with enQ(11); both survive
+                op(7, 1, Method::Deq, 22, 100, 110),
+                op(7, 1, Method::Deq, 11, 120, 130),
+            }),
+      "queue");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Pass) << R.Detail;
+  EXPECT_EQ(R.OpsAudited, 4u);
+
+  AuditReport Bad = auditTrace(
+      trace("queue",
+            {
+                enq(7, 1, 11, 10, 20),
+                enq(7, 2, 22, 12, 22),
+                op(7, 1, Method::Deq, 22, 100, 110),
+                op(7, 1, Method::Deq, 22, 120, 130), // 22 delivered twice
+            }),
+      "queue");
+  EXPECT_EQ(Bad.Outcome, AuditOutcome::Fail) << Bad.Detail;
+}
+
+TEST(AuditCheckerTest, ObjectsAuditIndependently) {
+  // Object 1 is clean; object 2 has the duplicate-ticket bug.  FAIL on
+  // any object dominates the aggregate verdict.
+  AuditReport R = auditTrace(
+      trace("ticket",
+            {
+                op(1, 1, Method::Acq, 0, 10, 20),
+                op(1, 1, Method::Rel, 0, 30, 40),
+                op(2, 1, Method::Acq, 0, 110, 120),
+                op(2, 2, Method::Acq, 0, 115, 140),
+                op(2, 1, Method::Rel, 0, 125, 130),
+                op(2, 2, Method::Rel, 1, 150, 160),
+            }),
+      "ticket");
+  ASSERT_EQ(R.Outcome, AuditOutcome::Fail) << R.Detail;
+  EXPECT_EQ(R.Objects, 2u);
+  EXPECT_EQ(R.WitnessObj, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fail-closed verdicts
+//===----------------------------------------------------------------------===//
+
+TEST(AuditCheckerTest, DroppedRecordsForceUnresolved) {
+  AuditReport R = auditTrace(
+      trace("ticket", {op(1, 1, Method::Acq, 0, 10, 20)}, /*Dropped=*/1),
+      "ticket");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Unresolved);
+  EXPECT_NE(R.Detail.find("dropped"), std::string::npos) << R.Detail;
+}
+
+TEST(AuditCheckerTest, BudgetExhaustionIsUnresolvedNeverFail) {
+  // A heavily concurrent (but linearizable) window with a one-node
+  // budget: the search cannot finish, and the honest answer is UNKNOWN.
+  AuditOptions Opts;
+  Opts.MaxNodesPerWindow = 1;
+  AuditReport R = auditTrace(
+      trace("lock",
+            {
+                op(1, 1, Method::Acq, 0, 10, 20),
+                op(1, 1, Method::Rel, 0, 25, 90),
+                op(1, 2, Method::Acq, 0, 12, 50),
+                op(1, 2, Method::Rel, 0, 55, 85),
+            }),
+      "lock", Opts);
+  EXPECT_EQ(R.Outcome, AuditOutcome::Unresolved);
+  EXPECT_NE(R.Detail.find("budget"), std::string::npos) << R.Detail;
+}
+
+TEST(AuditCheckerTest, WindowOverOpCapIsUnresolved) {
+  AuditOptions Opts;
+  Opts.MaxWindowOps = 2;
+  AuditReport R = auditTrace(
+      trace("lock",
+            {
+                op(1, 1, Method::Acq, 0, 10, 100),
+                op(1, 2, Method::Acq, 0, 20, 90),
+                op(1, 3, Method::Acq, 0, 30, 80),
+            }),
+      "lock", Opts);
+  EXPECT_EQ(R.Outcome, AuditOutcome::Unresolved);
+  EXPECT_NE(R.Detail.find("cap"), std::string::npos) << R.Detail;
+}
+
+TEST(AuditCheckerTest, UnknownSpecIsUnresolved) {
+  AuditReport R =
+      auditTrace(trace("nope", {op(1, 1, Method::Acq, 0, 1, 2)}), "nope");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Unresolved);
+  EXPECT_NE(R.Detail.find("unknown spec"), std::string::npos);
+  EXPECT_FALSE(hasSpec("nope"));
+  EXPECT_TRUE(hasSpec("ticket"));
+  EXPECT_TRUE(hasSpec("lock"));
+  EXPECT_TRUE(hasSpec("queue"));
+}
+
+TEST(AuditCheckerTest, CorruptThreadTimestampsAreUnresolved) {
+  // Thread 1's second invocation predates its first response — impossible
+  // on one monotonic clock, so the trace is corrupt, not non-linearizable.
+  AuditReport R = auditTrace(
+      trace("lock",
+            {
+                op(1, 1, Method::Acq, 0, 10, 50),
+                op(1, 1, Method::Rel, 0, 20, 60),
+            }),
+      "lock");
+  EXPECT_EQ(R.Outcome, AuditOutcome::Unresolved);
+  EXPECT_NE(R.Detail.find("corrupt"), std::string::npos) << R.Detail;
+}
+
+TEST(AuditCheckerTest, FailDominatesUnresolved) {
+  // Object 1 is corrupt (UNRESOLVED, no search even runs); object 2 is
+  // refuted.  The aggregate must report the concrete violation, not the
+  // unknown — FAIL > UNRESOLVED > PASS.
+  AuditReport R = auditTrace(
+      trace("ticket",
+            {
+                op(1, 1, Method::Acq, 0, 10, 50),
+                op(1, 1, Method::Rel, 0, 20, 60), // invoked before prev resp
+                op(2, 1, Method::Acq, 0, 110, 120),
+                op(2, 2, Method::Acq, 0, 115, 140),
+                op(2, 1, Method::Rel, 0, 125, 130),
+                op(2, 2, Method::Rel, 1, 150, 160),
+            }),
+      "ticket");
+  ASSERT_EQ(R.Outcome, AuditOutcome::Fail) << R.Detail;
+  EXPECT_EQ(R.WitnessObj, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace files
+//===----------------------------------------------------------------------===//
+
+TEST(AuditTraceTest, JsonRoundTripPreservesEverything) {
+  Trace T = trace("queue", {enq(7, 1, -5, 10, 20),
+                            op(7, 2, Method::Deq, -1, 15, 25)},
+                  /*Dropped=*/3);
+  std::string Json = traceToJson(T);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(traceFromJson(Json, Back, Err)) << Err;
+  EXPECT_EQ(Back.Spec, "queue");
+  EXPECT_EQ(Back.Dropped, 3u);
+  ASSERT_EQ(Back.Records.size(), 2u);
+  EXPECT_EQ(Back.Records[0].M, Method::Enq);
+  EXPECT_TRUE(Back.Records[0].HasArg);
+  EXPECT_EQ(Back.Records[0].Arg, -5);
+  EXPECT_FALSE(Back.Records[1].HasArg) << "absent arg must stay absent";
+  EXPECT_EQ(Back.Records[1].Ret, -1);
+  EXPECT_EQ(Back.Records[1].InvokeNs, 15u);
+  EXPECT_EQ(Back.Records[1].ResponseNs, 25u);
+}
+
+TEST(AuditTraceTest, FileRoundTrip) {
+  Trace T = trace("ticket", {op(1, 1, Method::Acq, 0, 10, 20),
+                             op(1, 1, Method::Rel, 0, 30, 40)});
+  std::string Path = ::testing::TempDir() + "/ccal_audit_roundtrip.json";
+  std::string Err;
+  ASSERT_TRUE(writeTraceFile(Path, T, Err)) << Err;
+  Trace Back;
+  ASSERT_TRUE(readTraceFile(Path, Back, Err)) << Err;
+  EXPECT_EQ(Back.Records.size(), 2u);
+  EXPECT_EQ(traceToJson(Back), traceToJson(T))
+      << "streamed writer and in-memory renderer must agree";
+  std::remove(Path.c_str());
+}
+
+TEST(AuditTraceTest, ParserFailsClosed) {
+  Trace Out;
+  std::string Err;
+  // Not a trace at all.
+  EXPECT_FALSE(traceFromJson("{}", Out, Err));
+  // Unknown method name.
+  EXPECT_FALSE(traceFromJson(
+      R"({"ccal_audit_trace":1,"spec":"lock","dropped":0,)"
+      R"("records":[{"obj":1,"tid":1,"m":"cas","ret":0,"inv":1,"resp":2}]})",
+      Out, Err));
+  EXPECT_NE(Err.find("method"), std::string::npos) << Err;
+  // Response before invocation.
+  EXPECT_FALSE(traceFromJson(
+      R"({"ccal_audit_trace":1,"spec":"lock","dropped":0,)"
+      R"("records":[{"obj":1,"tid":1,"m":"acq","ret":0,"inv":9,"resp":2}]})",
+      Out, Err));
+  // Recorder tids are 1-based; 0 marks corruption.
+  EXPECT_FALSE(traceFromJson(
+      R"({"ccal_audit_trace":1,"spec":"lock","dropped":0,)"
+      R"("records":[{"obj":1,"tid":0,"m":"acq","ret":0,"inv":1,"resp":2}]})",
+      Out, Err));
+  // Missing ret.
+  EXPECT_FALSE(traceFromJson(
+      R"({"ccal_audit_trace":1,"spec":"lock","dropped":0,)"
+      R"("records":[{"obj":1,"tid":1,"m":"acq","inv":1,"resp":2}]})",
+      Out, Err));
+}

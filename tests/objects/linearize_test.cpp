@@ -102,3 +102,66 @@ TEST(LinearizeTest, BudgetExhaustionReported) {
   LinearizeResult R = findLinearization(H, counterSpec(), /*MaxNodes=*/50);
   EXPECT_FALSE(R.Linearizable);
 }
+
+TEST(LinearizeTest, OutcomeIsThreeWayNeverConflated) {
+  // The same unsatisfiable history under three budgets, pinning the
+  // fail-closed contract every caller leans on: a cut-off search is
+  // BudgetExhausted — it must never read as Refuted (false alarm) and can
+  // of course never read as Linearizable (unsound).
+  // Concurrent enqueues branch freely (every order is legal), and the
+  // one impossible dequeue only refutes after the whole product of
+  // enqueue interleavings is exhausted — a tiny budget cuts that off.
+  std::map<ThreadId, std::vector<ObservedOp>> H;
+  for (ThreadId T = 1; T <= 5; ++T)
+    H[T] = {{"enQ", {T}, 0}, {"enQ", {T + 10}, 0}};
+  H[1].push_back({"deQ", {}, 99}); // 99 was never enqueued
+
+  LinearizeResult Cut = findLinearization(H, queueSpec(), /*MaxNodes=*/50);
+  EXPECT_TRUE(Cut.BudgetExhausted);
+  EXPECT_EQ(Cut.outcome(), LinearizeOutcome::BudgetExhausted);
+
+  LinearizeResult Full = findLinearization(H, queueSpec());
+  EXPECT_FALSE(Full.BudgetExhausted);
+  EXPECT_EQ(Full.outcome(), LinearizeOutcome::Refuted);
+
+  std::map<ThreadId, std::vector<ObservedOp>> Ok;
+  Ok[1] = {{"inc", {}, 0}};
+  Ok[2] = {{"inc", {}, 1}};
+  EXPECT_EQ(findLinearization(Ok, counterSpec()).outcome(),
+            LinearizeOutcome::Linearizable);
+}
+
+TEST(LinearizeTest, PrecedenceTurnsSequentialConsistencyIntoLinearizability) {
+  // t1 saw inc->1, t2 saw inc->0: sequentially consistent (t2 first).  A
+  // real-time edge "t2's op follows t1's full history" contradicts that
+  // only order, so with precedence supplied the history must be Refuted.
+  std::map<ThreadId, std::vector<ObservedOp>> H;
+  H[1] = {{"inc", {}, 1}};
+  H[2] = {{"inc", {}, 0}};
+  EXPECT_EQ(findLinearization(H, counterSpec()).outcome(),
+            LinearizeOutcome::Linearizable);
+
+  PrecedenceMap P;
+  P[{2, 0}] = {{1, 1}}; // thread 1 must have placed 1 op before (2,0)
+  LinearizeResult R =
+      findLinearization(H, counterSpec(), 1u << 22, &P);
+  EXPECT_EQ(R.outcome(), LinearizeOutcome::Refuted);
+}
+
+TEST(LinearizeTest, PriorityChangesSearchOrderNeverOutcome) {
+  std::map<ThreadId, std::vector<ObservedOp>> H;
+  H[1] = {{"inc", {}, 0}, {"inc", {}, 2}};
+  H[2] = {{"inc", {}, 1}};
+  for (bool TwoFirst : {false, true}) {
+    PriorityMap Pri;
+    Pri[{1, 0}] = TwoFirst ? 10 : 0;
+    Pri[{1, 1}] = TwoFirst ? 11 : 1;
+    Pri[{2, 0}] = TwoFirst ? 0 : 10;
+    LinearizeResult R =
+        findLinearization(H, counterSpec(), 1u << 22, nullptr, &Pri);
+    ASSERT_EQ(R.outcome(), LinearizeOutcome::Linearizable);
+    ASSERT_EQ(R.Witness.size(), 3u);
+    EXPECT_EQ(R.Witness[1].Tid, 2u)
+        << "only one witness exists; priority may not invent another";
+  }
+}

@@ -1,0 +1,50 @@
+//===- tests/support/clock_test.cpp - Shared monotonic clock tests -----------===//
+//
+// The clock's contract is small but load-bearing: the audit checker
+// derives real-time precedence from these stamps, so monotonicity (within
+// a thread and across synchronizing threads) and the shared process-wide
+// origin are exactly what keep precedence edges honest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using ccal::support::monotonicNowNs;
+
+TEST(ClockTest, NeverDecreasesWithinAThread) {
+  std::uint64_t Prev = monotonicNowNs();
+  for (int I = 0; I != 100000; ++I) {
+    std::uint64_t Now = monotonicNowNs();
+    ASSERT_GE(Now, Prev);
+    Prev = Now;
+  }
+}
+
+TEST(ClockTest, AdvancesAcrossASleep) {
+  std::uint64_t Before = monotonicNowNs();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(monotonicNowNs(), Before + 1000000u /* 1ms, generous slack */);
+}
+
+TEST(ClockTest, SharedOriginOrdersSynchronizingThreads) {
+  // A reading taken before a thread is spawned precedes every reading the
+  // spawned thread takes, and its readings precede everything after the
+  // join — the cross-thread half of the precedence contract.
+  std::uint64_t Before = monotonicNowNs();
+  std::uint64_t InThreadFirst = 0, InThreadLast = 0;
+  std::thread T([&] {
+    InThreadFirst = monotonicNowNs();
+    for (int I = 0; I != 1000; ++I)
+      InThreadLast = monotonicNowNs();
+  });
+  T.join();
+  std::uint64_t After = monotonicNowNs();
+  EXPECT_LE(Before, InThreadFirst);
+  EXPECT_LE(InThreadFirst, InThreadLast);
+  EXPECT_LE(InThreadLast, After);
+}
