@@ -15,7 +15,9 @@
 #include "lang/TypeCheck.h"
 #include "machine/CpuLocal.h"
 #include "machine/Explorer.h"
+#include "machine/MemoryModel.h"
 #include "machine/Soundness.h"
+#include "objects/McsLock.h"
 #include "objects/ObjectSpec.h"
 #include "objects/TicketLock.h"
 #include "obs/Metrics.h"
@@ -93,6 +95,22 @@ void certifyTicket(benchmark::State &State) {
       static_cast<double>(Obligations), benchmark::Counter::kIsRate);
 }
 BENCHMARK(certifyTicket)->Name("Refinement/ticket_lock_full")
+    ->Unit(benchmark::kMillisecond);
+
+/// The same full contextual refinement with the implementation machine
+/// under RaMemory — the per-schedule cost of reads-from enumeration on a
+/// correctly annotated lock (whose acquire joins collapse most menus).
+void certifyTicketRa(benchmark::State &State) {
+  std::uint64_t Obligations = 0;
+  for (auto _ : State) {
+    HarnessOutcome Out = certifyTicketLockRa(2);
+    benchmark::DoNotOptimize(Out.Report.Holds);
+    Obligations += Out.Report.ObligationsChecked;
+  }
+  State.counters["obligations/s"] = benchmark::Counter(
+      static_cast<double>(Obligations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(certifyTicketRa)->Name("Refinement/ticket_lock_ra_full")
     ->Unit(benchmark::kMillisecond);
 
 /// Ablation: how the fairness bound (the finite stand-in for the paper's
@@ -499,6 +517,143 @@ void emitStateCacheJson(std::FILE *F) {
   fs::remove_all(SpillDir, Ec);
 }
 
+/// Maximal-branching workload for the release/acquire rows: a torn
+/// relaxed counter two CPUs bump twice each, so every read has a real
+/// reads-from menu over the location's modification order.  The
+/// annotated lock rows below show the other end of the spectrum — the
+/// acquire joins collapse their menus back toward one.
+MachineConfigPtr makeRelaxedCounterConfig(MemoryModelPtr Model) {
+  static ClightModule Client = [] {
+    ClightModule M = parseModuleOrDie("c", R"(
+      extern int bump();
+      int t_main() { bump(); return bump(); }
+    )");
+    typeCheckOrDie(M);
+    return M;
+  }();
+  static AsmProgramPtr Prog = compileAndLink("rabump.lasm", {&Client});
+  auto L = makeInterface("Lrabump");
+  L->addShared("bump", makeFetchIncPrim("bump"),
+               Footprint::of({"b"}, {"b"})
+                   .withOrders(MemOrder::Relaxed, MemOrder::Relaxed)
+                   .nonAtomic());
+  auto Cfg = std::make_shared<MachineConfig>();
+  Cfg->Name = "rabump";
+  Cfg->Layer = L;
+  Cfg->Program = Prog;
+  Cfg->Model = std::move(Model);
+  Cfg->Work.emplace(1, std::vector<CpuWorkItem>{{"t_main", {}}});
+  Cfg->Work.emplace(2, std::vector<CpuWorkItem>{{"t_main", {}}});
+  return Cfg;
+}
+
+/// Release/acquire rows: throughput and reads-from branching factor of
+/// the weak backend on the relaxed counter (real stale-read menus) and on
+/// the annotated RA ticket/MCS lock machines; the broken-grab twin rides
+/// along as the refutation row (ok=false IS its datum).  POR reduction
+/// under RaMemory comes from the same differential checker as the SC
+/// ablation, so the reduction is certified equal-outcome, not just fast.
+void emitRaJson(std::FILE *F) {
+  struct RaRow {
+    std::string Workload;
+    double Secs = 0.0;
+    ExploreResult Res;
+  };
+  std::vector<RaRow> Rows;
+  auto Run = [&Rows](std::string Workload, MachineConfigPtr Cfg,
+                     const ExploreOptions &Opts) {
+    RaRow Row;
+    Row.Workload = std::move(Workload);
+    auto Start = std::chrono::steady_clock::now();
+    Row.Res = exploreMachine(std::move(Cfg), Opts);
+    Row.Secs = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+    Rows.push_back(std::move(Row));
+  };
+  {
+    ExploreOptions Opts;
+    Opts.FairnessBound = 1u << 20; // no spinning in this workload
+    Opts.MaxSteps = 256;
+    Run("relaxed counter, 2 CPUs x 2 bumps, RaMemory",
+        makeRelaxedCounterConfig(raMemory()), Opts);
+  }
+  {
+    ObjectHarness H = makeTicketLockHarnessRa(2, 1);
+    Run("ticket lock L0 RA, 2 CPUs x 1 round", H.implConfig(), H.ImplOpts);
+  }
+  {
+    ObjectHarness H = makeTicketLockHarnessRa(2, 1, /*BrokenGrab=*/true);
+    Run("ticket lock L0 RA broken grab (must be refuted)", H.implConfig(),
+        H.ImplOpts);
+  }
+  {
+    ObjectHarness H = makeMcsLockHarnessRa(2, 1);
+    Run("mcs lock L0 RA, 2 CPUs x 1 round", H.implConfig(), H.ImplOpts);
+  }
+
+  std::fprintf(F, "  \"ra\": {\n    \"runs\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const RaRow &Row = Rows[I];
+    double Branching =
+        Row.Res.ReadsFromBranchPoints
+            ? static_cast<double>(Row.Res.ReadsFromVariants) /
+                  static_cast<double>(Row.Res.ReadsFromBranchPoints)
+            : 1.0;
+    std::fprintf(
+        F,
+        "      {\"workload\": \"%s\", \"seconds\": %.4f, \"schedules\": "
+        "%llu, \"states\": %llu, \"states_per_sec\": %.0f, \"outcomes\": "
+        "%llu, \"rf_branch_points\": %llu, \"rf_variants\": %llu, "
+        "\"rf_branching\": %.2f, \"ok\": %s}%s\n",
+        Row.Workload.c_str(), Row.Secs,
+        static_cast<unsigned long long>(Row.Res.SchedulesExplored),
+        static_cast<unsigned long long>(Row.Res.StatesExplored),
+        Row.Secs > 0.0
+            ? static_cast<double>(Row.Res.StatesExplored) / Row.Secs
+            : 0.0,
+        static_cast<unsigned long long>(Row.Res.Outcomes.size()),
+        static_cast<unsigned long long>(Row.Res.ReadsFromBranchPoints),
+        static_cast<unsigned long long>(Row.Res.ReadsFromVariants),
+        Branching, Row.Res.Ok ? "true" : "false",
+        I + 1 != Rows.size() ? "," : "");
+    std::fprintf(stderr,
+                 "ra explore: %-45s schedules=%llu states=%llu "
+                 "rf_branching=%.2f ok=%s\n",
+                 Row.Workload.c_str(),
+                 static_cast<unsigned long long>(Row.Res.SchedulesExplored),
+                 static_cast<unsigned long long>(Row.Res.StatesExplored),
+                 Branching, Row.Res.Ok ? "true" : "false");
+  }
+  std::fprintf(F, "    ],\n");
+
+  PorEquivalenceReport Por =
+      checkPorEquivalence(makeRelaxedCounterConfig(raMemory()),
+                          ExploreOptions());
+  std::fprintf(
+      F,
+      "    \"por\": {\"workload\": \"relaxed counter, 2 CPUs x 2 bumps, "
+      "RaMemory\", \"schedules_full\": %llu, \"schedules_por\": %llu, "
+      "\"reduction\": %.2f, \"outcomes_full\": %llu, \"outcomes_por\": "
+      "%llu, \"match\": %s}\n  },\n",
+      static_cast<unsigned long long>(Por.FullSchedules),
+      static_cast<unsigned long long>(Por.PorSchedules),
+      Por.PorSchedules ? static_cast<double>(Por.FullSchedules) /
+                             static_cast<double>(Por.PorSchedules)
+                       : 0.0,
+      static_cast<unsigned long long>(Por.FullOutcomes),
+      static_cast<unsigned long long>(Por.PorOutcomes),
+      Por.Ok && Por.Match ? "true" : "false");
+  std::fprintf(stderr,
+               "ra por ablation: full=%llu por=%llu (%.1fx) match=%s\n",
+               static_cast<unsigned long long>(Por.FullSchedules),
+               static_cast<unsigned long long>(Por.PorSchedules),
+               Por.PorSchedules ? static_cast<double>(Por.FullSchedules) /
+                                      static_cast<double>(Por.PorSchedules)
+                                : 0.0,
+               Por.Ok && Por.Match ? "true" : "false");
+}
+
 /// Cold-vs-warm timing of the certificate store on a full contextual
 /// refinement: the cold run explores and persists, the warm run must serve
 /// the identical report from disk.  The hit/miss counters come from the
@@ -657,6 +812,7 @@ void emitScalingJson() {
   std::fprintf(F, "  ],\n");
   emitStateCacheJson(F);
   emitCertStoreJson(F);
+  emitRaJson(F);
   emitPorJson(F, runPorAblation());
   std::fprintf(F, "}\n");
   std::fclose(F);

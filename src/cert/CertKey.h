@@ -79,6 +79,12 @@ inline void keyAddLog(Hasher &H, const Log &L) {
 
 inline void keyAddFootprint(Hasher &H, const Footprint &F) {
   H.b(F.Opaque).strs(F.Reads).strs(F.Writes);
+  // Ordering annotations fold only when non-default, so every key minted
+  // before the memory-model refactor — all-SC by construction — hashes
+  // byte-identically and stored SC certificates keep verifying.
+  if (F.weakOrdered())
+    H.str("ord").str(memOrderName(F.ReadOrd)).str(memOrderName(F.WriteOrd))
+        .b(F.Atomic).b(F.ScFence).b(F.FairRead);
 }
 
 /// Folds a layer interface into \p H: its name, every primitive's name,

@@ -8,6 +8,22 @@
 
 using namespace ccal;
 
+const char *ccal::memOrderName(MemOrder O) {
+  switch (O) {
+  case MemOrder::Relaxed:
+    return "relaxed";
+  case MemOrder::Acquire:
+    return "acquire";
+  case MemOrder::Release:
+    return "release";
+  case MemOrder::AcqRel:
+    return "acq_rel";
+  case MemOrder::SeqCst:
+    return "seq_cst";
+  }
+  return "?";
+}
+
 Footprint Footprint::of(std::vector<std::string> Reads,
                         std::vector<std::string> Writes) {
   auto Normalize = [](std::vector<std::string> &V) {
@@ -48,8 +64,14 @@ bool ccal::footprintsConflict(const Footprint &A, const Footprint &B) {
     return false;
   if (A.Opaque || B.Opaque)
     return true;
-  return intersects(A.Writes, B.Writes) || intersects(A.Writes, B.Reads) ||
-         intersects(A.Reads, B.Writes);
+  if (intersects(A.Writes, B.Writes) || intersects(A.Writes, B.Reads) ||
+      intersects(A.Reads, B.Writes))
+    return true;
+  // Under a weak model same-location reads advance view fronts and so do
+  // not commute; see the header comment.  Inert for SC footprints.
+  if (A.weakOrdered() || B.weakOrdered())
+    return intersects(A.Reads, B.Reads);
+  return false;
 }
 
 Log ccal::canonicalizeLog(

@@ -39,11 +39,26 @@
 
 #include "core/Log.h"
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 namespace ccal {
+
+/// C11-style memory order of a primitive's shared accesses.  The default
+/// everywhere is SeqCst, which is exactly the pre-memory-model semantics:
+/// a footprint whose orders were never touched behaves — and hashes, and
+/// certifies — identically to one built before orders existed.
+enum class MemOrder : std::uint8_t {
+  Relaxed,
+  Acquire,
+  Release,
+  AcqRel,
+  SeqCst,
+};
+
+const char *memOrderName(MemOrder O);
 
 /// Declared read/write set of one step over abstract shared locations.
 struct Footprint {
@@ -53,6 +68,36 @@ struct Footprint {
 
   /// Unknown effects: conflicts with every non-local footprint.
   bool Opaque = false;
+
+  /// Memory order of the primitive's reads (resp. writes) of its shared
+  /// locations.  One order per side, not per location: our primitives are
+  /// small enough that a single annotation covers every location they
+  /// touch, and a per-location map would complicate hashing for nothing.
+  MemOrder ReadOrd = MemOrder::SeqCst;
+  MemOrder WriteOrd = MemOrder::SeqCst;
+
+  /// When a primitive both reads and writes a location, Atomic means the
+  /// two form one indivisible RMW (fetch-and-increment, CAS): the read
+  /// always observes the latest write in modification order, whatever
+  /// ReadOrd says.  Non-atomic read+write is a *torn* access — under a
+  /// weak model the read may be stale, which is how the broken ticket
+  /// lock's duplicate tickets arise.
+  bool Atomic = true;
+
+  /// The primitive also executes an SC fence (join with the global SC
+  /// view before its reads and publish to it after its writes).
+  bool ScFence = false;
+
+  /// Memory-fair read: the reads-from enumeration always resolves to the
+  /// latest write, while the synchronization effect still follows
+  /// ReadOrd.  This is the spin-assume / await-termination assumption of
+  /// weak-memory model checking (GenMC et al.): a spin-loop iteration
+  /// that reads a stale value just re-loops, so RC11's "a load may read
+  /// stale forever" would make every spin lock diverge under exploration;
+  /// annotating the spin read fair models the liveness side of the
+  /// hardware (a store eventually propagates) without strengthening the
+  /// ordering side.
+  bool FairRead = false;
 
   /// A default-constructed footprint is *local*: it touches no shared
   /// location and commutes with everything (a hardware instruction, a
@@ -70,11 +115,65 @@ struct Footprint {
   static Footprint of(std::vector<std::string> Reads,
                       std::vector<std::string> Writes);
 
+  /// True when any annotation differs from the SC defaults — the footprint
+  /// opts in to weak-memory treatment (reads-from enumeration under
+  /// RaMemory, ordering-aware conflict detection, order-folding CertKeys).
+  bool weakOrdered() const {
+    return ReadOrd != MemOrder::SeqCst || WriteOrd != MemOrder::SeqCst ||
+           !Atomic || ScFence || FairRead;
+  }
+
+  /// Copy with the given read/write orders (builder style, so layer
+  /// definitions read as `Footprint::of(...).withOrders(...)`).
+  Footprint withOrders(MemOrder R, MemOrder W) const {
+    Footprint F = *this;
+    F.ReadOrd = R;
+    F.WriteOrd = W;
+    return F;
+  }
+
+  /// Copy with the read/write pair demoted to a torn (non-RMW) access.
+  Footprint nonAtomic() const {
+    Footprint F = *this;
+    F.Atomic = false;
+    return F;
+  }
+
+  /// Copy that also executes an SC fence.
+  Footprint withScFence() const {
+    Footprint F = *this;
+    F.ScFence = true;
+    return F;
+  }
+
+  /// Copy with the read marked memory-fair (spin-loop await).
+  Footprint fairRead() const {
+    Footprint F = *this;
+    F.FairRead = true;
+    return F;
+  }
+
+  /// A read with this order synchronizes (joins the writer's view) when it
+  /// reads from a release-or-stronger write.
+  bool readActsAcquire() const {
+    return ReadOrd == MemOrder::Acquire || ReadOrd == MemOrder::AcqRel ||
+           ReadOrd == MemOrder::SeqCst;
+  }
+
+  /// A write with this order publishes the writer's view for acquirers.
+  bool writeActsRelease() const {
+    return WriteOrd == MemOrder::Release || WriteOrd == MemOrder::AcqRel ||
+           WriteOrd == MemOrder::SeqCst;
+  }
+
   /// Structural equality (location vectors are kept sorted, so this is
   /// set equality).  Used by the Explorer's sleep-set subset test when
   /// deciding whether a cached visit covers a revisit under POR.
   bool operator==(const Footprint &O) const {
-    return Opaque == O.Opaque && Reads == O.Reads && Writes == O.Writes;
+    return Opaque == O.Opaque && Reads == O.Reads && Writes == O.Writes &&
+           ReadOrd == O.ReadOrd && WriteOrd == O.WriteOrd &&
+           Atomic == O.Atomic && ScFence == O.ScFence &&
+           FairRead == O.FairRead;
   }
   bool operator!=(const Footprint &O) const { return !(*this == O); }
 };
@@ -94,6 +193,15 @@ struct ParticipantFootprint {
 /// True when the steps behind \p A and \p B do not commute: either one is
 /// opaque (and the other non-local), or a write of one intersects a read
 /// or write of the other.  Local footprints never conflict.
+///
+/// Ordering-aware extension: when either side is weakOrdered(), two reads
+/// of the same location also conflict.  Under a weak model a read is not a
+/// pure observation — it advances the reader's per-location view front and
+/// constrains which stale values remain readable, so two reads of the same
+/// location do not commute as state transformers.  This is deliberately
+/// conservative (it only ever shrinks the reduction, never the soundness),
+/// and it is inert for SC footprints, whose defaults keep weakOrdered()
+/// false and the conflict relation bit-identical to the pre-model code.
 bool footprintsConflict(const Footprint &A, const Footprint &B);
 
 /// Canonical linearization of the Mazurkiewicz trace of \p L: two events

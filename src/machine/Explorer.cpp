@@ -18,6 +18,9 @@ void ccal::detail::publishExploreMetrics(const ExploreResult &Res) {
   obs::counterAdd("explorer.steals", Res.Steals);
   obs::counterAdd("explorer.donations", Res.Donations);
   obs::counterAdd("dpor.backtracks", Res.DporBacktracks);
+  obs::counterAdd("explorer.readsfrom_branch_points",
+                  Res.ReadsFromBranchPoints);
+  obs::counterAdd("explorer.readsfrom_variants", Res.ReadsFromVariants);
   obs::counterAdd("cache.evictions", Res.CacheEvictions);
   obs::counterAdd("cache.spill_hits", Res.CacheSpillHits);
   obs::counterAdd("steal.batches", Res.StealBatches);

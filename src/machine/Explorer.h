@@ -263,6 +263,14 @@ struct ExploreResult {
   std::uint64_t CacheEvictions = 0; ///< LRU evictions (CacheBudgetBytes)
   std::uint64_t CacheSpillHits = 0; ///< revisits pruned via spilled records
 
+  /// Weak-memory enumeration telemetry: a branch point is a candidate
+  /// step whose reads-from menu had more than one entry, and Variants
+  /// sums those menus — so Variants/BranchPoints is the average branching
+  /// factor the memory model imposed on top of the schedule tree.  Both
+  /// stay 0 under SC (every menu is a singleton).
+  std::uint64_t ReadsFromBranchPoints = 0;
+  std::uint64_t ReadsFromVariants = 0;
+
   /// Work-sharing telemetry.  Donations and Steals measure DISTINCT
   /// events on the two sides of the injector: Donations counts frames a
   /// busy worker moved IN, Steals counts frames idle workers took OUT —
@@ -368,6 +376,20 @@ struct MachineHasFootprint<
                    decltype(std::declval<const M &>().eventFootprint(
                        std::declval<const Event &>()))>> : std::true_type {};
 
+/// Detects machines providing stepVariants()/step(Tid, Variant) — a weak
+/// memory model whose steps have several reads-from choices.  Without
+/// them every step has exactly one variant (classic SC exploration, zero
+/// overhead on the hot path).
+template <typename M, typename = void>
+struct MachineHasVariants : std::false_type {};
+template <typename M>
+struct MachineHasVariants<
+    M, std::void_t<decltype(std::declval<const M &>().stepVariants(
+                       std::declval<ThreadId>())),
+                   decltype(std::declval<M &>().step(
+                       std::declval<ThreadId>(),
+                       std::declval<unsigned>()))>> : std::true_type {};
+
 /// Former name of OutcomeSet, kept for the Explorer's internal use.
 using OutcomeDeduper = OutcomeSet;
 
@@ -434,6 +456,8 @@ public:
       Res.CacheHits += S.CacheHits;
       Res.PorSleepSkips += S.PorSkips;
       Res.DporBacktracks += S.DporBacktracks;
+      Res.ReadsFromBranchPoints += S.RfBranchPoints;
+      Res.ReadsFromVariants += S.RfVariants;
       Res.Donations += S.Donations;
       Res.StealBatches += S.DonationBatches;
       Pulls += S.Pulls;
@@ -468,6 +492,14 @@ private:
     std::vector<ThreadId> Ready;
     size_t NextChild = 0;
     bool Expanded = false;
+
+    /// Reads-from choices per Ready entry (weak memory models only; empty
+    /// means one variant each).  Every variant of a candidate is explored
+    /// before the candidate cursor advances, so the machine-move and
+    /// donation conditions on NextChild/NextBt stay valid unchanged.
+    std::vector<unsigned> ReadyVars;
+    unsigned NextVariant = 0; ///< variant cursor within Ready[NextChild]
+    unsigned BtVariant = 0;   ///< variant cursor within Backtrack[NextBt]
 
     // POR state (filled only when the reduction is on).
     Footprint StepFoot;               ///< footprint of the step INTO this node
@@ -512,6 +544,8 @@ private:
     std::uint64_t CacheHits = 0;
     std::uint64_t PorSkips = 0;
     std::uint64_t DporBacktracks = 0;
+    std::uint64_t RfBranchPoints = 0;  ///< candidates with >1 reads-from
+    std::uint64_t RfVariants = 0;      ///< menu entries over those
     std::uint64_t Pulls = 0;           ///< frames taken from the injector
     std::uint64_t Donations = 0;       ///< frames moved into the injector
     std::uint64_t DonationBatches = 0; ///< donate() calls that moved frames
@@ -553,20 +587,30 @@ private:
         }
       }
       size_t ChildIdx;
+      unsigned Variant = 0;
       if (PorOn) {
         // DPOR: iterate the backtrack (source) set by cursor — race
         // detection below this frame appends to it while it is buried.
         // Entries found asleep when their turn comes are covered by an
         // explored sibling subtree: prune, like the static sleep-set
-        // skip.
+        // skip.  Every reads-from variant of a candidate is consumed
+        // before the cursor advances (asleep is decided once per
+        // candidate, at variant 0 — sleeping covers the whole menu, since
+        // independent steps preserve variant menus).
         bool Have = false;
         while (Top.NextBt < Top.Backtrack.size()) {
-          size_t Cand = Top.Backtrack[Top.NextBt++];
-          if (asleep(Top, Top.Ready[Cand])) {
+          size_t Cand = Top.Backtrack[Top.NextBt];
+          if (Top.BtVariant == 0 && asleep(Top, Top.Ready[Cand])) {
             ++S.PorSkips;
+            ++Top.NextBt;
             continue;
           }
           ChildIdx = Cand;
+          Variant = Top.BtVariant;
+          if (++Top.BtVariant >= variantsOf(Top, Cand)) {
+            ++Top.NextBt;
+            Top.BtVariant = 0;
+          }
           Have = true;
           break;
         }
@@ -579,14 +623,23 @@ private:
           popFrame(Stack);
           continue;
         }
-        ChildIdx = Top.NextChild++;
+        ChildIdx = Top.NextChild;
         // Fairness: one participant may not run more than FairnessBound
         // consecutive steps while someone else is waiting.  Skipped under
         // Por — the filter is linearization-dependent, which breaks the
-        // coverage argument (see GenericExploreOptions::Por).
-        if (Top.Ready.size() > 1 && Top.Ready[ChildIdx] == Top.LastId &&
-            Top.Consec >= Opts.FairnessBound)
+        // coverage argument (see GenericExploreOptions::Por).  Decided
+        // once per candidate, at variant 0.
+        if (Top.NextVariant == 0 && Top.Ready.size() > 1 &&
+            Top.Ready[ChildIdx] == Top.LastId &&
+            Top.Consec >= Opts.FairnessBound) {
+          ++Top.NextChild;
           continue;
+        }
+        Variant = Top.NextVariant;
+        if (++Top.NextVariant >= variantsOf(Top, ChildIdx)) {
+          ++Top.NextChild;
+          Top.NextVariant = 0;
+        }
       }
       ThreadId C = Top.Ready[ChildIdx];
       // Trace-invariant divergence bound: a per-participant total is the
@@ -602,9 +655,19 @@ private:
       // hid.
       if (Opts.MaxParticipantSteps != 0 &&
           tallyOf(Top, C) >= Opts.MaxParticipantSteps) {
-        if (PorOn)
+        // Skip the candidate's remaining variants too — the cap prunes
+        // the participant, not one reads-from choice.
+        if (PorOn) {
           for (size_t R = 0; R != Top.Ready.size(); ++R)
             addBacktrack(Top, R, S);
+          if (Top.BtVariant != 0) {
+            ++Top.NextBt;
+            Top.BtVariant = 0;
+          }
+        } else if (Top.NextVariant != 0) {
+          ++Top.NextChild;
+          Top.NextVariant = 0;
+        }
         continue;
       }
       // The final child may take the parent's machine by move: NextChild
@@ -624,16 +687,21 @@ private:
         // Added at push (not pop): coverage only needs this subtree to be
         // explored *eventually*, and an abort that leaves it unexplored
         // also reports Complete=false, so nothing unsound is claimed.
-        Top.DoneSibs.push_back(SleepEntry{C, CF});
-        // Source-set DPOR race detection: schedule the reversal of every
-        // race this step closes with an event already on the path.
-        dporRaces(Stack, C, CF, /*Refine=*/true, S);
+        // Once per candidate: the footprint — and hence the sleep and
+        // race structure — is shared by all its reads-from variants.
+        if (Variant == 0) {
+          Top.DoneSibs.push_back(SleepEntry{C, CF});
+          // Source-set DPOR race detection: schedule the reversal of
+          // every race this step closes with an event already on the
+          // path.
+          dporRaces(Stack, C, CF, /*Refine=*/true, S);
+        }
       }
       if (Opts.MaxParticipantSteps != 0) {
         Child.StepTally = Top.StepTally;
         ++Child.StepTally[C];
       }
-      if (!Child.M.step(C)) {
+      if (!stepOn(Child.M, C, Variant)) {
         violate(Child.M, Child.M.error());
         continue;
       }
@@ -710,6 +778,20 @@ private:
         F.ReadyFoot.reserve(F.Ready.size());
         for (ThreadId C : F.Ready)
           F.ReadyFoot.push_back(F.M.stepFootprint(C));
+      }
+    }
+    if constexpr (MachineHasVariants<MachineT>::value) {
+      // One menu query per candidate per node; a budget overflow shows up
+      // as a count above the machine's cap and the step itself faults
+      // fail-closed, so no clamping happens here.
+      F.ReadyVars.reserve(F.Ready.size());
+      for (ThreadId C : F.Ready) {
+        unsigned V = std::max(1u, F.M.stepVariants(C));
+        F.ReadyVars.push_back(V);
+        if (V > 1) {
+          ++S.RfBranchPoints;
+          S.RfVariants += V;
+        }
       }
     }
     if (F.Ready.empty()) {
@@ -939,6 +1021,20 @@ private:
     return It == F.StepTally.end() ? 0 : It->second;
   }
 
+  /// Reads-from choices of Ready entry \p Idx (1 without a weak model).
+  static unsigned variantsOf(const Frame &F, size_t Idx) {
+    return F.ReadyVars.empty() ? 1u : F.ReadyVars[Idx];
+  }
+
+  /// Steps \p C with reads-from choice \p V; machines without variants
+  /// take their single step (V is then always 0).
+  static bool stepOn(MachineT &M, ThreadId C, unsigned V) {
+    if constexpr (MachineHasVariants<MachineT>::value)
+      return M.step(C, V);
+    else
+      return M.step(C);
+  }
+
   /// Sleep set of the child reached by stepping \p C with footprint \p CF:
   /// the parent's sleeping entries plus its already-pushed siblings, minus
   /// C itself (it just ran) and minus everything whose footprint conflicts
@@ -1113,9 +1209,12 @@ private:
       Frame Rest(F.M, F.LastId, F.Consec, F.Depth);
       Rest.Ready = F.Ready;
       Rest.NextChild = F.NextChild;
+      Rest.ReadyVars = F.ReadyVars;
+      Rest.NextVariant = F.NextVariant;
       Rest.Expanded = true;
       Rest.StepTally = F.StepTally;
       F.NextChild = F.Ready.size();
+      F.NextVariant = 0;
       Moved.push_back(std::move(Rest));
     }
     if (Moved.empty())

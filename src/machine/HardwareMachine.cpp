@@ -13,6 +13,9 @@ HardwareMachine::HardwareMachine(MachineConfigPtr CfgIn)
     : Cfg(std::move(CfgIn)) {
   CCAL_CHECK(Cfg && Cfg->Layer && Cfg->Program && Cfg->Program->Linked,
              "machine config needs a layer and a linked program");
+  CCAL_CHECK(!Cfg->Model || !Cfg->Model->weak(),
+             "the hardware machine is SC-only; run weak-memory "
+             "verification on the query-point MultiCoreMachine");
   std::vector<std::int64_t> Image = Cfg->Program->initialGlobals();
   for (const auto &[Id, Items] : Cfg->Work) {
     auto [It, Inserted] = Cpus.emplace(Id, Cpu(Cfg->Program, Image));

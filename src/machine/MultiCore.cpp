@@ -141,7 +141,23 @@ Footprint MultiCoreMachine::eventFootprint(const Event &E) const {
   return Cfg->Layer->footprintOf(E.Kind);
 }
 
-bool MultiCoreMachine::step(ThreadId Id) {
+const MemoryModel &MultiCoreMachine::model() const {
+  return Cfg->Model ? *Cfg->Model : *scMemory();
+}
+
+unsigned MultiCoreMachine::stepVariants(ThreadId C) const {
+  if (!weakModel())
+    return 1;
+  auto It = Cpus.find(C);
+  if (It == Cpus.end() || It->second.Phase != CpuPhase::AtShared)
+    return 1;
+  return model().stepVariants(Ra, C, stepFootprint(C),
+                              Cfg->MaxReadsFromPerStep);
+}
+
+bool MultiCoreMachine::step(ThreadId Id) { return step(Id, 0); }
+
+bool MultiCoreMachine::step(ThreadId Id, unsigned Variant) {
   if (!ok())
     return false;
   auto It = Cpus.find(Id);
@@ -153,10 +169,30 @@ bool MultiCoreMachine::step(ThreadId Id) {
   const Primitive *P = Cfg->Layer->lookup(C.Machine.primKind());
   CCAL_CHECK(P && P->Shared, "parked primitive must be shared");
 
+  const bool Weak = weakModel();
+  const Footprint Foot = Weak ? stepFootprint(Id) : Footprint();
+  std::optional<Log> Visible;
+  if (Weak) {
+    // Fail closed when the reads-from enumeration would be truncated:
+    // a capped menu silently hides behaviors the model allows.
+    const unsigned Count =
+        model().stepVariants(Ra, Id, Foot, Cfg->MaxReadsFromPerStep);
+    if (Count > Cfg->MaxReadsFromPerStep) {
+      fault(Id, "step offers more reads-from choices than "
+                "MaxReadsFromPerStep admits; raise the budget in the "
+                "MachineConfig");
+      return false;
+    }
+    CCAL_CHECK(Variant < Count, "step: reads-from variant out of range");
+    Visible = model().visibleLog(Ra, GlobalLog, Id, Foot, Variant);
+  } else {
+    CCAL_CHECK(Variant == 0, "step: sc model has a single variant");
+  }
+
   PrimCall Call;
   Call.Tid = Id;
   Call.Args = C.Machine.primArgs();
-  Call.L = &GlobalLog;
+  Call.L = Visible ? &*Visible : &GlobalLog;
   Call.LocalMem = &C.Globals;
   std::optional<PrimResult> Res = P->Sem(Call);
   if (!Res) {
@@ -165,8 +201,16 @@ bool MultiCoreMachine::step(ThreadId Id) {
                   logToString(GlobalLog));
     return false;
   }
+  // Blocked is checked against the FULL log by schedulable(); a
+  // weak-ordered primitive must never block (its visible log may differ
+  // from the full log, which would make enabledness unsound), and the
+  // blocking primitives (atomic lock specs) keep their SeqCst defaults.
   CCAL_CHECK(!Res->Blocked, "step: blocked CPUs are not schedulable");
+  const std::size_t FirstNew = GlobalLog.size();
   logAppendAll(GlobalLog, Res->Events);
+  if (Weak)
+    model().commit(Ra, GlobalLog, FirstNew, Id, Foot, Variant,
+                   [this](KindId K) { return Cfg->Layer->footprintOf(K); });
   for (auto [Addr, V] : Res->LocalWrites) {
     CCAL_CHECK(Addr >= 0 && static_cast<size_t>(Addr) < C.Globals.size(),
                "primitive local write out of range");
@@ -194,6 +238,11 @@ MultiCoreMachine::cpuMemory(ThreadId C) const {
 
 std::uint64_t MultiCoreMachine::snapshotHash() const {
   Hasher H(hashLog(GlobalLog));
+  // Message views depend on earlier reads-from choices, not on the log,
+  // so under a weak model they are genuine state; under SC this folds
+  // nothing and the hash is bit-identical to the pre-model machine.
+  if (weakModel())
+    Ra.addTo(H);
   H.u64(Cpus.size());
   for (const auto &[Id, C] : Cpus)
     H.u64(Id)
@@ -208,6 +257,8 @@ std::uint64_t MultiCoreMachine::snapshotHash() const {
 
 std::size_t MultiCoreMachine::snapshotBytes() const {
   std::size_t B = sizeof(MultiCoreMachine) + GlobalLog.snapshotCopyBytes();
+  if (weakModel())
+    B += Ra.bytes();
   for (const auto &[Id, C] : Cpus) {
     (void)Id;
     B += sizeof(Cpu) + (C.Globals.size() + C.Returns.size()) *
@@ -219,6 +270,8 @@ std::size_t MultiCoreMachine::snapshotBytes() const {
 bool MultiCoreMachine::sameSnapshot(const MultiCoreMachine &O) const {
   if (Cfg.get() != O.Cfg.get() || Err != O.Err ||
       GlobalLog != O.GlobalLog || Cpus.size() != O.Cpus.size())
+    return false;
+  if (weakModel() && Ra != O.Ra)
     return false;
   auto It = O.Cpus.begin();
   for (const auto &[Id, C] : Cpus) {

@@ -29,6 +29,7 @@
 
 #include "core/LayerInterface.h"
 #include "lasm/Vm.h"
+#include "machine/MemoryModel.h"
 
 #include <map>
 #include <memory>
@@ -54,6 +55,16 @@ struct MachineConfig {
   /// Instruction budget for one local slice (between query points); an
   /// exhausted budget is a divergence fault.
   std::uint64_t SliceBudget = 1u << 20;
+
+  /// Memory model resolving shared visibility (DESIGN.md §13).  Null
+  /// means ScMemory; a machine with a null or SC model is bit-identical
+  /// to the pre-model machine.
+  MemoryModelPtr Model;
+
+  /// Fail-closed cap on the reads-from choices one step may offer under a
+  /// weak model; exceeding it faults the machine with a raise-the-budget
+  /// message rather than silently truncating the enumeration.
+  unsigned MaxReadsFromPerStep = 64;
 };
 
 using MachineConfigPtr = std::shared_ptr<const MachineConfig>;
@@ -75,7 +86,17 @@ public:
 
   /// Executes CPU \p C's pending shared primitive and advances it to its
   /// next query point.  Returns false when the machine faulted.
+  /// step(C) is step(C, 0): variant 0 is always the SC-coincident
+  /// all-latest reads-from choice.
   bool step(ThreadId C);
+  bool step(ThreadId C, unsigned Variant);
+
+  /// Number of distinct reads-from choices CPU \p C's next step has under
+  /// the configured memory model — the Explorer enumerates step(C, V) for
+  /// V in [0, stepVariants(C)).  Always 1 under SC.  A value above
+  /// MachineConfig::MaxReadsFromPerStep means the budget is exhausted;
+  /// attempting any such step faults the machine fail-closed.
+  unsigned stepVariants(ThreadId C) const;
 
   const Log &log() const { return GlobalLog; }
 
@@ -152,9 +173,17 @@ private:
   bool advance(Cpu &C, ThreadId Id);
   void fault(ThreadId Id, const std::string &Msg);
 
+  /// The configured model, defaulting to SC when the config has none.
+  const MemoryModel &model() const;
+  bool weakModel() const { return Cfg->Model && Cfg->Model->weak(); }
+
   MachineConfigPtr Cfg;
   std::map<ThreadId, Cpu> Cpus;
   Log GlobalLog;
+  /// Weak-memory state (view fronts, modification orders).  Stays empty —
+  /// and excluded from snapshot hashing/equality — under an SC model, so
+  /// SC snapshots are bit-identical to the pre-model machine.
+  RaState Ra;
   std::string Err;
   std::uint64_t StepsTaken = 0;
 };

@@ -18,6 +18,7 @@ MachineConfigPtr ObjectHarness::implConfig() const {
   Cfg->Layer = Underlay;
   Cfg->Program = compileAndLink(ObjectName + ".impl.lasm", All);
   Cfg->Work = Work;
+  Cfg->Model = ImplModel;
   return Cfg;
 }
 

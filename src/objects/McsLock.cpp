@@ -205,6 +205,44 @@ McsLockLayers ccal::makeMcsLockLayers() {
   return Out;
 }
 
+McsLockLayers ccal::makeMcsLockLayersRa() {
+  McsLockLayers Out = makeMcsLockLayers();
+
+  // Same semantics, re-registered under ordering-annotated footprints
+  // mirroring RtMcsLock.h: Tail.exchange(acq_rel), Prev->Next.store
+  // (release, but the coarse-location RMW shape makes it acq_rel here),
+  // Locked.load(acquire) spin, release CAS acq_rel.  Every queue mutation
+  // being a release of the whole coarse "mcs" location is what keeps the
+  // acquire chain unbroken at two CPUs.
+  const Footprint McsRw =
+      Footprint::of({"mcs"}, {"mcs"})
+          .withOrders(MemOrder::AcqRel, MemOrder::AcqRel);
+  const Footprint McsSpin =
+      Footprint::of({"mcs"}, {})
+          .withOrders(MemOrder::Acquire, MemOrder::SeqCst)
+          .fairRead();
+  auto PlainCounter = [](const char *Loc) {
+    return Footprint::of({Loc}, {Loc})
+        .withOrders(MemOrder::Relaxed, MemOrder::Relaxed)
+        .nonAtomic();
+  };
+
+  auto L0 = makeInterface("L0ra_mcs");
+  for (const std::string &N : Out.L0->primNames()) {
+    const Primitive *P = Out.L0->lookup(N);
+    Footprint F;
+    if (N == "f" || N == "g")
+      F = PlainCounter(N.c_str());
+    else if (N == "mcs_get_busy" || N == "mcs_get_next")
+      F = McsSpin; // the two spin loops: memory-fair acquire loads
+    else
+      F = McsRw;
+    L0->addShared(N, P->Sem, F);
+  }
+  Out.L0 = L0;
+  return Out;
+}
+
 std::string ccal::mcsMutexInvariant(const MultiCoreMachine &M) {
   static const Replayer<McsState> R = makeMcsReplayer();
   if (!R.wellFormed(M.log()))
@@ -244,4 +282,38 @@ ObjectHarness ccal::makeMcsLockHarness(unsigned NumCpus, unsigned Rounds) {
 
 HarnessOutcome ccal::certifyMcsLock(unsigned NumCpus, unsigned Rounds) {
   return runObjectHarness(makeMcsLockHarness(NumCpus, Rounds));
+}
+
+ObjectHarness ccal::makeMcsLockHarnessRa(unsigned NumCpus,
+                                         unsigned Rounds) {
+  McsLockLayers Layers = makeMcsLockLayersRa();
+  auto M1 = std::make_shared<ClightModule>(cloneModule(Layers.M1));
+  auto Client = std::make_shared<ClightModule>(makeTicketClient());
+
+  ObjectHarness H;
+  H.Owned = {M1, Client};
+  H.ObjectName = "mcs_lock_ra";
+  H.Underlay = Layers.L0;
+  H.Modules = {M1.get()};
+  H.Overlay = Layers.L1;
+  H.R = Layers.R1;
+  H.Client = Client.get();
+  for (unsigned C = 1; C <= NumCpus; ++C) {
+    std::vector<CpuWorkItem> Items;
+    for (unsigned I = 0; I != Rounds; ++I)
+      Items.push_back({"t_main", {}});
+    H.Work.emplace(C, std::move(Items));
+  }
+  H.ImplOpts.FairnessBound = 2;
+  H.ImplOpts.MaxSteps = 512;
+  H.ImplOpts.Invariant = mcsMutexInvariant;
+  H.ImplOpts.InvariantName = "mcs.mutex";
+  H.SpecOpts.FairnessBound = 1u << 20;
+  H.SpecOpts.MaxSteps = 512;
+  H.ImplModel = raMemory();
+  return H;
+}
+
+HarnessOutcome ccal::certifyMcsLockRa(unsigned NumCpus, unsigned Rounds) {
+  return runObjectHarness(makeMcsLockHarnessRa(NumCpus, Rounds));
 }

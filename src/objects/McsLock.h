@@ -61,6 +61,24 @@ ObjectHarness makeMcsLockHarness(unsigned NumCpus, unsigned Rounds = 1);
 /// Certifies `L0_mcs[{1..NumCpus}] |- mcs_lock : L1[{1..NumCpus}]`.
 HarnessOutcome certifyMcsLock(unsigned NumCpus, unsigned Rounds = 1);
 
+/// Release/acquire variant, annotated after the runtime lock
+/// (src/runtime/RtMcsLock.h): queue mutations are acq_rel RMWs over the
+/// coarse "mcs" location, the two spins (busy flag during acquire, next
+/// pointer during release handoff) are memory-fair acquire loads, and f/g
+/// are plain relaxed non-atomic counters protected by the lock.  The
+/// coarse single-location footprint makes every queue write a release of
+/// the *whole* queue, which keeps the synchronization chain intact at two
+/// CPUs; see DESIGN.md §13 for why finer RA precision would need
+/// per-field locations.  Layer name "L0ra_mcs" keeps certificates
+/// disjoint from the SC ones.
+McsLockLayers makeMcsLockLayersRa();
+
+/// The RA harness: implementation machine under raMemory(), SC spec.
+ObjectHarness makeMcsLockHarnessRa(unsigned NumCpus, unsigned Rounds = 1);
+
+/// Certifies the MCS lock under release/acquire memory.
+HarnessOutcome certifyMcsLockRa(unsigned NumCpus, unsigned Rounds = 1);
+
 } // namespace ccal
 
 #endif // CCAL_OBJECTS_MCSLOCK_H

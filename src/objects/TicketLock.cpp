@@ -140,6 +140,57 @@ TicketLockLayers ccal::makeTicketLockLayers() {
   return Out;
 }
 
+TicketLockLayers ccal::makeTicketLockLayersRa(bool BrokenGrab) {
+  TicketLockLayers Out = makeTicketLockLayers();
+
+  // Same primitives, ordering-annotated footprints mirroring the runtime
+  // lock (RtTicketLock.h): Next.fetch_add(acq_rel), NowServing spin
+  // load(acquire), NowServing.fetch_add(acq_rel).
+  auto L0 = makeInterface(BrokenGrab ? "L0ra_broken" : "L0ra");
+  Footprint Grab = Footprint::of({"tkt.next"}, {"tkt.next"})
+                       .withOrders(MemOrder::AcqRel, MemOrder::AcqRel);
+  if (BrokenGrab)
+    // rt::BrokenTicketLock's seeded bug: the grab is a separate relaxed
+    // load and relaxed store, so another CPU's increment can land in
+    // between — or, equivalently here, the load may read a stale ticket.
+    Grab = Footprint::of({"tkt.next"}, {"tkt.next"})
+               .withOrders(MemOrder::Relaxed, MemOrder::Relaxed)
+               .nonAtomic();
+  L0->addShared("FAI_t", makeFetchIncPrim("FAI_t"), Grab);
+  // The spin read: acquire (joins the releaser's view, which is what
+  // collapses the f/g reads-from menus inside the critical section) and
+  // memory-fair (the await eventually sees the latest now-serving).
+  L0->addShared("get_n", makeReadCounterPrim("get_n", "inc_n"),
+                Footprint::of({"tkt.serving"}, {})
+                    .withOrders(MemOrder::Acquire, MemOrder::SeqCst)
+                    .fairRead());
+  L0->addShared("inc_n", makeEventPrim("inc_n"),
+                Footprint::of({"tkt.holder"}, {"tkt.serving", "tkt.holder"})
+                    .withOrders(MemOrder::AcqRel, MemOrder::AcqRel));
+  // hold is ghost bookkeeping (the linearization-point announcement); its
+  // tkt.next read exists for invariant order-sensitivity, not for a real
+  // shared load, so it is relaxed and memory-fair rather than enumerable.
+  L0->addShared("hold", makeEventPrim("hold"),
+                Footprint::of({"tkt.next", "tkt.holder"}, {"tkt.holder"})
+                    .withOrders(MemOrder::Relaxed, MemOrder::Relaxed)
+                    .fairRead());
+  // The critical-section counters are deliberately *unordered*: plain
+  // non-atomic relaxed accesses whose consistency is the lock's job.  A
+  // correctly synchronized lock makes their reads-from menus collapse to
+  // the latest write (via the release/acquire chain); a broken lock lets
+  // exploration pick stale values and the refinement refutes.
+  L0->addShared("f", makeFetchIncPrim("f"),
+                Footprint::of({"f"}, {"f"})
+                    .withOrders(MemOrder::Relaxed, MemOrder::Relaxed)
+                    .nonAtomic());
+  L0->addShared("g", makeFetchIncPrim("g"),
+                Footprint::of({"g"}, {"g"})
+                    .withOrders(MemOrder::Relaxed, MemOrder::Relaxed)
+                    .nonAtomic());
+  Out.L0 = L0;
+  return Out;
+}
+
 ClightModule ccal::makeTicketClient() {
   ClightModule Client = parseModuleOrDie("P_ticket_client", R"(
     extern void acq();
@@ -259,4 +310,41 @@ ObjectHarness ccal::makeTicketLockHarness(unsigned NumCpus,
 
 HarnessOutcome ccal::certifyTicketLock(unsigned NumCpus, unsigned Rounds) {
   return runObjectHarness(makeTicketLockHarness(NumCpus, Rounds));
+}
+
+ObjectHarness ccal::makeTicketLockHarnessRa(unsigned NumCpus,
+                                            unsigned Rounds,
+                                            bool BrokenGrab) {
+  TicketLockLayers Layers = makeTicketLockLayersRa(BrokenGrab);
+  auto M1 = std::make_shared<ClightModule>(cloneModule(Layers.M1));
+  auto Client = std::make_shared<ClightModule>(makeTicketClient());
+
+  ObjectHarness H;
+  H.Owned = {M1, Client};
+  H.ObjectName = BrokenGrab ? "ticket_lock_ra_broken" : "ticket_lock_ra";
+  H.Underlay = Layers.L0;
+  H.Modules = {M1.get()};
+  H.Overlay = Layers.L1;
+  H.R = Layers.R1;
+  H.Client = Client.get();
+  for (unsigned C = 1; C <= NumCpus; ++C) {
+    std::vector<CpuWorkItem> Items;
+    for (unsigned I = 0; I != Rounds; ++I)
+      Items.push_back({"t_main", {}});
+    H.Work.emplace(C, std::move(Items));
+  }
+  H.ImplOpts.FairnessBound = 2;
+  H.ImplOpts.MaxSteps = 512;
+  H.ImplOpts.Invariant = ticketMutexInvariant;
+  H.ImplOpts.InvariantName = "ticket.mutex";
+  H.SpecOpts.FairnessBound = 1u << 20;
+  H.SpecOpts.MaxSteps = 512;
+  H.ImplModel = raMemory();
+  return H;
+}
+
+HarnessOutcome ccal::certifyTicketLockRa(unsigned NumCpus, unsigned Rounds,
+                                         bool BrokenGrab) {
+  return runObjectHarness(makeTicketLockHarnessRa(NumCpus, Rounds,
+                                                  BrokenGrab));
 }

@@ -78,6 +78,33 @@ ObjectHarness makeTicketLockHarness(unsigned NumCpus, unsigned Rounds = 1);
 /// each CPU performing \p Rounds acquire/release rounds.
 HarnessOutcome certifyTicketLock(unsigned NumCpus, unsigned Rounds = 1);
 
+/// Release/acquire variants.  Same primitive semantics and module, but the
+/// L0 footprints carry the ordering annotations of the *real* runtime lock
+/// (src/runtime/RtTicketLock.h): the ticket grab is an acq_rel RMW, the
+/// now-serving spin is an acquire load (memory-fair, the spin-assume of
+/// weak-memory model checking), the release bump is acq_rel, and the
+/// critical-section counters f/g are plain relaxed non-atomic accesses —
+/// protected by the lock, not by their own ordering.  The layer is named
+/// "L0ra" ("L0ra_broken" for the twin) so its certificates never alias the
+/// SC ones.
+///
+/// With \p BrokenGrab the ticket grab is demoted to the torn
+/// relaxed-load/relaxed-store pair of rt::BrokenTicketLock: under RaMemory
+/// the stale read becomes enumerable, two CPUs can fetch the same ticket,
+/// and exploration alone must refute the refinement with a duplicate-ticket
+/// counterexample (the "ticket.mutex" invariant catches the double hold).
+TicketLockLayers makeTicketLockLayersRa(bool BrokenGrab = false);
+
+/// The RA harness: makeTicketLockHarness with the annotated L0 and the
+/// implementation machine running under raMemory().  The spec machine
+/// stays SC — the atomic overlay has no weak behaviors to model.
+ObjectHarness makeTicketLockHarnessRa(unsigned NumCpus, unsigned Rounds = 1,
+                                      bool BrokenGrab = false);
+
+/// Certifies the ticket lock under release/acquire memory.
+HarnessOutcome certifyTicketLockRa(unsigned NumCpus, unsigned Rounds = 1,
+                                   bool BrokenGrab = false);
+
 /// The §4.1 starvation-freedom bound, measured: across *all* schedules of
 /// the ticket-lock implementation machine, the worst-case number of events
 /// between a CPU's FAI_t (taking a ticket) and its hold (acquiring) must

@@ -77,6 +77,17 @@ Registry &registry() {
         [] { return makeTicketLockHarness(3, 1); });
     Add("mcs.2cpu", "MCS lock, 2 CPUs x 1 round (~90ms cold)",
         [] { return makeMcsLockHarness(2, 1); });
+    // Release/acquire re-verification of the same locks: the annotated
+    // implementation machine runs under RaMemory (stale reads enumerated),
+    // the spec machine stays SC.  Their certificates carry the memory
+    // model in the key, so they share the store with the SC jobs without
+    // ever aliasing them.
+    Add("ticket.2cpu.ra",
+        "ticket lock under release/acquire memory, 2 CPUs x 1 round",
+        [] { return makeTicketLockHarnessRa(2, 1); });
+    Add("mcs.2cpu.ra",
+        "MCS lock under release/acquire memory, 2 CPUs x 1 round",
+        [] { return makeMcsLockHarnessRa(2, 1); });
     return Reg;
   }();
   return *R;

@@ -12,6 +12,9 @@ ThreadedMachine::ThreadedMachine(ThreadedConfigPtr CfgIn)
   CCAL_CHECK(Cfg && Cfg->Layer && Cfg->Program && Cfg->Program->Linked &&
                  Cfg->Sched,
              "threaded config needs layer, linked program, and scheduler");
+  CCAL_CHECK(!Cfg->Model || !Cfg->Model->weak(),
+             "the multithreaded machine is SC-only; run weak-memory "
+             "verification on the MultiCoreMachine lock layers");
   std::vector<std::int64_t> Image = Cfg->Program->initialGlobals();
   for (const ThreadSpec &TS : Cfg->Threads) {
     auto [It, Inserted] = Threads.emplace(TS.Tid, Thr(Cfg->Program));

@@ -75,6 +75,12 @@ struct ThreadedConfig {
   std::vector<ThreadSpec> Threads;
   SchedReplayFn Sched;
   std::uint64_t SliceBudget = 1u << 20;
+
+  /// The multithreaded machine is SC-only (the §5 machines live above the
+  /// lock layers, where weak memory is already abstracted away); the
+  /// constructor rejects weak models rather than ignoring them.  Null
+  /// means ScMemory.
+  MemoryModelPtr Model;
 };
 
 using ThreadedConfigPtr = std::shared_ptr<const ThreadedConfig>;

@@ -273,6 +273,58 @@ TEST_F(ServeTest, SecondClientPaysNothingForSharedObligations) {
   D->shutdown();
 }
 
+TEST_F(ServeTest, RaAndScJobsShareStoreWithoutCrossTalk) {
+  auto D = startDaemon();
+  ASSERT_NE(D, nullptr);
+  CertClient C = connected();
+  std::string Err;
+
+  // The RA re-verification jobs are in the catalog.
+  std::vector<JobInfo> Catalog;
+  ASSERT_TRUE(C.list(Catalog, Err)) << Err;
+  auto Has = [&Catalog](const std::string &N) {
+    for (const JobInfo &J : Catalog)
+      if (J.Name == N)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("ticket.2cpu.ra"));
+  EXPECT_TRUE(Has("mcs.2cpu.ra"));
+
+  // Cold SC job mints its certificate.
+  VerifyResponse Sc;
+  ASSERT_TRUE(C.verify({"ticket.2cpu"}, {}, Sc, Err)) << Err;
+  ASSERT_TRUE(Sc.Ok && Sc.Results[0].Holds) << Sc.Results[0].Diagnostic;
+  const std::size_t ScCerts = refineCerts().size();
+  ASSERT_GE(ScCerts, 1u);
+
+  // The RA twin of the same lock is a *different* obligation: it must not
+  // hit the SC entry (zero hits — that would be cross-talk trusting an SC
+  // proof for a weak-memory claim), and it mints its own certificates
+  // alongside in the shared store.
+  VerifyResponse Ra;
+  ASSERT_TRUE(C.verify({"ticket.2cpu.ra"}, {}, Ra, Err)) << Err;
+  ASSERT_TRUE(Ra.Ok && Ra.Results[0].Holds) << Ra.Results[0].Diagnostic;
+  EXPECT_TRUE(Ra.Results[0].Complete);
+  EXPECT_EQ(Ra.Results[0].CertHits, 0u);
+  EXPECT_GE(Ra.Results[0].CertStores, 1u);
+  EXPECT_GT(refineCerts().size(), ScCerts);
+
+  // Warm repeats each hit their own entry; neither re-explores.
+  const std::uint64_t Explored =
+      obs::counterValue("explorer.schedules_explored");
+  VerifyResponse Sc2, Ra2;
+  ASSERT_TRUE(C.verify({"ticket.2cpu"}, {}, Sc2, Err)) << Err;
+  ASSERT_TRUE(C.verify({"ticket.2cpu.ra"}, {}, Ra2, Err)) << Err;
+  EXPECT_GE(Sc2.Results[0].CertHits, 1u);
+  EXPECT_EQ(Sc2.Results[0].CertStores, 0u);
+  EXPECT_GE(Ra2.Results[0].CertHits, 1u);
+  EXPECT_EQ(Ra2.Results[0].CertStores, 0u);
+  EXPECT_EQ(obs::counterValue("explorer.schedules_explored"), Explored);
+
+  D->shutdown();
+}
+
 TEST_F(ServeTest, UnknownJobsAreReportedPerJobNotAsBatchFailure) {
   auto D = startDaemon();
   ASSERT_NE(D, nullptr);
